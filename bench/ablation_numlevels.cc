@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: NumLevels in Replicated (the knob behind the MST/Mcf
+ * customization of Table 5).
+ *
+ * Sweeps the number of successor levels stored and prefetched.  More
+ * levels prefetch further ahead -- valuable when the miss sequence is
+ * deeply predictable (MST), wasted when it is not (Mcf shows marginal
+ * gains, as the paper observes).
+ *
+ * Usage: ablation_numlevels [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+    const std::vector<std::string> apps = {"MST", "Mcf", "Tree"};
+    driver::TextTable table({"Appl", "NumLevels", "Speedup",
+                             "Coverage", "Occupancy", "Table MB"});
+
+    for (const std::string &app : apps) {
+        const driver::RunResult base =
+            driver::runOne(app, driver::noPrefConfig(opt), opt);
+        for (std::uint32_t levels : {1u, 2u, 3u, 4u, 5u, 6u}) {
+            driver::SystemConfig cfg = driver::conven4PlusUlmtConfig(
+                opt, core::UlmtAlgo::Repl, app);
+            cfg.ulmt.numLevels = levels;
+            const driver::RunResult r = driver::runOne(app, cfg, opt);
+            const double cov =
+                static_cast<double>(r.hier.ulmtHits +
+                                    r.hier.ulmtDelayedHits) /
+                static_cast<double>(base.hier.l2Misses);
+            const double mb =
+                static_cast<double>(workloads::tableNumRows(app)) *
+                (4.0 + levels * 2 * 4.0) / (1024.0 * 1024.0);
+            table.addRow({app, std::to_string(levels),
+                          driver::fmt(r.speedup(base)),
+                          driver::fmt(cov),
+                          driver::fmt(r.ulmt.occupancyTime.mean(), 0),
+                          driver::fmt(mb, 1)});
+        }
+    }
+    table.print("Ablation: Replicated NumLevels sweep "
+                "(Conven4 on)");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: depth of the observation/prefetch queues (Fig. 3's
+ * queues, all 16 deep in the paper).
+ *
+ * A shallow queue 2 drops observed misses when the ULMT falls behind
+ * (lost learning + lost prefetch opportunities); a shallow queue 3
+ * throttles prefetches in flight.  The sweep shows how deep the
+ * queues must be before the ULMT stops losing work.
+ *
+ * Usage: ablation_queues [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+    const std::vector<std::string> apps = {"Mcf", "Sparse", "Gap"};
+    driver::TextTable table({"Appl", "Depth", "Speedup",
+                             "Obs dropped", "PF dropped (q3)"});
+
+    for (const std::string &app : apps) {
+        const driver::RunResult base =
+            driver::runOne(app, driver::noPrefConfig(opt), opt);
+        for (std::uint32_t depth : {2u, 4u, 8u, 16u, 64u}) {
+            driver::SystemConfig cfg =
+                driver::ulmtConfig(opt, core::UlmtAlgo::Repl, app);
+            cfg.timing.queueDepth = depth;
+            const driver::RunResult r = driver::runOne(app, cfg, opt);
+            table.addRow(
+                {app, std::to_string(depth),
+                 driver::fmt(r.speedup(base)),
+                 std::to_string(r.ulmt.missesDroppedQueueFull),
+                 std::to_string(
+                     r.memsys.ulmtPrefetchesDroppedQueueFull)});
+        }
+    }
+    table.print("Ablation: queue depth sweep (Repl)");
+    return 0;
+}

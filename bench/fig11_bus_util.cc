@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 11: main memory bus utilization, averaged over the nine
+ * applications, for NoPref, Conven4, Base, Chain, Repl, Conven4+Repl
+ * and Conven4+ReplMC.
+ *
+ * The increase over NoPref is decomposed the way the paper does:
+ * the part caused naturally by the reduced execution time (the same
+ * demand traffic squeezed into fewer cycles) and the additional part
+ * directly attributable to prefetch traffic.
+ *
+ * Usage: fig11_bus_util [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    struct Entry
+    {
+        std::string name;
+        double util = 0, pf_util = 0;
+        int n = 0;
+    };
+    std::vector<Entry> entries = {
+        {"NoPref", 0, 0, 0},         {"Conven4", 0, 0, 0},
+        {"Base", 0, 0, 0},           {"Chain", 0, 0, 0},
+        {"Repl", 0, 0, 0},           {"Conven4+Repl", 0, 0, 0},
+        {"Conven4+ReplMC", 0, 0, 0},
+    };
+
+    for (const std::string &app : workloads::applicationNames()) {
+        for (Entry &e : entries) {
+            driver::ExperimentOptions o = opt;
+            driver::SystemConfig cfg;
+            if (e.name == "NoPref") {
+                cfg = driver::noPrefConfig(o);
+            } else if (e.name == "Conven4") {
+                cfg = driver::conven4Config(o);
+            } else if (e.name == "Conven4+Repl") {
+                cfg = driver::conven4PlusUlmtConfig(
+                    o, core::UlmtAlgo::Repl, app);
+            } else if (e.name == "Conven4+ReplMC") {
+                o.placement = mem::MemProcPlacement::NorthBridge;
+                cfg = driver::conven4PlusUlmtConfig(
+                    o, core::UlmtAlgo::Repl, app);
+            } else {
+                cfg = driver::ulmtConfig(
+                    o, core::parseUlmtAlgo(e.name), app);
+            }
+            const driver::RunResult r = driver::runOne(app, cfg, o);
+            e.util += r.busUtilization();
+            e.pf_util += r.busUtilizationPrefetch();
+            ++e.n;
+        }
+    }
+
+    driver::TextTable table({"Config", "Utilization",
+                             "..from demand traffic",
+                             "..from prefetch traffic"});
+    for (const Entry &e : entries) {
+        const double n = static_cast<double>(e.n);
+        table.addRow({e.name, driver::fmtPercent(e.util / n),
+                      driver::fmtPercent((e.util - e.pf_util) / n),
+                      driver::fmtPercent(e.pf_util / n)});
+    }
+    table.print("Figure 11: main memory bus utilization "
+                "(average over applications)");
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Figure 5: fraction of L2 cache misses correctly predicted by the
+ * different algorithms at successor levels 1-3.
+ *
+ * Each algorithm simply observes the NoPref demand-miss stream of each
+ * application without prefetching.  The pair-based schemes use large
+ * tables so that no prediction is lost to conflicts (NumRows=256K,
+ * Assoc=4, NumSucc=4); under these conditions Chain and Repl are
+ * equivalent to Base at level 1.
+ *
+ * Usage: fig5_predictability [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+
+#include "core/base_chain.hh"
+#include "core/composite.hh"
+#include "core/predictability.hh"
+#include "core/replicated.hh"
+#include "core/seq_prefetcher.hh"
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+namespace {
+
+core::CorrelationParams
+bigTable()
+{
+    core::CorrelationParams p;
+    p.numRows = 256 * 1024;
+    p.assoc = 4;
+    p.numSucc = 4;
+    p.numLevels = 3;
+    return p;
+}
+
+core::SeqParams
+seqParams(std::uint32_t streams)
+{
+    core::SeqParams p;
+    p.numSeq = streams;
+    p.numPref = 6;
+    p.lineBytes = 64;
+    return p;
+}
+
+using Maker =
+    std::function<std::unique_ptr<core::CorrelationPrefetcher>()>;
+
+std::vector<std::pair<std::string, Maker>>
+algorithms()
+{
+    return {
+        {"Seq1",
+         [] { return std::make_unique<core::SeqPrefetcher>(
+                  seqParams(1)); }},
+        {"Seq4",
+         [] { return std::make_unique<core::SeqPrefetcher>(
+                  seqParams(4)); }},
+        {"Base",
+         [] { return std::make_unique<core::BasePrefetcher>(
+                  bigTable()); }},
+        {"Chain",
+         [] { return std::make_unique<core::ChainPrefetcher>(
+                  bigTable()); }},
+        {"Repl",
+         [] { return std::make_unique<core::ReplicatedPrefetcher>(
+                  bigTable()); }},
+        {"Seq4+Base",
+         [] {
+             std::vector<std::unique_ptr<core::CorrelationPrefetcher>>
+                 parts;
+             parts.push_back(
+                 std::make_unique<core::SeqPrefetcher>(seqParams(4)));
+             parts.push_back(
+                 std::make_unique<core::BasePrefetcher>(bigTable()));
+             return std::make_unique<core::CompositePrefetcher>(
+                 std::move(parts));
+         }},
+        {"Seq4+Repl",
+         [] {
+             std::vector<std::unique_ptr<core::CorrelationPrefetcher>>
+                 parts;
+             parts.push_back(
+                 std::make_unique<core::SeqPrefetcher>(seqParams(4)));
+             parts.push_back(
+                 std::make_unique<core::ReplicatedPrefetcher>(
+                     bigTable()));
+             return std::make_unique<core::CompositePrefetcher>(
+                 std::move(parts));
+         }},
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    const auto algos = algorithms();
+    // accuracy[level][algo] per app, then averaged.
+    std::map<std::string, std::vector<double>> acc[3];
+
+    std::vector<std::string> headers = {"Appl"};
+    for (const auto &[name, maker] : algos)
+        headers.push_back(name);
+
+    driver::TextTable tables[3] = {driver::TextTable(headers),
+                                   driver::TextTable(headers),
+                                   driver::TextTable(headers)};
+
+    for (const std::string &app : workloads::applicationNames()) {
+        const std::vector<sim::Addr> stream =
+            driver::captureMissStream(app, opt);
+        std::vector<std::string> row[3] = {{app}, {app}, {app}};
+        for (const auto &[name, maker] : algos) {
+            auto algo = maker();
+            const core::PredictabilityResult res =
+                core::evaluatePredictability(*algo, stream, 3);
+            for (int lvl = 0; lvl < 3; ++lvl) {
+                // Base predicts one level only.
+                const bool applicable =
+                    lvl < static_cast<int>(res.accuracy.size()) &&
+                    static_cast<std::uint32_t>(lvl) <
+                        std::min<std::uint32_t>(algo->levels(), 3);
+                const double a =
+                    applicable ? res.accuracy[
+                                     static_cast<std::size_t>(lvl)]
+                               : 0.0;
+                row[lvl].push_back(applicable
+                                       ? driver::fmtPercent(a)
+                                       : std::string("n/a"));
+                if (applicable)
+                    acc[lvl][name].push_back(a);
+            }
+        }
+        for (int lvl = 0; lvl < 3; ++lvl)
+            tables[lvl].addRow(row[lvl]);
+    }
+
+    for (int lvl = 0; lvl < 3; ++lvl) {
+        std::vector<std::string> avg_row = {"Average"};
+        for (const auto &[name, maker] : algos) {
+            const auto &v = acc[lvl][name];
+            avg_row.push_back(v.empty()
+                                  ? std::string("n/a")
+                                  : driver::fmtPercent(
+                                        driver::mean(v)));
+        }
+        tables[lvl].addRow(avg_row);
+        tables[lvl].print(
+            sim::strformat("Figure 5: %% of L2 misses correctly "
+                           "predicted, level %d", lvl + 1));
+    }
+    return 0;
+}

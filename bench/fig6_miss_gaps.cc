@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 6: distribution of the time between two consecutive L2
+ * misses arriving at memory (NoPref runs), binned as in the paper:
+ * [0,80), [80,200), [200,280), [280,inf) 1.6 GHz cycles.
+ *
+ * The [200,280) bin matters most: it holds the dependent misses whose
+ * latency out-of-order execution cannot hide, and its weight bounds
+ * the occupancy budget of the ULMT (must stay under ~200 cycles).
+ *
+ * Usage: fig6_miss_gaps [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    driver::TextTable table({"Appl", "[0,80)", "[80,200)", "[200,280)",
+                             "[280,inf)"});
+    std::vector<double> sums(4, 0.0);
+    const auto &apps = workloads::applicationNames();
+
+    for (const std::string &app : apps) {
+        const driver::RunResult r =
+            driver::runOne(app, driver::noPrefConfig(opt), opt);
+        std::vector<std::string> row = {app};
+        for (int b = 0; b < 4; ++b) {
+            row.push_back(driver::fmtPercent(
+                r.missGapFractions[static_cast<std::size_t>(b)]));
+            sums[static_cast<std::size_t>(b)] +=
+                r.missGapFractions[static_cast<std::size_t>(b)];
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg = {"Average"};
+    for (int b = 0; b < 4; ++b) {
+        avg.push_back(driver::fmtPercent(
+            sums[static_cast<std::size_t>(b)] /
+            static_cast<double>(apps.size())));
+    }
+    table.addRow(avg);
+    table.print("Figure 6: time between consecutive L2 misses "
+                "(NoPref)");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 8: impact of the memory-processor location.
+ *
+ * Compares NoPref, Conven4+Repl with the memory processor in the DRAM
+ * chip, and Conven4+Repl with the memory processor in the North
+ * Bridge (Conven4+ReplMC): twice the table-access latency, an extra
+ * 25-cycle prefetch-injection delay, and channel-crossing table
+ * traffic.  The paper's point: Repl prefetches far enough ahead that
+ * the cheaper North Bridge placement loses very little (1.46 -> 1.41
+ * average speedup).
+ *
+ * Usage: fig8_location [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    driver::TextTable table({"Appl", "Config", "Norm.time", "Busy",
+                             "UptoL2", "BeyondL2", "Speedup"});
+
+    std::vector<double> dram_sp, nb_sp;
+    for (const std::string &app : workloads::applicationNames()) {
+        const driver::RunResult base =
+            driver::runOne(app, driver::noPrefConfig(opt), opt);
+
+        driver::ExperimentOptions nb = opt;
+        nb.placement = mem::MemProcPlacement::NorthBridge;
+
+        const driver::RunResult in_dram = driver::runOne(
+            app,
+            driver::conven4PlusUlmtConfig(opt, core::UlmtAlgo::Repl,
+                                          app),
+            opt);
+        driver::SystemConfig nb_cfg = driver::conven4PlusUlmtConfig(
+            nb, core::UlmtAlgo::Repl, app);
+        nb_cfg.label = "Conven4+ReplMC";
+        const driver::RunResult in_nb = driver::runOne(app, nb_cfg, nb);
+
+        for (const driver::RunResult *r : {&base, &in_dram, &in_nb}) {
+            const double denom = static_cast<double>(base.cycles);
+            table.addRow(
+                {app, r->label, driver::fmt(r->normalizedTime(base)),
+                 driver::fmt(static_cast<double>(r->busyCycles) /
+                             denom),
+                 driver::fmt(static_cast<double>(r->uptoL2Stall) /
+                             denom),
+                 driver::fmt(static_cast<double>(r->beyondL2Stall) /
+                             denom),
+                 driver::fmt(r->speedup(base))});
+        }
+        dram_sp.push_back(in_dram.speedup(base));
+        nb_sp.push_back(in_nb.speedup(base));
+    }
+    table.print("Figure 8: memory-processor location");
+
+    driver::TextTable avg({"Config", "Avg speedup", "Paper"});
+    avg.addRow({"Conven4+Repl (in DRAM)",
+                driver::fmt(driver::mean(dram_sp)), "1.46"});
+    avg.addRow({"Conven4+ReplMC (North Bridge)",
+                driver::fmt(driver::mean(nb_sp)), "1.41"});
+    avg.print("Figure 8: average speedups");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Figure 9: breakdown of L2 misses and ULMT-pushed prefetches,
+ * normalized to the application's original (NoPref) L2 miss count.
+ *
+ *   Hits          prefetches that eliminated an L2 miss
+ *   DelayedHits   prefetches that arrived a bit late (partial save)
+ *   NonPrefMisses misses that paid full latency (plus processor-side
+ *                 prefetch requests that reached memory, as the paper
+ *                 lumps them here)
+ *   Replaced      pushed lines evicted before any reference
+ *   Redundant     pushed lines dropped on arrival at the L2
+ *
+ * Reported for Sparse, Tree, and the average of the other seven
+ * applications, for Base, Chain, Repl, Conven4+Repl, Conven4+ReplMC.
+ *
+ * Usage: fig9_effectiveness [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+namespace {
+
+struct Breakdown
+{
+    double hits = 0, delayed = 0, nonpref = 0, replaced = 0,
+           redundant = 0;
+
+    double coverage() const { return hits + delayed; }
+
+    Breakdown &
+    operator+=(const Breakdown &o)
+    {
+        hits += o.hits;
+        delayed += o.delayed;
+        nonpref += o.nonpref;
+        replaced += o.replaced;
+        redundant += o.redundant;
+        return *this;
+    }
+
+    Breakdown &
+    operator/=(double d)
+    {
+        hits /= d;
+        delayed /= d;
+        nonpref /= d;
+        replaced /= d;
+        redundant /= d;
+        return *this;
+    }
+};
+
+Breakdown
+breakdown(const driver::RunResult &r, const driver::RunResult &base)
+{
+    const double orig = static_cast<double>(base.hier.l2Misses);
+    Breakdown b;
+    b.hits = static_cast<double>(r.hier.ulmtHits) / orig;
+    b.delayed = static_cast<double>(r.hier.ulmtDelayedHits) / orig;
+    b.nonpref = static_cast<double>(r.hier.nonPrefMisses +
+                                    r.hier.cpuPfToMemory) /
+                orig;
+    b.replaced = static_cast<double>(r.hier.ulmtReplaced) / orig;
+    b.redundant = static_cast<double>(r.hier.pushRedundant()) / orig;
+    return b;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    const std::vector<std::string> configs = {
+        "Base", "Chain", "Repl", "Conven4+Repl", "Conven4+ReplMC"};
+
+    // group -> config -> accumulated breakdown
+    std::map<std::string, std::map<std::string, Breakdown>> groups;
+    int others = 0;
+
+    for (const std::string &app : workloads::applicationNames()) {
+        const driver::RunResult base =
+            driver::runOne(app, driver::noPrefConfig(opt), opt);
+        const std::string group =
+            (app == "Sparse" || app == "Tree") ? app : "Other7";
+        if (group == "Other7")
+            ++others;
+
+        for (const std::string &name : configs) {
+            driver::ExperimentOptions o = opt;
+            driver::SystemConfig cfg;
+            if (name == "Base") {
+                cfg = driver::ulmtConfig(o, core::UlmtAlgo::Base, app);
+            } else if (name == "Chain") {
+                cfg = driver::ulmtConfig(o, core::UlmtAlgo::Chain, app);
+            } else if (name == "Repl") {
+                cfg = driver::ulmtConfig(o, core::UlmtAlgo::Repl, app);
+            } else if (name == "Conven4+Repl") {
+                cfg = driver::conven4PlusUlmtConfig(
+                    o, core::UlmtAlgo::Repl, app);
+            } else {
+                o.placement = mem::MemProcPlacement::NorthBridge;
+                cfg = driver::conven4PlusUlmtConfig(
+                    o, core::UlmtAlgo::Repl, app);
+                cfg.label = "Conven4+ReplMC";
+            }
+            const driver::RunResult r = driver::runOne(app, cfg, o);
+            groups[group][name] += breakdown(r, base);
+        }
+    }
+    for (auto &[name, b] : groups["Other7"])
+        b /= static_cast<double>(others);
+
+    driver::TextTable table({"Group", "Config", "Hits", "DelayedHits",
+                             "NonPrefMisses", "Replaced", "Redundant",
+                             "Coverage"});
+    for (const char *group_name : {"Sparse", "Tree", "Other7"}) {
+        const std::string group(group_name);
+        for (const std::string &name : configs) {
+            const Breakdown &b = groups[group][name];
+            table.addRow({group, name, driver::fmt(b.hits),
+                          driver::fmt(b.delayed),
+                          driver::fmt(b.nonpref),
+                          driver::fmt(b.replaced),
+                          driver::fmt(b.redundant),
+                          driver::fmt(b.coverage())});
+        }
+    }
+    table.print("Figure 9: L2 miss + prefetch breakdown "
+                "(normalized to original misses)");
+    return 0;
+}

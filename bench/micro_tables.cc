@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the correlation-table
+ * operations themselves: host-side throughput of the Prefetching and
+ * Learning steps of Base, Chain and Replicated, and of the software
+ * sequential prefetcher.  These measure the real data structures (not
+ * the simulated memory-processor timing).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/base_chain.hh"
+#include "core/replicated.hh"
+#include "core/seq_prefetcher.hh"
+
+namespace {
+
+std::vector<sim::Addr>
+missStream(std::size_t n)
+{
+    std::vector<sim::Addr> stream(n);
+    for (std::size_t i = 0; i < n; ++i)
+        stream[i] = static_cast<sim::Addr>((i * 2654435761u) % 65536) *
+                    64;
+    return stream;
+}
+
+template <typename Algo>
+void
+runSteps(benchmark::State &state, Algo &algo)
+{
+    const auto stream = missStream(4096);
+    core::NullCostTracker cost;
+    std::vector<sim::Addr> out;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        algo.prefetchStep(stream[i], out, cost);
+        algo.learnStep(stream[i], cost);
+        benchmark::DoNotOptimize(out.data());
+        i = (i + 1) % stream.size();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_BaseStep(benchmark::State &state)
+{
+    core::BasePrefetcher algo(core::baseDefaults(64 * 1024));
+    runSteps(state, algo);
+}
+
+void
+BM_ChainStep(benchmark::State &state)
+{
+    core::ChainPrefetcher algo(core::chainReplDefaults(64 * 1024));
+    runSteps(state, algo);
+}
+
+void
+BM_ReplStep(benchmark::State &state)
+{
+    core::ReplicatedPrefetcher algo(
+        core::chainReplDefaults(64 * 1024));
+    runSteps(state, algo);
+}
+
+void
+BM_SeqStep(benchmark::State &state)
+{
+    core::SeqPrefetcher algo(core::SeqParams{});
+    runSteps(state, algo);
+}
+
+void
+BM_ReplLookupOnly(benchmark::State &state)
+{
+    core::ReplicatedPrefetcher algo(
+        core::chainReplDefaults(64 * 1024));
+    const auto stream = missStream(4096);
+    core::NullCostTracker cost;
+    std::vector<sim::Addr> out;
+    for (sim::Addr m : stream)
+        algo.learnStep(m, cost);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        out.clear();
+        algo.prefetchStep(stream[i], out, cost);
+        benchmark::DoNotOptimize(out.data());
+        i = (i + 1) % stream.size();
+    }
+}
+
+BENCHMARK(BM_BaseStep);
+BENCHMARK(BM_ChainStep);
+BENCHMARK(BM_ReplStep);
+BENCHMARK(BM_SeqStep);
+BENCHMARK(BM_ReplLookupOnly);
+
+} // namespace
+
+BENCHMARK_MAIN();

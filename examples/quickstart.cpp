@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Quickstart: simulate one application under four prefetching
+ * configurations and report the speedups.
+ *
+ * Usage:  quickstart [app] [scale]
+ *         quickstart Mcf 0.25
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "Mcf";
+    driver::ExperimentOptions opt;
+    opt.scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+    std::printf("Simulating %s (scale %.2f) ...\n", app.c_str(),
+                opt.scale);
+
+    const driver::RunResult base =
+        driver::runOne(app, driver::noPrefConfig(opt), opt);
+
+    driver::TextTable table({"Config", "Cycles", "L2 misses",
+                             "Speedup"});
+    table.addRow({base.label, std::to_string(base.cycles),
+                  std::to_string(base.hier.l2Misses), "1.00"});
+
+    for (const driver::SystemConfig &cfg :
+         {driver::conven4Config(opt),
+          driver::ulmtConfig(opt, core::UlmtAlgo::Repl, app),
+          driver::conven4PlusUlmtConfig(opt, core::UlmtAlgo::Repl,
+                                        app)}) {
+        const driver::RunResult r = driver::runOne(app, cfg, opt);
+        table.addRow({r.label, std::to_string(r.cycles),
+                      std::to_string(r.hier.l2Misses),
+                      driver::fmt(r.speedup(base))});
+    }
+    table.print(app + " under ULMT correlation prefetching");
+    return 0;
+}

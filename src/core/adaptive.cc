@@ -1,0 +1,112 @@
+#include "core/adaptive.hh"
+
+#include <algorithm>
+
+namespace core {
+
+namespace {
+
+bool
+covers(const LevelPredictions &preds, sim::Addr miss)
+{
+    if (preds.empty())
+        return false;
+    const auto &level1 = preds.front();
+    return std::find(level1.begin(), level1.end(), miss) != level1.end();
+}
+
+} // namespace
+
+void
+AdaptivePrefetcher::scorePrediction(sim::Addr miss_line)
+{
+    if (havePred_) {
+        if (covers(seqPred_, miss_line))
+            ++seqHits_;
+        if (covers(replPred_, miss_line))
+            ++replHits_;
+        ++epochCount_;
+    }
+    // Snapshot both components' level-1 predictions for the next miss,
+    // regardless of mode, so disabled components can win back their
+    // place.
+    seq_->predict(miss_line, seqPred_);
+    repl_->predict(miss_line, replPred_);
+    havePred_ = true;
+}
+
+void
+AdaptivePrefetcher::maybeSwitch()
+{
+    if (epochCount_ < epochMisses_)
+        return;
+    const double seq_rate =
+        static_cast<double>(seqHits_) / static_cast<double>(epochCount_);
+    const double repl_rate = static_cast<double>(replHits_) /
+                             static_cast<double>(epochCount_);
+    Mode next = Mode::Both;
+    if (seq_rate >= 0.85 && seq_rate >= repl_rate)
+        next = Mode::SeqOnly;
+    else if (seq_rate < 0.10)
+        next = Mode::ReplOnly;
+    if (next != mode_) {
+        mode_ = next;
+        ++modeSwitches_;
+    }
+    epochCount_ = 0;
+    seqHits_ = 0;
+    replHits_ = 0;
+}
+
+void
+AdaptivePrefetcher::prefetchStep(sim::Addr miss_line,
+                                 std::vector<sim::Addr> &out,
+                                 CostTracker &cost)
+{
+    if (mode_ != Mode::ReplOnly)
+        seq_->prefetchStep(miss_line, out, cost);
+    if (mode_ != Mode::SeqOnly)
+        repl_->prefetchStep(miss_line, out, cost);
+}
+
+void
+AdaptivePrefetcher::learnStep(sim::Addr miss_line, CostTracker &cost)
+{
+    scorePrediction(miss_line);
+    // Both components keep learning in every mode, so that the table
+    // stays warm across phase changes.
+    seq_->learnStep(miss_line, cost);
+    NullCostTracker free;
+    // Advance the stream registers even when Seq is disabled: its
+    // bookkeeping is free for us but would be stale otherwise.
+    if (mode_ == Mode::ReplOnly) {
+        std::vector<sim::Addr> discard;
+        seq_->prefetchStep(miss_line, discard, free);
+    }
+    repl_->learnStep(miss_line, cost);
+    maybeSwitch();
+}
+
+void
+AdaptivePrefetcher::predict(sim::Addr miss_line,
+                            LevelPredictions &out) const
+{
+    out.assign(levels(), {});
+    LevelPredictions part;
+    if (mode_ != Mode::ReplOnly) {
+        seq_->predict(miss_line, part);
+        for (std::size_t lvl = 0; lvl < part.size() && lvl < out.size();
+             ++lvl)
+            out[lvl].insert(out[lvl].end(), part[lvl].begin(),
+                            part[lvl].end());
+    }
+    if (mode_ != Mode::SeqOnly) {
+        repl_->predict(miss_line, part);
+        for (std::size_t lvl = 0; lvl < part.size() && lvl < out.size();
+             ++lvl)
+            out[lvl].insert(out[lvl].end(), part[lvl].begin(),
+                            part[lvl].end());
+    }
+}
+
+} // namespace core

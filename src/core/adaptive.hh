@@ -1,0 +1,82 @@
+/**
+ * @file
+ * An adaptive ULMT algorithm (extension of Section 3.3.3).
+ *
+ * The paper suggests "adaptively deciding the algorithm on-the-fly, as
+ * the application executes".  This implementation wraps a sequential
+ * prefetcher and a Replicated table and continuously tracks how often
+ * each component's level-1 prediction covers the next miss.  Every
+ * epoch it enables only the components that are earning their keep:
+ * sequential-only for streaming phases (lowest response time),
+ * Replicated-only for purely irregular phases (no wasted stream
+ * checks), or both for mixed phases.
+ */
+
+#ifndef CORE_ADAPTIVE_HH
+#define CORE_ADAPTIVE_HH
+
+#include <memory>
+
+#include "core/correlation_prefetcher.hh"
+#include "core/replicated.hh"
+#include "core/seq_prefetcher.hh"
+
+namespace core {
+
+/** Self-tuning composition of Seq and Replicated. */
+class AdaptivePrefetcher : public CorrelationPrefetcher
+{
+  public:
+    AdaptivePrefetcher(const SeqParams &seq_params,
+                       const CorrelationParams &corr_params,
+                       std::uint32_t epoch_misses = 1024)
+        : seq_(std::make_unique<SeqPrefetcher>(seq_params)),
+          repl_(std::make_unique<ReplicatedPrefetcher>(corr_params)),
+          epochMisses_(epoch_misses)
+    {
+    }
+
+    std::string name() const override { return "Adaptive"; }
+    std::uint32_t levels() const override { return repl_->levels(); }
+
+    void prefetchStep(sim::Addr miss_line, std::vector<sim::Addr> &out,
+                      CostTracker &cost) override;
+    void learnStep(sim::Addr miss_line, CostTracker &cost) override;
+    void predict(sim::Addr miss_line,
+                 LevelPredictions &out) const override;
+
+    std::size_t
+    tableBytes() const override
+    {
+        return repl_->tableBytes();
+    }
+
+    /** Current mode, for tests and reporting. */
+    enum class Mode { Both, SeqOnly, ReplOnly };
+    Mode mode() const { return mode_; }
+    std::uint64_t modeSwitches() const { return modeSwitches_; }
+
+  private:
+    void scorePrediction(sim::Addr miss_line);
+    void maybeSwitch();
+
+    std::unique_ptr<SeqPrefetcher> seq_;
+    std::unique_ptr<ReplicatedPrefetcher> repl_;
+    std::uint32_t epochMisses_;
+
+    Mode mode_ = Mode::Both;
+    std::uint64_t modeSwitches_ = 0;
+
+    // Epoch bookkeeping: how often each component's level-1 set
+    // covered the next miss.
+    std::uint32_t epochCount_ = 0;
+    std::uint32_t seqHits_ = 0;
+    std::uint32_t replHits_ = 0;
+    LevelPredictions seqPred_;
+    LevelPredictions replPred_;
+    bool havePred_ = false;
+};
+
+} // namespace core
+
+#endif // CORE_ADAPTIVE_HH

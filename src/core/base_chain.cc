@@ -1,0 +1,60 @@
+#include "core/base_chain.hh"
+
+namespace core {
+
+namespace {
+
+/** Translate an address from the old page to the new one. */
+sim::Addr
+translate(sim::Addr addr, sim::Addr old_page, sim::Addr new_page,
+          std::uint32_t page_bytes)
+{
+    if (addr / page_bytes == old_page)
+        return new_page * page_bytes + addr % page_bytes;
+    return addr;
+}
+
+} // namespace
+
+void
+remapPairTable(PairTable &table, sim::Addr old_page, sim::Addr new_page,
+               std::uint32_t page_bytes, std::uint32_t line_bytes,
+               CostTracker &cost)
+{
+    // Index the table for each line of the old page; relocate found
+    // rows, updating the tag and any applicable successors in the row.
+    for (std::uint32_t off = 0; off < page_bytes; off += line_bytes) {
+        const sim::Addr old_line = old_page * page_bytes + off;
+        PairRow *row = table.find(old_line, cost);
+        if (!row)
+            continue;
+        PairRow copy = *row;
+        table.invalidate(old_line);
+
+        const sim::Addr new_line = new_page * page_bytes + off;
+        PairRow *dest = table.findOrAlloc(new_line, cost);
+        dest->succ.clear();
+        for (sim::Addr s : copy.succ) {
+            dest->succ.push_back(
+                translate(s, old_page, new_page, page_bytes));
+        }
+        cost.memWrite(table.rowAddr(*dest), 4 + 4 * static_cast<
+                          std::uint32_t>(dest->succ.size()));
+    }
+}
+
+void
+BasePrefetcher::onPageRemap(sim::Addr old_page, sim::Addr new_page,
+                            std::uint32_t page_bytes, CostTracker &cost)
+{
+    remapPairTable(table_, old_page, new_page, page_bytes, 64, cost);
+}
+
+void
+ChainPrefetcher::onPageRemap(sim::Addr old_page, sim::Addr new_page,
+                             std::uint32_t page_bytes, CostTracker &cost)
+{
+    remapPairTable(table_, old_page, new_page, page_bytes, 64, cost);
+}
+
+} // namespace core

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Conflict-aware prefetch customization (the future work announced in
+ * Section 7: "customization for cache conflict elimination should
+ * improve Sparse and Tree, the applications with the smallest
+ * speedups").
+ *
+ * The wrapper runs any inner algorithm unchanged but watches the L2
+ * set index of every observed miss.  Sets that miss far more often
+ * than average are conflict hot spots: lines pushed into them are
+ * likely to evict live conflict victims (creating new misses) or be
+ * evicted before use (Replaced).  Prefetches targeting such sets are
+ * suppressed.  The pressure map is a small software array that decays
+ * each epoch, so phase changes are tracked.
+ */
+
+#ifndef CORE_CONFLICT_AWARE_HH
+#define CORE_CONFLICT_AWARE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/correlation_prefetcher.hh"
+
+namespace core {
+
+/** Suppresses prefetches into conflict-saturated L2 sets. */
+class ConflictAwarePrefetcher : public CorrelationPrefetcher
+{
+  public:
+    /**
+     * @param inner the algorithm whose prefetches are filtered
+     * @param l2_sets number of L2 sets
+     * @param l2_line_bytes L2 line size
+     * @param hot_factor sets with more than hot_factor times the
+     *        average per-set miss pressure are considered saturated
+     * @param epoch_misses decay period of the pressure map
+     */
+    ConflictAwarePrefetcher(std::unique_ptr<CorrelationPrefetcher> inner,
+                            std::uint32_t l2_sets,
+                            std::uint32_t l2_line_bytes,
+                            double hot_factor = 4.0,
+                            std::uint32_t epoch_misses = 8192)
+        : inner_(std::move(inner)), lineBytes_(l2_line_bytes),
+          hotFactor_(hot_factor), epochMisses_(epoch_misses),
+          pressure_(l2_sets, 0)
+    {
+    }
+
+    std::string name() const override { return inner_->name() + "+CA"; }
+    std::uint32_t levels() const override { return inner_->levels(); }
+
+    void
+    prefetchStep(sim::Addr miss_line, std::vector<sim::Addr> &out,
+                 CostTracker &cost) override
+    {
+        scratch_.clear();
+        inner_->prefetchStep(miss_line, scratch_, cost);
+        const double avg =
+            epochTotal_ > 0
+                ? static_cast<double>(epochTotal_) /
+                      static_cast<double>(pressure_.size())
+                : 0.0;
+        for (sim::Addr addr : scratch_) {
+            cost.instr(2);  // pressure-map lookup
+            if (avg > 0.25 &&
+                static_cast<double>(pressure_[setOf(addr)]) >
+                    hotFactor_ * avg) {
+                ++suppressed_;
+                continue;
+            }
+            out.push_back(addr);
+        }
+    }
+
+    void
+    learnStep(sim::Addr miss_line, CostTracker &cost) override
+    {
+        cost.instr(3);  // pressure-map bump
+        ++pressure_[setOf(miss_line)];
+        if (++epochTotal_ >= epochMisses_) {
+            // Epoch decay: halve everything (a linear sweep of a
+            // small array, charged as table work).
+            cost.instr(static_cast<std::uint32_t>(pressure_.size() /
+                                                  16));
+            std::uint64_t total = 0;
+            for (auto &p : pressure_) {
+                p /= 2;
+                total += p;
+            }
+            epochTotal_ = total;
+        }
+        inner_->learnStep(miss_line, cost);
+    }
+
+    void
+    predict(sim::Addr miss_line, LevelPredictions &out) const override
+    {
+        inner_->predict(miss_line, out);
+    }
+
+    std::size_t
+    tableBytes() const override
+    {
+        return inner_->tableBytes() + pressure_.size() * 2;
+    }
+
+    std::uint64_t insertions() const override
+    {
+        return inner_->insertions();
+    }
+    std::uint64_t replacements() const override
+    {
+        return inner_->replacements();
+    }
+
+    void
+    onPageRemap(sim::Addr old_page, sim::Addr new_page,
+                std::uint32_t page_bytes, CostTracker &cost) override
+    {
+        inner_->onPageRemap(old_page, new_page, page_bytes, cost);
+    }
+
+    /** Prefetches dropped for targeting saturated sets. */
+    std::uint64_t suppressed() const { return suppressed_; }
+
+  private:
+    std::size_t
+    setOf(sim::Addr addr) const
+    {
+        return static_cast<std::size_t>((addr / lineBytes_) %
+                                        pressure_.size());
+    }
+
+    std::unique_ptr<CorrelationPrefetcher> inner_;
+    std::uint32_t lineBytes_;
+    double hotFactor_;
+    std::uint32_t epochMisses_;
+    std::vector<std::uint32_t> pressure_;
+    std::uint64_t epochTotal_ = 0;
+    std::uint64_t suppressed_ = 0;
+    std::vector<sim::Addr> scratch_;
+};
+
+} // namespace core
+
+#endif // CORE_CONFLICT_AWARE_HH

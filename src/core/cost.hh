@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cost tracking for ULMT algorithm execution.
+ *
+ * The correlation tables are real data structures; their operations
+ * report instruction counts and simulated table-memory touches through
+ * this interface.  The ULMT engine supplies a tracker that runs table
+ * touches through the memory processor's modeled L1 cache and charges
+ * DRAM latency for misses; predictability studies use the null tracker.
+ *
+ * Instruction costs reflect the paper's hand-optimized C ULMTs
+ * (branches removed, parameters hardwired, no floating point).
+ */
+
+#ifndef CORE_COST_HH
+#define CORE_COST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace core {
+
+/** Receiver for the cost of ULMT operations. */
+class CostTracker
+{
+  public:
+    virtual ~CostTracker() = default;
+
+    /** @p n instructions of pure computation. */
+    virtual void instr(std::uint32_t n) = 0;
+
+    /** Read @p bytes of table state at simulated address @p addr. */
+    virtual void memRead(sim::Addr addr, std::uint32_t bytes) = 0;
+
+    /** Write @p bytes of table state at simulated address @p addr. */
+    virtual void memWrite(sim::Addr addr, std::uint32_t bytes) = 0;
+};
+
+/** Discards all cost information (functional-only runs). */
+class NullCostTracker : public CostTracker
+{
+  public:
+    void instr(std::uint32_t) override {}
+    void memRead(sim::Addr, std::uint32_t) override {}
+    void memWrite(sim::Addr, std::uint32_t) override {}
+};
+
+/** Instruction-cost constants for table operations. */
+namespace cost {
+
+/** Hash + set-index computation. */
+inline constexpr std::uint32_t hashRow = 3;
+/** Tag compare per probed way. */
+inline constexpr std::uint32_t tagProbe = 2;
+/** Insert an address at the MRU position of a successor list. */
+inline constexpr std::uint32_t succInsert = 3;
+/** Shift one successor entry during an MRU reorder. */
+inline constexpr std::uint32_t succShift = 1;
+/** Emit one prefetch address to queue 3. */
+inline constexpr std::uint32_t emitPrefetch = 2;
+/** Allocate / re-tag a row. */
+inline constexpr std::uint32_t rowAlloc = 4;
+/** Fixed per-miss overhead of the engine loop (dequeue, dispatch). */
+inline constexpr std::uint32_t loopOverhead = 6;
+/** Stream-register bookkeeping of the software Seq prefetcher. */
+inline constexpr std::uint32_t seqCheck = 4;
+
+} // namespace cost
+
+} // namespace core
+
+#endif // CORE_COST_HH

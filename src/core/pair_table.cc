@@ -1,0 +1,144 @@
+#include "core/pair_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace core {
+
+namespace {
+
+/** Cache-friendly row pitch: rows never straddle a 32 B line. */
+std::uint32_t
+strideFor(std::uint32_t row_bytes)
+{
+    std::uint32_t stride = 16;
+    while (stride < row_bytes)
+        stride *= 2;
+    return stride;
+}
+
+} // namespace
+
+PairTable::PairTable(const CorrelationParams &p, std::uint32_t row_bytes)
+    : params_(p), rowBytes_(row_bytes), rowStride_(strideFor(row_bytes))
+{
+    SIM_ASSERT(p.assoc > 0 && p.numRows % p.assoc == 0,
+               "numRows must be a multiple of assoc");
+    numSets_ = p.numRows / p.assoc;
+    rows_.resize(p.numRows);
+}
+
+std::uint32_t
+PairTable::setIndex(sim::Addr miss_line) const
+{
+    // Trivial hash: low bits of the line address (Section 4).
+    return static_cast<std::uint32_t>((miss_line / 64) % numSets_);
+}
+
+sim::Addr
+PairTable::rowAddr(const PairRow &row) const
+{
+    const std::size_t idx = static_cast<std::size_t>(&row - rows_.data());
+    return params_.tableBase + idx * rowStride_;
+}
+
+PairRow *
+PairTable::find(sim::Addr miss_line, CostTracker &cost)
+{
+    cost.instr(cost::hashRow);
+    const std::uint32_t set = setIndex(miss_line);
+    PairRow *base = &rows_[static_cast<std::size_t>(set) * params_.assoc];
+    // Rows are line-aligned, so probing a way pulls its tag and body
+    // in one access; the search stops at the first match.
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        PairRow &row = base[w];
+        cost.instr(cost::tagProbe);
+        cost.memRead(rowAddr(row), rowBytes_);
+        if (row.valid && row.tag == miss_line) {
+            row.lruStamp = ++stampCounter_;
+            return &row;
+        }
+    }
+    return nullptr;
+}
+
+const PairRow *
+PairTable::findNoCost(sim::Addr miss_line) const
+{
+    const std::uint32_t set = setIndex(miss_line);
+    const PairRow *base =
+        &rows_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == miss_line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+PairRow *
+PairTable::findOrAlloc(sim::Addr miss_line, CostTracker &cost)
+{
+    if (PairRow *row = find(miss_line, cost))
+        return row;
+
+    const std::uint32_t set = setIndex(miss_line);
+    PairRow *base = &rows_[static_cast<std::size_t>(set) * params_.assoc];
+    PairRow *victim = base;
+    for (std::uint32_t w = 1; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    ++insertions_;
+    if (victim->valid)
+        ++replacements_;
+
+    cost.instr(cost::rowAlloc);
+    cost.memWrite(rowAddr(*victim), rowBytes_);
+    victim->tag = miss_line;
+    victim->valid = true;
+    victim->succ.clear();
+    victim->lruStamp = ++stampCounter_;
+    return victim;
+}
+
+void
+PairTable::insertSuccessor(PairRow &row, sim::Addr succ_line,
+                           CostTracker &cost)
+{
+    cost.instr(cost::succInsert);
+    auto it = std::find(row.succ.begin(), row.succ.end(), succ_line);
+    if (it != row.succ.end()) {
+        // Already present: rotate to the MRU position.
+        cost.instr(cost::succShift *
+                   static_cast<std::uint32_t>(it - row.succ.begin()));
+        std::rotate(row.succ.begin(), it, it + 1);
+    } else {
+        row.succ.insert(row.succ.begin(), succ_line);
+        if (row.succ.size() > params_.numSucc)
+            row.succ.pop_back();  // LRU replacement within the row
+        cost.instr(cost::succShift *
+                   static_cast<std::uint32_t>(row.succ.size()));
+    }
+    cost.memWrite(rowAddr(row), rowBytes_);
+}
+
+void
+PairTable::invalidate(sim::Addr miss_line)
+{
+    const std::uint32_t set = setIndex(miss_line);
+    PairRow *base = &rows_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == miss_line) {
+            base[w].valid = false;
+            base[w].succ.clear();
+            return;
+        }
+    }
+}
+
+} // namespace core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The conventional pair-based correlation table (Section 2.2).
+ *
+ * Each row stores the tag of a miss address and a list of NumSucc
+ * immediate-successor miss addresses kept in MRU order.  The table is
+ * set-associative with a trivial hash (low bits of the line address),
+ * exactly as the paper sizes it for Table 2.  Base and Chain share
+ * this storage; Replicated uses its own multi-level row layout.
+ *
+ * The table is a software structure in simulated main memory: every
+ * probe and update reports its cost (instructions + table-memory
+ * touches) through a CostTracker so the ULMT engine can model the
+ * memory processor's response and occupancy times.
+ */
+
+#ifndef CORE_PAIR_TABLE_HH
+#define CORE_PAIR_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hh"
+#include "core/params.hh"
+#include "sim/types.hh"
+
+namespace core {
+
+/** One row of a conventional correlation table. */
+struct PairRow
+{
+    sim::Addr tag = sim::invalidAddr;
+    bool valid = false;
+    std::uint64_t lruStamp = 0;
+    /** Successors in MRU order (front = most recent). */
+    std::vector<sim::Addr> succ;
+};
+
+/** Set-associative table of PairRows. */
+class PairTable
+{
+  public:
+    /**
+     * @param p geometry (numRows, numSucc, assoc) and base address
+     * @param row_bytes simulated size of one row (20 B for Base's
+     *        4-successor rows, 12 B for Chain's 2-successor rows, in
+     *        the paper's 32-bit accounting)
+     */
+    PairTable(const CorrelationParams &p, std::uint32_t row_bytes);
+
+    /** Associative lookup with cost accounting. */
+    PairRow *find(sim::Addr miss_line, CostTracker &cost);
+    const PairRow *findNoCost(sim::Addr miss_line) const;
+
+    /**
+     * Lookup; on miss, allocate (LRU within the set), recording
+     * whether a live row was displaced.
+     */
+    PairRow *findOrAlloc(sim::Addr miss_line, CostTracker &cost);
+
+    /** Insert @p succ_line at the MRU position of @p row. */
+    void insertSuccessor(PairRow &row, sim::Addr succ_line,
+                         CostTracker &cost);
+
+    /** Simulated address of a row (for the cost model's cache). */
+    sim::Addr rowAddr(const PairRow &row) const;
+
+    /** Remove a row so its tag can move (page remapping). */
+    void invalidate(sim::Addr miss_line);
+
+    std::size_t tableBytes() const
+    {
+        return static_cast<std::size_t>(params_.numRows) * rowBytes_;
+    }
+    std::uint64_t insertions() const { return insertions_; }
+    std::uint64_t replacements() const { return replacements_; }
+    const CorrelationParams &params() const { return params_; }
+
+    /** Iterate over all valid rows (page remapping, debug). */
+    template <typename Fn>
+    void
+    forEachRow(Fn &&fn)
+    {
+        for (auto &row : rows_) {
+            if (row.valid)
+                fn(row);
+        }
+    }
+
+  private:
+    std::uint32_t setIndex(sim::Addr miss_line) const;
+
+    CorrelationParams params_;
+    std::uint32_t rowBytes_;
+    std::uint32_t rowStride_;  //!< line-aligned pitch of rows in memory
+    std::uint32_t numSets_;
+    std::vector<PairRow> rows_;
+    std::uint64_t stampCounter_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t replacements_ = 0;
+};
+
+} // namespace core
+
+#endif // CORE_PAIR_TABLE_HH

@@ -1,0 +1,61 @@
+#include "core/predictability.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace core {
+
+PredictabilityResult
+evaluatePredictability(CorrelationPrefetcher &algo,
+                       const std::vector<sim::Addr> &miss_stream,
+                       std::uint32_t levels)
+{
+    PredictabilityResult res;
+    res.accuracy.assign(levels, 0.0);
+    res.misses = miss_stream.size();
+
+    std::vector<std::uint64_t> correct(levels, 0);
+    std::vector<std::uint64_t> scored(levels, 0);
+
+    // Rolling window of the last `levels` prediction sets.
+    std::deque<LevelPredictions> window;
+    NullCostTracker null_cost;
+    LevelPredictions preds;
+    std::vector<sim::Addr> discard;
+
+    for (sim::Addr miss : miss_stream) {
+        // Score this miss against predictions made k misses ago.
+        for (std::uint32_t k = 1; k <= levels; ++k) {
+            if (window.size() < k)
+                continue;
+            const LevelPredictions &past = window[k - 1];
+            ++scored[k - 1];
+            if (k <= past.size()) {
+                const auto &set = past[k - 1];
+                if (std::find(set.begin(), set.end(), miss) != set.end())
+                    ++correct[k - 1];
+            }
+        }
+
+        // Observe: predict from current state, then advance it the way
+        // the running ULMT would (prefetch step first, then learning).
+        algo.predict(miss, preds);
+        window.push_front(preds);
+        if (window.size() > levels)
+            window.pop_back();
+
+        discard.clear();
+        algo.prefetchStep(miss, discard, null_cost);
+        algo.learnStep(miss, null_cost);
+    }
+
+    for (std::uint32_t k = 0; k < levels; ++k) {
+        res.accuracy[k] = scored[k]
+                              ? static_cast<double>(correct[k]) /
+                                    static_cast<double>(scored[k])
+                              : 0.0;
+    }
+    return res;
+}
+
+} // namespace core

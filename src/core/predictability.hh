@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Miss-stream predictability evaluation (Figure 5).
+ *
+ * Replays a recorded L2 miss-address stream through an algorithm
+ * without performing any prefetching, and measures, per successor
+ * level k, the fraction of misses m(i+k) that appear in the level-k
+ * successor set the algorithm predicted when it observed m(i).
+ */
+
+#ifndef CORE_PREDICTABILITY_HH
+#define CORE_PREDICTABILITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/correlation_prefetcher.hh"
+
+namespace core {
+
+/** Per-level prediction accuracy of one algorithm on one stream. */
+struct PredictabilityResult
+{
+    /** accuracy[k-1] = fraction of misses predicted at level k. */
+    std::vector<double> accuracy;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Run the observe-only loop over @p miss_stream.
+ *
+ * @param algo   the algorithm under test (consumed: it learns)
+ * @param miss_stream L2-line-aligned miss addresses in order
+ * @param levels how many successor levels to score ((<=3 in the paper)
+ */
+PredictabilityResult
+evaluatePredictability(CorrelationPrefetcher &algo,
+                       const std::vector<sim::Addr> &miss_stream,
+                       std::uint32_t levels);
+
+} // namespace core
+
+#endif // CORE_PREDICTABILITY_HH

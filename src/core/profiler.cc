@@ -1,0 +1,59 @@
+#include "core/profiler.hh"
+
+#include <algorithm>
+
+namespace core {
+
+void
+ProfilingUlmt::learnStep(sim::Addr miss_line, CostTracker &cost)
+{
+    cost.instr(12);  // histogram bumps
+    ++misses_;
+    ++pageMisses_[miss_line / pageBytes_];
+    ++setMisses_[static_cast<std::uint32_t>(
+        (miss_line / l2LineBytes_) % l2Sets_)];
+    ++lineSeen_[miss_line];
+
+    if (lastLine_ != sim::invalidAddr) {
+        const sim::Addr prev = lastLine_ / l2LineBytes_;
+        const sim::Addr cur = miss_line / l2LineBytes_;
+        if (cur == prev + 1 || prev == cur + 1)
+            ++sequential_;
+    }
+    lastLine_ = miss_line;
+}
+
+MissProfile
+ProfilingUlmt::report(std::size_t top_n) const
+{
+    MissProfile p;
+    p.misses = misses_;
+    p.distinctLines = lineSeen_.size();
+    p.sequentialFraction =
+        misses_ > 1 ? static_cast<double>(sequential_) /
+                          static_cast<double>(misses_ - 1)
+                    : 0.0;
+
+    p.hottestPages.assign(pageMisses_.begin(), pageMisses_.end());
+    std::sort(p.hottestPages.begin(), p.hottestPages.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (p.hottestPages.size() > top_n)
+        p.hottestPages.resize(top_n);
+
+    p.hottestSets.assign(setMisses_.begin(), setMisses_.end());
+    std::sort(p.hottestSets.begin(), p.hottestSets.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (p.hottestSets.size() > top_n)
+        p.hottestSets.resize(top_n);
+    return p;
+}
+
+} // namespace core

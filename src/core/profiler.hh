@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A profiling ULMT (Section 3.3.3 / Section 7 extension).
+ *
+ * The paper notes that the ULMT "can monitor the misses of an
+ * application and infer higher-level information such as cache
+ * performance, application access patterns, or page conflicts".  This
+ * algorithm performs no prefetching; instead it aggregates the
+ * observed miss stream into per-page miss counts, an L2-set pressure
+ * map (to expose conflict hot spots such as the paper reports for
+ * Sparse and Tree), and a sequentiality estimate.
+ */
+
+#ifndef CORE_PROFILER_HH
+#define CORE_PROFILER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/correlation_prefetcher.hh"
+
+namespace core {
+
+/** Summary emitted by the profiling ULMT. */
+struct MissProfile
+{
+    std::uint64_t misses = 0;
+    /** Fraction of misses at +/-1 line from the previous miss. */
+    double sequentialFraction = 0.0;
+    /** Pages sorted by miss count (page index, count). */
+    std::vector<std::pair<sim::Addr, std::uint64_t>> hottestPages;
+    /** L2 sets sorted by miss pressure (set index, count). */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> hottestSets;
+    /** Number of distinct lines that missed (footprint estimate). */
+    std::uint64_t distinctLines = 0;
+};
+
+/** Observe-only ULMT algorithm that builds a MissProfile. */
+class ProfilingUlmt : public CorrelationPrefetcher
+{
+  public:
+    /**
+     * @param page_bytes page size for the per-page histogram
+     * @param l2_sets number of L2 sets (for conflict attribution)
+     * @param l2_line_bytes L2 line size
+     */
+    ProfilingUlmt(std::uint32_t page_bytes, std::uint32_t l2_sets,
+                  std::uint32_t l2_line_bytes)
+        : pageBytes_(page_bytes), l2Sets_(l2_sets),
+          l2LineBytes_(l2_line_bytes)
+    {
+    }
+
+    std::string name() const override { return "Profile"; }
+    std::uint32_t levels() const override { return 1; }
+
+    void
+    prefetchStep(sim::Addr, std::vector<sim::Addr> &,
+                 CostTracker &cost) override
+    {
+        cost.instr(2);  // nothing to do: lowest possible response time
+    }
+
+    void learnStep(sim::Addr miss_line, CostTracker &cost) override;
+
+    void
+    predict(sim::Addr, LevelPredictions &out) const override
+    {
+        out.assign(1, {});
+    }
+
+    /** Build the report (top @p top_n pages and sets). */
+    MissProfile report(std::size_t top_n = 10) const;
+
+  private:
+    std::uint32_t pageBytes_;
+    std::uint32_t l2Sets_;
+    std::uint32_t l2LineBytes_;
+
+    std::unordered_map<sim::Addr, std::uint64_t> pageMisses_;
+    std::unordered_map<std::uint32_t, std::uint64_t> setMisses_;
+    std::unordered_map<sim::Addr, std::uint32_t> lineSeen_;
+    std::uint64_t misses_ = 0;
+    std::uint64_t sequential_ = 0;
+    sim::Addr lastLine_ = sim::invalidAddr;
+};
+
+} // namespace core
+
+#endif // CORE_PROFILER_HH

@@ -1,0 +1,214 @@
+#include "core/replicated.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace core {
+
+ReplicatedPrefetcher::ReplicatedPrefetcher(const CorrelationParams &p)
+    : params_(p), rowBytes_(4 + p.numLevels * p.numSucc * 4)
+{
+    rowStride_ = 16;
+    while (rowStride_ < rowBytes_)
+        rowStride_ *= 2;
+    SIM_ASSERT(p.assoc > 0 && p.numRows % p.assoc == 0,
+               "numRows must be a multiple of assoc");
+    numSets_ = p.numRows / p.assoc;
+    rows_.resize(p.numRows);
+    for (auto &row : rows_)
+        row.levels.resize(p.numLevels);
+    ptrs_.resize(p.numLevels);
+}
+
+std::uint32_t
+ReplicatedPrefetcher::setIndex(sim::Addr miss_line) const
+{
+    return static_cast<std::uint32_t>((miss_line / 64) % numSets_);
+}
+
+sim::Addr
+ReplicatedPrefetcher::rowAddr(std::uint32_t index) const
+{
+    return params_.tableBase +
+           static_cast<sim::Addr>(index) * rowStride_;
+}
+
+ReplRow *
+ReplicatedPrefetcher::find(sim::Addr miss_line, CostTracker &cost)
+{
+    cost.instr(cost::hashRow);
+    const std::uint32_t set = setIndex(miss_line);
+    const std::uint32_t base_idx = set * params_.assoc;
+    // Rows are line-aligned: one access pulls a way's tag and all its
+    // levels together (Table 1: a single row access per prefetch).
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        ReplRow &row = rows_[base_idx + w];
+        cost.instr(cost::tagProbe);
+        cost.memRead(rowAddr(base_idx + w), rowBytes_);
+        if (row.valid && row.tag == miss_line) {
+            row.lruStamp = ++stampCounter_;
+            return &row;
+        }
+    }
+    return nullptr;
+}
+
+const ReplRow *
+ReplicatedPrefetcher::findNoCost(sim::Addr miss_line) const
+{
+    const std::uint32_t base_idx = setIndex(miss_line) * params_.assoc;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        const ReplRow &row = rows_[base_idx + w];
+        if (row.valid && row.tag == miss_line)
+            return &row;
+    }
+    return nullptr;
+}
+
+std::uint32_t
+ReplicatedPrefetcher::alloc(sim::Addr miss_line, CostTracker &cost)
+{
+    const std::uint32_t base_idx = setIndex(miss_line) * params_.assoc;
+    std::uint32_t victim = base_idx;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        ReplRow &row = rows_[base_idx + w];
+        if (!row.valid) {
+            victim = base_idx + w;
+            break;
+        }
+        if (row.lruStamp < rows_[victim].lruStamp)
+            victim = base_idx + w;
+    }
+    ++insertions_;
+    if (rows_[victim].valid)
+        ++replacements_;
+
+    cost.instr(cost::rowAlloc);
+    cost.memWrite(rowAddr(victim), rowBytes_);
+    ReplRow &row = rows_[victim];
+    row.tag = miss_line;
+    row.valid = true;
+    for (auto &lvl : row.levels)
+        lvl.clear();
+    row.lruStamp = ++stampCounter_;
+    return victim;
+}
+
+void
+ReplicatedPrefetcher::insertAtLevel(ReplRow &row, std::uint32_t level,
+                                    sim::Addr succ_line,
+                                    CostTracker &cost)
+{
+    auto &list = row.levels[level];
+    cost.instr(cost::succInsert);
+    auto it = std::find(list.begin(), list.end(), succ_line);
+    if (it != list.end()) {
+        cost.instr(cost::succShift *
+                   static_cast<std::uint32_t>(it - list.begin()));
+        std::rotate(list.begin(), it, it + 1);
+    } else {
+        list.insert(list.begin(), succ_line);
+        if (list.size() > params_.numSucc)
+            list.pop_back();
+        cost.instr(cost::succShift *
+                   static_cast<std::uint32_t>(list.size()));
+    }
+    // The pointers let the update go straight to the row: one write,
+    // no associative search (Section 3.3.2).
+    const std::size_t idx = static_cast<std::size_t>(&row - rows_.data());
+    cost.memWrite(rowAddr(static_cast<std::uint32_t>(idx)), 8);
+}
+
+void
+ReplicatedPrefetcher::prefetchStep(sim::Addr miss_line,
+                                   std::vector<sim::Addr> &out,
+                                   CostTracker &cost)
+{
+    // A single row access yields every level (Table 1: one row access,
+    // low response time).
+    ReplRow *row = find(miss_line, cost);
+    if (!row)
+        return;
+    for (const auto &level : row->levels) {
+        for (sim::Addr s : level) {
+            cost.instr(cost::emitPrefetch);
+            out.push_back(s);
+        }
+    }
+}
+
+void
+ReplicatedPrefetcher::learnStep(sim::Addr miss_line, CostTracker &cost)
+{
+    // Insert the new miss as the MRU successor at the correct level of
+    // each trailing row (Fig. 4-c (i)/(ii)).
+    for (std::uint32_t lvl = 0; lvl < params_.numLevels; ++lvl) {
+        RowPtr &ptr = ptrs_[lvl];
+        if (!ptr.valid)
+            continue;
+        ReplRow &row = rows_[ptr.index];
+        // The pointed-to row may have been reallocated since; the tag
+        // check catches that (stale pointers are simply skipped).
+        if (!row.valid || row.tag != ptr.expectedTag)
+            continue;
+        insertAtLevel(row, lvl, miss_line, cost);
+    }
+
+    // Ensure a row exists for the new miss and shift the pointers.
+    std::uint32_t idx;
+    if (ReplRow *row = find(miss_line, cost)) {
+        idx = static_cast<std::uint32_t>(row - rows_.data());
+    } else {
+        idx = alloc(miss_line, cost);
+    }
+    for (std::size_t lvl = ptrs_.size(); lvl-- > 1;)
+        ptrs_[lvl] = ptrs_[lvl - 1];
+    ptrs_[0] = RowPtr{idx, miss_line, true};
+}
+
+void
+ReplicatedPrefetcher::predict(sim::Addr miss_line,
+                              LevelPredictions &out) const
+{
+    out.assign(params_.numLevels, {});
+    if (const ReplRow *row = findNoCost(miss_line)) {
+        for (std::uint32_t lvl = 0; lvl < params_.numLevels; ++lvl)
+            out[lvl] = row->levels[lvl];
+    }
+}
+
+void
+ReplicatedPrefetcher::onPageRemap(sim::Addr old_page, sim::Addr new_page,
+                                  std::uint32_t page_bytes,
+                                  CostTracker &cost)
+{
+    constexpr std::uint32_t line_bytes = 64;
+    for (std::uint32_t off = 0; off < page_bytes; off += line_bytes) {
+        const sim::Addr old_line = old_page * page_bytes + off;
+        ReplRow *row = find(old_line, cost);
+        if (!row)
+            continue;
+        ReplRow copy = *row;
+        row->valid = false;
+
+        const sim::Addr new_line = new_page * page_bytes + off;
+        std::uint32_t idx;
+        if (ReplRow *existing = find(new_line, cost))
+            idx = static_cast<std::uint32_t>(existing - rows_.data());
+        else
+            idx = alloc(new_line, cost);
+        ReplRow &dest = rows_[idx];
+        for (std::uint32_t lvl = 0; lvl < params_.numLevels; ++lvl) {
+            dest.levels[lvl].clear();
+            for (sim::Addr s : copy.levels[lvl]) {
+                if (s / page_bytes == old_page)
+                    s = new_page * page_bytes + s % page_bytes;
+                dest.levels[lvl].push_back(s);
+            }
+        }
+        cost.memWrite(rowAddr(idx), rowBytes_);
+    }
+}
+
+} // namespace core

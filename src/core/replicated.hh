@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Replicated correlation prefetching algorithm (Fig. 4-c) -- the
+ * paper's new table organization designed for a ULMT.
+ *
+ * Each row stores the miss tag plus NumLevels successor lists of
+ * NumSucc entries each: the true MRU successors at level 1 (immediate
+ * successors), level 2 (successors of successors), and so on.  The
+ * algorithm keeps NumLevels trailing row pointers (to the rows of the
+ * last, second-last, ... misses); learning inserts the new miss into
+ * the right level of each pointed-to row without any associative
+ * search, and prefetching reads a single row and issues everything in
+ * it.  This yields far-ahead prefetching with true-MRU accuracy at
+ * every level and a low response time, at the cost of replicated
+ * storage -- cheap, because the table lives in main memory.
+ */
+
+#ifndef CORE_REPLICATED_HH
+#define CORE_REPLICATED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/correlation_prefetcher.hh"
+#include "core/params.hh"
+
+namespace core {
+
+/** One row of the replicated table. */
+struct ReplRow
+{
+    sim::Addr tag = sim::invalidAddr;
+    bool valid = false;
+    std::uint64_t lruStamp = 0;
+    /** levels[l] = MRU-ordered successors at level l+1. */
+    std::vector<std::vector<sim::Addr>> levels;
+};
+
+/** The Replicated algorithm. */
+class ReplicatedPrefetcher : public CorrelationPrefetcher
+{
+  public:
+    explicit ReplicatedPrefetcher(const CorrelationParams &p);
+
+    std::string name() const override { return "Repl"; }
+    std::uint32_t levels() const override { return params_.numLevels; }
+
+    void prefetchStep(sim::Addr miss_line, std::vector<sim::Addr> &out,
+                      CostTracker &cost) override;
+    void learnStep(sim::Addr miss_line, CostTracker &cost) override;
+    void predict(sim::Addr miss_line,
+                 LevelPredictions &out) const override;
+
+    std::size_t tableBytes() const override
+    {
+        return static_cast<std::size_t>(params_.numRows) * rowBytes_;
+    }
+    std::uint64_t insertions() const override { return insertions_; }
+    std::uint64_t replacements() const override { return replacements_; }
+
+    void onPageRemap(sim::Addr old_page, sim::Addr new_page,
+                     std::uint32_t page_bytes,
+                     CostTracker &cost) override;
+
+    /** Simulated row size in bytes (28 B for NumLevels=3, NumSucc=2). */
+    std::uint32_t rowBytes() const { return rowBytes_; }
+
+  private:
+    /** A trailing pointer: row index + the tag it should still hold. */
+    struct RowPtr
+    {
+        std::uint32_t index = 0;
+        sim::Addr expectedTag = sim::invalidAddr;
+        bool valid = false;
+    };
+
+    std::uint32_t setIndex(sim::Addr miss_line) const;
+    sim::Addr rowAddr(std::uint32_t index) const;
+    ReplRow *find(sim::Addr miss_line, CostTracker &cost);
+    const ReplRow *findNoCost(sim::Addr miss_line) const;
+    std::uint32_t alloc(sim::Addr miss_line, CostTracker &cost);
+    void insertAtLevel(ReplRow &row, std::uint32_t level,
+                       sim::Addr succ_line, CostTracker &cost);
+
+    CorrelationParams params_;
+    std::uint32_t rowBytes_;
+    std::uint32_t rowStride_ = 0;  //!< line-aligned pitch in memory
+    std::uint32_t numSets_;
+    std::vector<ReplRow> rows_;
+    /** ptrs_[0] = row of the last miss, ptrs_[1] = second last, ... */
+    std::vector<RowPtr> ptrs_;
+    std::uint64_t stampCounter_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t replacements_ = 0;
+};
+
+} // namespace core
+
+#endif // CORE_REPLICATED_HH

@@ -1,0 +1,147 @@
+#include "core/seq_prefetcher.hh"
+
+#include <algorithm>
+
+namespace core {
+
+SeqPrefetcher::Stream *
+SeqPrefetcher::match(sim::Addr line)
+{
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        const std::int64_t dist =
+            (static_cast<std::int64_t>(s.nextExpected) -
+             static_cast<std::int64_t>(line)) *
+            s.stride;
+        if (dist >= 0 &&
+            dist <= static_cast<std::int64_t>(p_.lookahead()))
+            return &s;
+    }
+    return nullptr;
+}
+
+const SeqPrefetcher::Stream *
+SeqPrefetcher::match(sim::Addr line) const
+{
+    return const_cast<SeqPrefetcher *>(this)->match(line);
+}
+
+SeqPrefetcher::Stream *
+SeqPrefetcher::allocStream()
+{
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid)
+            return &s;
+        if (s.stamp < victim->stamp)
+            victim = &s;
+    }
+    return victim;
+}
+
+bool
+SeqPrefetcher::inHistory(sim::Addr line) const
+{
+    return std::find(history_.begin(), history_.end(), line) !=
+           history_.end();
+}
+
+void
+SeqPrefetcher::emitAhead(Stream &s, sim::Addr from_line,
+                         std::vector<sim::Addr> &out, CostTracker &cost)
+{
+    // Keep the stream lookahead() lines ahead of the observed miss.
+    const std::int64_t target =
+        static_cast<std::int64_t>(from_line) +
+        s.stride * static_cast<std::int64_t>(p_.lookahead());
+    while (true) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(s.nextExpected) + s.stride;
+        if (next < 0 || (target - next) * s.stride < 0)
+            break;
+        s.nextExpected = static_cast<sim::Addr>(next);
+        cost.instr(cost::emitPrefetch);
+        out.push_back(s.nextExpected * p_.lineBytes);
+    }
+    s.stamp = ++stampCounter_;
+}
+
+void
+SeqPrefetcher::prefetchStep(sim::Addr miss_line,
+                            std::vector<sim::Addr> &out,
+                            CostTracker &cost)
+{
+    const sim::Addr line = lineOf(miss_line);
+    cost.instr(cost::seqCheck * p_.numSeq);
+
+    if (Stream *s = match(line)) {
+        s->lastMiss = line;
+        emitAhead(*s, line, out, cost);
+        return;
+    }
+
+    // Detection: the third miss of a +/-1 line sequence.
+    for (std::int64_t stride : {std::int64_t{1}, std::int64_t{-1}}) {
+        const sim::Addr prev1 = line - static_cast<sim::Addr>(stride);
+        const sim::Addr prev2 = line - static_cast<sim::Addr>(2 * stride);
+        if (inHistory(prev1) && inHistory(prev2)) {
+            cost.instr(cost::seqCheck);
+            Stream *s = allocStream();
+            s->valid = true;
+            s->stride = stride;
+            s->nextExpected = line;
+            s->lastMiss = line;
+            ++streamsDetected_;
+            emitAhead(*s, line, out, cost);
+            return;
+        }
+    }
+}
+
+void
+SeqPrefetcher::learnStep(sim::Addr miss_line, CostTracker &cost)
+{
+    cost.instr(2);
+    history_.push_back(lineOf(miss_line));
+    if (history_.size() > p_.historyDepth)
+        history_.pop_front();
+}
+
+void
+SeqPrefetcher::predict(sim::Addr miss_line, LevelPredictions &out) const
+{
+    // The paper scores a sequential prediction as correct when the
+    // upcoming miss "matches the next address predicted by one of the
+    // streams identified" -- so every active stream contributes its
+    // upcoming lines, not just the stream the current miss belongs to.
+    out.assign(p_.numPref, {});
+    const sim::Addr line = lineOf(miss_line);
+    for (const Stream &s : streams_) {
+        if (!s.valid)
+            continue;
+        // Next expected line of this stream: continue from the current
+        // miss if it belongs to the stream, else from the last miss
+        // observed on it.
+        const std::int64_t dist =
+            (static_cast<std::int64_t>(s.nextExpected) -
+             static_cast<std::int64_t>(line)) *
+            s.stride;
+        const sim::Addr from =
+            (dist >= -1 &&
+             dist <= 4 * static_cast<std::int64_t>(p_.numPref))
+                ? line
+                : s.lastMiss;
+        for (std::uint32_t lvl = 0; lvl < p_.numPref; ++lvl) {
+            const std::int64_t pred =
+                static_cast<std::int64_t>(from) +
+                s.stride * static_cast<std::int64_t>(lvl + 1);
+            if (pred >= 0) {
+                out[lvl].push_back(static_cast<sim::Addr>(pred) *
+                                   p_.lineBytes);
+            }
+        }
+    }
+}
+
+} // namespace core

@@ -1,0 +1,177 @@
+#include "core/ulmt_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace core {
+
+namespace {
+
+/** Main cycles charged per memory-processor L1 hit (pipelined). */
+constexpr sim::Cycle mpCacheHitCharge = 2;
+
+} // namespace
+
+UlmtEngine::UlmtEngine(sim::EventQueue &eq, const mem::TimingParams &tp,
+                       mem::MemorySystem &ms,
+                       std::unique_ptr<CorrelationPrefetcher> algo)
+    : eq_(eq), tp_(tp), ms_(ms), algo_(std::move(algo)),
+      mpCache_("MemProcL1", tp.memProcL1)
+{
+    SIM_ASSERT(algo_ != nullptr, "UlmtEngine needs an algorithm");
+}
+
+void
+UlmtEngine::ExecCost::instr(std::uint32_t n)
+{
+    instructions_ += n;
+    // 2-issue at 800 MHz: n/2 memory-processor cycles = n main cycles.
+    const std::uint32_t width = engine_.tp_.memProcIssueWidth;
+    busy_ += (static_cast<sim::Cycle>(n) *
+                  sim::mainCyclesPerMemProcCycle +
+              width - 1) /
+             width;
+}
+
+void
+UlmtEngine::ExecCost::touch(sim::Addr addr, std::uint32_t bytes,
+                            bool is_write)
+{
+    const std::uint32_t line_bytes = engine_.mpCache_.lineBytes();
+    const sim::Addr first = engine_.mpCache_.lineAddr(addr);
+    const sim::Addr last = engine_.mpCache_.lineAddr(addr + bytes - 1);
+    for (sim::Addr line = first; line <= last; line += line_bytes) {
+        mem::CacheLine *cl = engine_.mpCache_.access(line);
+        if (cl) {
+            busy_ += mpCacheHitCharge;
+        } else {
+            // Miss: fetch the table line from DRAM (placement-
+            // dependent latency, real bank contention).
+            const sim::Cycle ready = start_ + busy_ + memStall_;
+            const sim::Cycle done =
+                engine_.ms_.tableAccess(ready, line, is_write);
+            memStall_ += done - ready;
+
+            mem::Eviction ev;
+            cl = engine_.mpCache_.insert(line, 0, 0, ev);
+            if (ev.valid && ev.dirty) {
+                // Victim write-back drains through a write buffer: it
+                // occupies the DRAM bank but does not stall the thread.
+                engine_.ms_.tableAccess(done, ev.lineAddr, true);
+            }
+        }
+        if (is_write)
+            cl->dirty = true;
+    }
+}
+
+void
+UlmtEngine::ExecCost::memRead(sim::Addr addr, std::uint32_t bytes)
+{
+    touch(addr, bytes, false);
+}
+
+void
+UlmtEngine::ExecCost::memWrite(sim::Addr addr, std::uint32_t bytes)
+{
+    touch(addr, bytes, true);
+}
+
+void
+UlmtEngine::observeMiss(sim::Cycle when, sim::Addr line_addr,
+                        sim::RequestKind /*kind*/)
+{
+    ++stats_.missesObserved;
+    // Queue 2 overflow: the memory processor simply drops the request
+    // (Section 3.2).
+    if (queue2_.size() >= tp_.queueDepth) {
+        ++stats_.missesDroppedQueueFull;
+        return;
+    }
+    queue2_.push_back({when, line_addr});
+    kick(when);
+}
+
+void
+UlmtEngine::kick(sim::Cycle earliest)
+{
+    if (processingScheduled_)
+        return;
+    processingScheduled_ = true;
+    sim::Cycle at = std::max(earliest, busyUntil_);
+    at = std::max(at, eq_.now());
+    eq_.schedule(at, [this] { processNext(); });
+}
+
+void
+UlmtEngine::processNext()
+{
+    processingScheduled_ = false;
+    if (queue2_.empty())
+        return;
+    const Observation obs = queue2_.front();
+    queue2_.pop_front();
+
+    const sim::Cycle start =
+        std::max({eq_.now(), obs.when, busyUntil_});
+    ExecCost cost(*this, start);
+
+    // ---- Prefetching step (executed first: it is the critical one).
+    cost.instr(cost::loopOverhead);
+    scratch_.clear();
+    algo_->prefetchStep(obs.line, scratch_, cost);
+    const sim::Cycle response = cost.elapsed();
+    stats_.responseTime.sample(static_cast<double>(response));
+    stats_.responseBusy.sample(static_cast<double>(cost.busy()));
+    stats_.responseMem.sample(static_cast<double>(cost.memStall()));
+
+    // Issue the generated addresses to queue 3, de-duplicated and
+    // aligned to L2 lines; never prefetch the observed miss itself.
+    const sim::Cycle issue_at = start + response;
+    std::size_t emitted = 0;
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+        const sim::Addr line =
+            scratch_[i] & ~static_cast<sim::Addr>(tp_.l2.lineBytes - 1);
+        if (line == obs.line)
+            continue;
+        bool dup = false;
+        for (std::size_t j = 0; j < emitted && !dup; ++j)
+            dup = scratch_[j] == line;
+        if (dup)
+            continue;
+        scratch_[emitted++] = line;
+        ++stats_.prefetchesGenerated;
+        ms_.ulmtPrefetch(issue_at, line);
+    }
+
+    // ---- Learning step.
+    algo_->learnStep(obs.line, cost);
+    const sim::Cycle occupancy = cost.elapsed();
+    stats_.occupancyTime.sample(static_cast<double>(occupancy));
+    stats_.occupancyBusy.sample(static_cast<double>(cost.busy()));
+    stats_.occupancyMem.sample(static_cast<double>(cost.memStall()));
+    stats_.busyCycles += cost.busy();
+    stats_.memStallCycles += cost.memStall();
+    stats_.instructions += cost.instructions();
+    ++stats_.missesProcessed;
+
+    busyUntil_ = start + occupancy;
+    if (!queue2_.empty())
+        kick(busyUntil_);
+}
+
+void
+UlmtEngine::pageRemap(sim::Addr old_page, sim::Addr new_page,
+                      std::uint32_t page_bytes)
+{
+    const sim::Cycle start = std::max(eq_.now(), busyUntil_);
+    ExecCost cost(*this, start);
+    algo_->onPageRemap(old_page, new_page, page_bytes, cost);
+    stats_.busyCycles += cost.busy();
+    stats_.memStallCycles += cost.memStall();
+    stats_.instructions += cost.instructions();
+    busyUntil_ = start + cost.elapsed();
+}
+
+} // namespace core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The User-Level Memory Thread engine: the paper's primary mechanism.
+ *
+ * The engine runs the infinite loop of Figure 2 on the memory
+ * processor.  It observes the miss stream the memory controller
+ * exposes (queue 2), and for each observed miss executes the
+ * Prefetching step (table lookup + prefetch generation; its duration
+ * is the response time) followed by the Learning step (table update);
+ * the total is the occupancy time.  Misses arriving while the thread
+ * is busy queue up in queue 2 and are dropped when it overflows.
+ *
+ * Execution cost is derived from the actual operations the algorithm
+ * performs: instructions retire at the memory processor's issue width
+ * (2-issue, 800 MHz), and every table-memory touch goes through a
+ * model of the memory processor's 32 KB L1 cache, with misses paying
+ * placement-dependent DRAM latency (and contending for real banks).
+ */
+
+#ifndef CORE_ULMT_ENGINE_HH
+#define CORE_ULMT_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/correlation_prefetcher.hh"
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "mem/timing_params.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace core {
+
+/** ULMT execution statistics (feeds Figure 10). */
+struct UlmtStats
+{
+    std::uint64_t missesObserved = 0;    //!< deposited in queue 2
+    std::uint64_t missesProcessed = 0;
+    std::uint64_t missesDroppedQueueFull = 0;
+    std::uint64_t prefetchesGenerated = 0;
+
+    sim::SampleStat responseTime;   //!< main cycles, per miss
+    sim::SampleStat occupancyTime;  //!< main cycles, per miss
+    sim::SampleStat responseBusy;   //!< computation part of response
+    sim::SampleStat responseMem;    //!< table-memory part of response
+    sim::SampleStat occupancyBusy;  //!< computation part of occupancy
+    sim::SampleStat occupancyMem;   //!< table-memory part of occupancy
+    sim::Cycle busyCycles = 0;      //!< main cycles of computation
+    sim::Cycle memStallCycles = 0;  //!< main cycles of table-mem stall
+    sim::InstCount instructions = 0;
+
+    /** Memory-processor IPC: instructions per 800 MHz cycle. */
+    double
+    ipc() const
+    {
+        const double mem_proc_cycles =
+            static_cast<double>(busyCycles + memStallCycles) /
+            static_cast<double>(sim::mainCyclesPerMemProcCycle);
+        return mem_proc_cycles > 0.0
+                   ? static_cast<double>(instructions) / mem_proc_cycles
+                   : 0.0;
+    }
+};
+
+/** The ULMT running on the memory processor. */
+class UlmtEngine : public mem::MissObserver
+{
+  public:
+    /**
+     * @param eq global event queue
+     * @param tp machine parameters (placement, memproc cache, queues)
+     * @param ms the memory system (prefetch injection, table DRAM)
+     * @param algo the prefetching algorithm this thread executes
+     */
+    UlmtEngine(sim::EventQueue &eq, const mem::TimingParams &tp,
+               mem::MemorySystem &ms,
+               std::unique_ptr<CorrelationPrefetcher> algo);
+
+    /** mem::MissObserver: a miss became visible in queue 2. */
+    void observeMiss(sim::Cycle when, sim::Addr line_addr,
+                     sim::RequestKind kind) override;
+
+    /** Deliver a page-remap notification to the algorithm (Sec 3.4). */
+    void pageRemap(sim::Addr old_page, sim::Addr new_page,
+                   std::uint32_t page_bytes);
+
+    const UlmtStats &stats() const { return stats_; }
+    CorrelationPrefetcher &algorithm() { return *algo_; }
+    const CorrelationPrefetcher &algorithm() const { return *algo_; }
+
+  private:
+    /**
+     * Cost tracker that models execution on the memory processor:
+     * instructions at 1 main cycle each (2-issue at 800 MHz), table
+     * touches through the modeled L1 and, on a miss, the DRAM.
+     */
+    class ExecCost : public CostTracker
+    {
+      public:
+        ExecCost(UlmtEngine &engine, sim::Cycle start)
+            : engine_(engine), start_(start)
+        {
+        }
+
+        void instr(std::uint32_t n) override;
+        void memRead(sim::Addr addr, std::uint32_t bytes) override;
+        void memWrite(sim::Addr addr, std::uint32_t bytes) override;
+
+        sim::Cycle busy() const { return busy_; }
+        sim::Cycle memStall() const { return memStall_; }
+        sim::Cycle elapsed() const { return busy_ + memStall_; }
+        sim::InstCount instructions() const { return instructions_; }
+
+      private:
+        void touch(sim::Addr addr, std::uint32_t bytes, bool is_write);
+
+        UlmtEngine &engine_;
+        sim::Cycle start_;
+        sim::Cycle busy_ = 0;
+        sim::Cycle memStall_ = 0;
+        sim::InstCount instructions_ = 0;
+    };
+
+    /** Process the head of queue 2 (one iteration of Fig. 2's loop). */
+    void processNext();
+
+    /** Schedule processNext if idle and work is pending. */
+    void kick(sim::Cycle earliest);
+
+    sim::EventQueue &eq_;
+    const mem::TimingParams &tp_;
+    mem::MemorySystem &ms_;
+    std::unique_ptr<CorrelationPrefetcher> algo_;
+
+    /** Queue 2: observed misses waiting for the thread. */
+    struct Observation
+    {
+        sim::Cycle when;
+        sim::Addr line;
+    };
+    std::deque<Observation> queue2_;
+
+    /** The memory processor's L1 cache (holds the table's hot rows). */
+    mem::Cache mpCache_;
+
+    sim::Cycle busyUntil_ = 0;
+    bool processingScheduled_ = false;
+    std::vector<sim::Addr> scratch_;
+    UlmtStats stats_;
+};
+
+} // namespace core
+
+#endif // CORE_ULMT_ENGINE_HH

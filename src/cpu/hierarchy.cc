@@ -1,0 +1,286 @@
+#include "cpu/hierarchy.hh"
+
+#include <algorithm>
+
+namespace cpu {
+
+namespace {
+
+/** How long an evicted dirty line stays visible in the WB queue. */
+constexpr sim::Cycle wbQueueResidency = 96;
+
+} // namespace
+
+Hierarchy::Hierarchy(sim::EventQueue &eq, const mem::TimingParams &tp,
+                     mem::MemorySystem &ms, bool enable_stream_pf)
+    : eq_(eq), tp_(tp), ms_(ms), l1_("L1", tp.l1), l2_("L2", tp.l2),
+      l2Mshrs_(tp.l2Mshrs), streamPfEnabled_(enable_stream_pf),
+      streamPf_(StreamPrefetcherParams{tp.streamNumSeq,
+                                       tp.streamNumPref,
+                                       tp.l1.lineBytes, 16}),
+      missGaps_({0.0, 80.0, 200.0, 280.0})
+{
+}
+
+void
+Hierarchy::recordMissAtMemory(sim::Cycle at_memory)
+{
+    if (lastMissAtMemory_ != sim::neverCycle &&
+        at_memory >= lastMissAtMemory_) {
+        missGaps_.sample(
+            static_cast<double>(at_memory - lastMissAtMemory_));
+    }
+    lastMissAtMemory_ = at_memory;
+}
+
+AccessOutcome
+Hierarchy::access(sim::Cycle when, sim::Addr addr, bool is_write)
+{
+    if (is_write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    if (mem::CacheLine *line = l1_.access(addr)) {
+        ++stats_.l1Hits;
+        AccessOutcome out;
+        if (line->readyAt > when) {
+            // Delayed hit on an in-flight L1 fill (MSHR merge).
+            out.complete = line->readyAt;
+            out.served = line->fillOrigin;
+        } else {
+            out.complete = when + tp_.l1HitRt;
+            out.served = sim::ServedBy::L1;
+        }
+        if (line->cpuPrefetched) {
+            // First demand touch of a stream-prefetched line.
+            line->cpuPrefetched = false;
+            ++stats_.cpuPfUseful;
+            const bool late = line->readyAt > when;
+            if (!late)
+                ++stats_.cpuPfTimely;
+            if (streamPfEnabled_) {
+                pfScratch_.clear();
+                streamPf_.observePrefetchedTouch(addr, late,
+                                                 pfScratch_);
+                for (sim::Addr pf : pfScratch_)
+                    issueCpuPrefetch(when, pf);
+            }
+        }
+        if (is_write)
+            line->dirty = true;
+        return out;
+    }
+
+    ++stats_.l1Misses;
+    AccessOutcome out = accessL2(when, addr, /*count_demand=*/true);
+    fillL1(when, addr, out.complete, out.served, false);
+    if (is_write) {
+        if (mem::CacheLine *line = l1_.find(addr))
+            line->dirty = true;
+    }
+
+    if (streamPfEnabled_) {
+        pfScratch_.clear();
+        streamPf_.observeMiss(addr, pfScratch_);
+        for (sim::Addr pf : pfScratch_)
+            issueCpuPrefetch(when, pf);
+    }
+    return out;
+}
+
+AccessOutcome
+Hierarchy::accessL2(sim::Cycle when, sim::Addr addr, bool count_demand)
+{
+    const sim::Addr line_addr = l2_.lineAddr(addr);
+
+    if (mem::CacheLine *line = l2_.access(line_addr)) {
+        AccessOutcome out;
+        if (line->readyAt > when) {
+            // The line is being filled already: merge into the MSHR.
+            if (count_demand)
+                ++stats_.l2MshrMerges;
+            out.complete = std::max(when + tp_.l2HitRt, line->readyAt);
+            out.served = line->fillOrigin;
+        } else {
+            if (count_demand)
+                ++stats_.l2Hits;
+            out.complete = when + tp_.l2HitRt;
+            out.served = sim::ServedBy::L2;
+        }
+        if (line->prefetched) {
+            // Demand reference to a ULMT-pushed line: a full hit.
+            line->prefetched = false;
+            if (count_demand)
+                ++stats_.ulmtHits;
+        }
+        line->cpuPrefetched = false;
+        return out;
+    }
+
+    if (count_demand) {
+        ++stats_.l2Misses;
+        if (onDemandL2Miss)
+            onDemandL2Miss(when, line_addr);
+    }
+
+    // A ULMT prefetch for this line is in flight: the reply will steal
+    // the MSHR and service this miss (a DelayedHit, Section 2.1).
+    const sim::Cycle pf_arrival = ms_.inflightPrefetchArrival(line_addr);
+    if (pf_arrival != sim::neverCycle) {
+        if (count_demand)
+            ++stats_.ulmtDelayedHits;
+        AccessOutcome out;
+        out.complete = std::max(when + tp_.l2HitRt, pf_arrival);
+        out.served = sim::ServedBy::Memory;
+        const sim::Cycle nominal = tp_.memRowHitRt();
+        const sim::Cycle paid = out.complete - when;
+        if (count_demand && nominal > paid)
+            stats_.delayedHitSavedCycles += nominal - paid;
+        claimedPush_.insert(line_addr);
+        l2Mshrs_.add(out.complete);
+        fillL2(when, line_addr, out.complete, sim::ServedBy::Memory,
+               /*ulmt_pushed=*/false, false);
+        return out;
+    }
+
+    // Genuine memory fetch.
+    const sim::Cycle start = l2Mshrs_.acquire(when);
+    recordMissAtMemory(start);
+    const sim::Cycle complete =
+        ms_.fetchLine(start, line_addr, sim::RequestKind::Demand);
+    l2Mshrs_.add(complete);
+    if (count_demand)
+        ++stats_.nonPrefMisses;
+    fillL2(when, line_addr, complete, sim::ServedBy::Memory, false,
+           false);
+    return {complete, sim::ServedBy::Memory};
+}
+
+void
+Hierarchy::issueCpuPrefetch(sim::Cycle when, sim::Addr addr)
+{
+    ++stats_.cpuPfIssued;
+    if (l1_.find(addr))
+        return;
+
+    const sim::Addr line_addr = l2_.lineAddr(addr);
+    if (mem::CacheLine *line = l2_.find(line_addr)) {
+        l2_.touch(line);
+        const sim::Cycle ready =
+            std::max(when + tp_.l2HitRt, line->readyAt);
+        fillL1(when, addr, ready, sim::ServedBy::L2, true);
+        return;
+    }
+
+    // A ULMT push in flight covers the L2 fill; just stage the L1 copy.
+    const sim::Cycle pf_arrival = ms_.inflightPrefetchArrival(line_addr);
+    if (pf_arrival != sim::neverCycle) {
+        fillL1(when, addr, pf_arrival, sim::ServedBy::Memory, true);
+        return;
+    }
+
+    l2Mshrs_.expire(when);
+    if (l2Mshrs_.full())
+        return;  // no MSHR: drop the prefetch
+
+    ++stats_.cpuPfToMemory;
+    const sim::Cycle complete =
+        ms_.fetchLine(when, line_addr, sim::RequestKind::CpuPrefetch);
+    l2Mshrs_.add(complete);
+    fillL2(when, line_addr, complete, sim::ServedBy::Memory, false,
+           false);
+    fillL1(when, addr, complete, sim::ServedBy::Memory, true);
+}
+
+void
+Hierarchy::fillL1(sim::Cycle now, sim::Addr addr, sim::Cycle ready_at,
+                  sim::ServedBy origin, bool cpu_prefetched)
+{
+    mem::Eviction ev;
+    mem::CacheLine *line = l1_.insert(addr, now, ready_at, ev);
+    line->fillOrigin = origin;
+    line->cpuPrefetched = cpu_prefetched;
+    if (ev.valid) {
+        if (ev.cpuPrefetched)
+            ++stats_.cpuPfReplaced;
+        if (ev.dirty) {
+            // Write the L1 victim down into the L2 (non-inclusive: if
+            // the L2 no longer holds it, it goes to memory).
+            if (mem::CacheLine *l2line = l2_.find(ev.lineAddr))
+                l2line->dirty = true;
+            else
+                ms_.writeback(now, l2_.lineAddr(ev.lineAddr));
+        }
+    }
+}
+
+mem::CacheLine *
+Hierarchy::fillL2(sim::Cycle now, sim::Addr addr, sim::Cycle ready_at,
+                  sim::ServedBy origin, bool ulmt_pushed,
+                  bool cpu_prefetched)
+{
+    mem::Eviction ev;
+    mem::CacheLine *line = l2_.insert(addr, now, ready_at, ev);
+    line->fillOrigin = origin;
+    line->prefetched = ulmt_pushed;
+    line->cpuPrefetched = cpu_prefetched;
+    if (ev.valid) {
+        if (ev.prefetched)
+            ++stats_.ulmtReplaced;
+        if (ev.dirty) {
+            ms_.writeback(now, ev.lineAddr);
+            wbQueue_[ev.lineAddr] = now + wbQueueResidency;
+        }
+    }
+    if (wbQueue_.size() > 128) {
+        for (auto it = wbQueue_.begin(); it != wbQueue_.end();) {
+            if (it->second <= now)
+                it = wbQueue_.erase(it);
+            else
+                ++it;
+        }
+    }
+    return line;
+}
+
+void
+Hierarchy::acceptPush(sim::Cycle when, sim::Addr line_addr)
+{
+    // A matching demand miss already claimed this reply (DelayedHit);
+    // the line was installed when the claim was made.
+    if (claimedPush_.erase(line_addr))
+        return;
+
+    // Drop rule 1: the L2 already has a copy.
+    if (l2_.find(line_addr)) {
+        ++stats_.pushRedundantPresent;
+        return;
+    }
+    // Drop rule 2: the line sits in the write-back queue.
+    auto wb = wbQueue_.find(line_addr);
+    if (wb != wbQueue_.end()) {
+        if (wb->second > when) {
+            ++stats_.pushRedundantWb;
+            return;
+        }
+        wbQueue_.erase(wb);
+    }
+    // Drop rule 3: all MSHRs busy.
+    l2Mshrs_.expire(when);
+    if (l2Mshrs_.full()) {
+        ++stats_.pushDroppedMshrFull;
+        return;
+    }
+    // Drop rule 4: the whole target set is transaction-pending.
+    if (l2_.setAllPending(line_addr, when)) {
+        ++stats_.pushDroppedSetPending;
+        return;
+    }
+
+    fillL2(when, line_addr, when, sim::ServedBy::Memory,
+           /*ulmt_pushed=*/true, false);
+    ++stats_.pushInstalled;
+}
+
+} // namespace cpu

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The main processor's cache hierarchy: L1, L2, the Conven4 stream
+ * prefetcher, and the L2-side support for accepting ULMT push
+ * prefetches (Section 2.1).
+ *
+ * The L2 implements the paper's four push drop rules (line already
+ * present, line in the write-back queue, all MSHRs busy, target set
+ * fully transaction-pending), MSHR stealing when a pushed line matches
+ * a pending demand miss (delayed hits), and the prefetch-effectiveness
+ * classification behind Figure 9 (Hits / DelayedHits / NonPrefMisses /
+ * Replaced / Redundant).
+ */
+
+#ifndef CPU_HIERARCHY_HH
+#define CPU_HIERARCHY_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/stream_prefetcher.hh"
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "mem/timing_params.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cpu {
+
+/** Result of a processor memory reference. */
+struct AccessOutcome
+{
+    sim::Cycle complete;   //!< cycle when the data is ready
+    sim::ServedBy served;  //!< level that serviced the reference
+};
+
+/** Hierarchy-level statistics (feeds Figures 6, 7, 9). */
+struct HierarchyStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;        //!< demand L2 misses
+    std::uint64_t l2MshrMerges = 0;    //!< merged into a pending fill
+
+    // --- Figure 9 classification ------------------------------------
+    std::uint64_t ulmtHits = 0;        //!< demand hit on pushed line
+    std::uint64_t ulmtDelayedHits = 0; //!< miss matched in-flight push
+    std::uint64_t nonPrefMisses = 0;   //!< demand misses at full latency
+    std::uint64_t ulmtReplaced = 0;    //!< pushed line evicted unused
+    std::uint64_t pushRedundantPresent = 0;
+    std::uint64_t pushRedundantWb = 0;
+    std::uint64_t pushDroppedMshrFull = 0;
+    std::uint64_t pushDroppedSetPending = 0;
+    std::uint64_t pushInstalled = 0;
+    /** Latency cycles saved by delayed hits. */
+    std::uint64_t delayedHitSavedCycles = 0;
+
+    // --- Processor-side prefetcher ----------------------------------
+    std::uint64_t cpuPfIssued = 0;
+    std::uint64_t cpuPfToMemory = 0;
+    std::uint64_t cpuPfUseful = 0;   //!< prefetched line later referenced
+    std::uint64_t cpuPfTimely = 0;   //!< ... and ready when referenced
+    std::uint64_t cpuPfReplaced = 0;
+
+    /** Total pushed-line redundant drops. */
+    std::uint64_t
+    pushRedundant() const
+    {
+        return pushRedundantPresent + pushRedundantWb +
+               pushDroppedMshrFull + pushDroppedSetPending;
+    }
+};
+
+/**
+ * A bounded set of outstanding L2 fills (miss status handling
+ * registers).  Entries expire at their completion cycle.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t capacity) : capacity_(capacity) {}
+
+    /** Drop entries whose fill completed at or before @p now. */
+    void
+    expire(sim::Cycle now)
+    {
+        while (!busyUntil_.empty() && *busyUntil_.begin() <= now)
+            busyUntil_.erase(busyUntil_.begin());
+    }
+
+    bool full() const { return busyUntil_.size() >= capacity_; }
+
+    /**
+     * Reserve an MSHR at @p ready; if all are busy, wait for the
+     * earliest outstanding fill.
+     * @return the cycle the reservation can start
+     */
+    sim::Cycle
+    acquire(sim::Cycle ready)
+    {
+        expire(ready);
+        if (!full())
+            return ready;
+        sim::Cycle earliest = *busyUntil_.begin();
+        busyUntil_.erase(busyUntil_.begin());
+        return earliest > ready ? earliest : ready;
+    }
+
+    void add(sim::Cycle complete) { busyUntil_.insert(complete); }
+
+    void clear() { busyUntil_.clear(); }
+
+  private:
+    std::uint32_t capacity_;
+    std::multiset<sim::Cycle> busyUntil_;
+};
+
+/** L1 + L2 + stream prefetcher + memory-system glue. */
+class Hierarchy
+{
+  public:
+    /**
+     * @param eq global event queue
+     * @param tp machine parameters
+     * @param ms memory system below the L2
+     * @param enable_stream_pf enable the Conven4 prefetcher
+     */
+    Hierarchy(sim::EventQueue &eq, const mem::TimingParams &tp,
+              mem::MemorySystem &ms, bool enable_stream_pf);
+
+    /**
+     * A demand reference from the processor.
+     *
+     * @param when issue cycle
+     * @param addr byte address
+     * @param is_write store vs. load
+     */
+    AccessOutcome access(sim::Cycle when, sim::Addr addr, bool is_write);
+
+    /**
+     * A ULMT-pushed line arriving at the L2 (wired as the memory
+     * system's push callback).
+     */
+    void acceptPush(sim::Cycle when, sim::Addr line_addr);
+
+    /** L2-line-aligned address. */
+    sim::Addr l2LineAddr(sim::Addr addr) const { return l2_.lineAddr(addr); }
+
+    const HierarchyStats &stats() const { return stats_; }
+    const mem::Cache &l1() const { return l1_; }
+    const mem::Cache &l2() const { return l2_; }
+    const StreamPrefetcher *streamPrefetcher() const
+    {
+        return streamPfEnabled_ ? &streamPf_ : nullptr;
+    }
+
+    /** Inter-arrival histogram of demand misses at memory (Fig. 6). */
+    const sim::BinnedHistogram &missGapHistogram() const
+    {
+        return missGaps_;
+    }
+
+    /**
+     * Optional observer of demand L2 misses (issue cycle, line addr),
+     * used to capture the miss stream for the Figure 5 predictability
+     * study.
+     */
+    std::function<void(sim::Cycle, sim::Addr)> onDemandL2Miss;
+
+  private:
+    /** Handle an L1 miss: L2 lookup and, if needed, memory. */
+    AccessOutcome accessL2(sim::Cycle when, sim::Addr addr,
+                           bool count_demand);
+
+    /** Issue one processor-side prefetch into the L1. */
+    void issueCpuPrefetch(sim::Cycle when, sim::Addr addr);
+
+    /** Fill the L1 with a line; handle the eviction. */
+    void fillL1(sim::Cycle now, sim::Addr addr, sim::Cycle ready_at,
+                sim::ServedBy origin, bool cpu_prefetched);
+
+    /** Fill the L2 with a line; handle the eviction. */
+    mem::CacheLine *fillL2(sim::Cycle now, sim::Addr addr,
+                           sim::Cycle ready_at, sim::ServedBy origin,
+                           bool ulmt_pushed, bool cpu_prefetched);
+
+    void recordMissAtMemory(sim::Cycle at_memory);
+
+    sim::EventQueue &eq_;
+    const mem::TimingParams &tp_;
+    mem::MemorySystem &ms_;
+    mem::Cache l1_;
+    mem::Cache l2_;
+    MshrFile l2Mshrs_;
+    bool streamPfEnabled_;
+    StreamPrefetcher streamPf_;
+    std::vector<sim::Addr> pfScratch_;
+
+    /** Demand misses that claimed an in-flight push (delayed hits). */
+    std::unordered_set<sim::Addr> claimedPush_;
+    /** Lines recently evicted dirty: line -> write-back retire cycle. */
+    std::unordered_map<sim::Addr, sim::Cycle> wbQueue_;
+
+    HierarchyStats stats_;
+    sim::BinnedHistogram missGaps_;
+    sim::Cycle lastMissAtMemory_ = sim::neverCycle;
+};
+
+} // namespace cpu
+
+#endif // CPU_HIERARCHY_HH

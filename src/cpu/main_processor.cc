@@ -1,0 +1,148 @@
+#include "cpu/main_processor.hh"
+
+namespace cpu {
+
+namespace {
+
+/**
+ * How far (in cycles) the core's local clock may run ahead of the
+ * event clock before it must yield.  Keeping this small bounds the
+ * window in which the core could observe cache state that a concurrent
+ * ULMT event is about to change.
+ */
+constexpr sim::Cycle maxSkew = 8;
+
+} // namespace
+
+void
+MainProcessor::finish(sim::Cycle c)
+{
+    while (!pendingLoads_.empty()) {
+        const Pending p = pendingLoads_.front();
+        pendingLoads_.pop_front();
+        if (p.complete > c)
+            stats_.stallDrain += p.complete - c;
+        stallUntil(c, p.complete, p.served);
+    }
+    while (!pendingStores_.empty()) {
+        const Pending p = pendingStores_.front();
+        pendingStores_.pop_front();
+        if (p.complete > c)
+            stats_.stallDrain += p.complete - c;
+        stallUntil(c, p.complete, p.served);
+    }
+    finished_ = true;
+    stats_.totalCycles = c;
+    if (onFinish)
+        onFinish(c);
+}
+
+void
+MainProcessor::retireCompleted(sim::Cycle c)
+{
+    // In-order retirement: the queues are in program order, so only a
+    // completed prefix can leave.
+    while (!pendingLoads_.empty() && pendingLoads_.front().complete <= c)
+        pendingLoads_.pop_front();
+    while (!pendingStores_.empty() &&
+           pendingStores_.front().complete <= c)
+        pendingStores_.pop_front();
+}
+
+void
+MainProcessor::step()
+{
+    const sim::Cycle now = eq_.now();
+    sim::Cycle c = now;
+    std::uint32_t processed = 0;
+
+    while (true) {
+        if (!haveRec_) {
+            if (!source_.next(rec_)) {
+                finish(c);
+                return;
+            }
+            haveRec_ = true;
+            ++stats_.records;
+            const std::uint32_t rec_ops =
+                rec_.computeOps + (rec_.hasRef() ? 1 : 0);
+            stats_.ops += rec_ops;
+            opsIssued_ += rec_ops;
+            // Compute phase: issueWidth ops per cycle, minimum one
+            // cycle per record (the reference's own issue slot).
+            sim::Cycle busy =
+                (rec_.computeOps + tp_.issueWidth - 1) / tp_.issueWidth;
+            if (busy == 0)
+                busy = 1;
+            stats_.busyCycles += busy;
+            c += busy;
+        }
+
+        retireCompleted(c);
+
+        // Reorder-buffer limit: issue may not run more than robSize
+        // ops past the oldest incomplete load.  Stalls are charged as
+        // discovered; on resumption the deadline has passed, so
+        // nothing is charged twice.
+        while (!pendingLoads_.empty() &&
+               opsIssued_ - pendingLoads_.front().opStamp >
+                   tp_.robSize) {
+            const Pending oldest = pendingLoads_.front();
+            pendingLoads_.pop_front();
+            if (oldest.complete > c)
+                stats_.stallLoadWindow += oldest.complete - c;
+            stallUntil(c, oldest.complete, oldest.served);
+        }
+
+        if (rec_.hasRef()) {
+            // Address dependence on the previous load (pointer chase).
+            if (rec_.dependsOnPrev && lastLoadValid_) {
+                if (lastLoad_.complete > c)
+                    stats_.stallDependence += lastLoad_.complete - c;
+                stallUntil(c, lastLoad_.complete, lastLoad_.served);
+            }
+
+            auto &q = rec_.isWrite ? pendingStores_ : pendingLoads_;
+            const std::uint32_t cap = rec_.isWrite
+                                          ? tp_.maxPendingStores
+                                          : tp_.maxPendingLoads;
+            retireCompleted(c);
+            if (q.size() >= cap) {
+                const Pending oldest = q.front();
+                q.pop_front();
+                if (oldest.complete > c) {
+                    if (rec_.isWrite)
+                        stats_.stallStoreWindow += oldest.complete - c;
+                    else
+                        stats_.stallLoadWindow += oldest.complete - c;
+                }
+                stallUntil(c, oldest.complete, oldest.served);
+            }
+
+            // Never touch the hierarchy far ahead of the event clock:
+            // yield and resume at the access's issue cycle.
+            if (c > now + maxSkew) {
+                stats_.totalCycles = c;
+                eq_.schedule(c, [this] { step(); });
+                return;
+            }
+
+            AccessOutcome out =
+                hierarchy_.access(c, rec_.addr, rec_.isWrite);
+            q.push_back({out.complete, out.served, opsIssued_});
+            if (!rec_.isWrite) {
+                lastLoad_ = {out.complete, out.served, opsIssued_};
+                lastLoadValid_ = true;
+            }
+        }
+        haveRec_ = false;
+
+        if (c > now + maxSkew || ++processed >= 64) {
+            stats_.totalCycles = c;
+            eq_.schedule(c > now ? c : now + 1, [this] { step(); });
+            return;
+        }
+    }
+}
+
+} // namespace cpu

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The main-processor timing model.
+ *
+ * A window model of the paper's 6-issue dynamic superscalar: work
+ * issues in order at up to issueWidth ops per cycle; loads are
+ * non-blocking with up to maxPendingLoads outstanding; a reference
+ * whose address depends on the previous load waits for that load
+ * (pointer chasing serializes); the window stalls when the pending-
+ * load or pending-store limit is reached.
+ *
+ * Every stall is attributed to the hierarchy level that serviced the
+ * blocking access, producing the paper's execution-time decomposition
+ * (Figure 7): Busy (compute + issue), UptoL2 (stall on L1/L2-serviced
+ * accesses) and BeyondL2 (stall on memory-serviced accesses).
+ *
+ * The model is a resumable state machine over the global event queue:
+ * whenever the core's local clock would run more than a few cycles
+ * ahead of the event clock (a stall, or accumulated busy work), it
+ * reschedules itself, so that cache/memory state it observes is never
+ * stale with respect to concurrent ULMT activity.
+ */
+
+#ifndef CPU_MAIN_PROCESSOR_HH
+#define CPU_MAIN_PROCESSOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "cpu/hierarchy.hh"
+#include "cpu/trace.hh"
+#include "mem/timing_params.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cpu {
+
+/** Processor-level statistics (feeds Figure 7). */
+struct ProcessorStats
+{
+    sim::Cycle totalCycles = 0;
+    sim::Cycle busyCycles = 0;       //!< compute + issue slots
+    sim::Cycle uptoL2Stall = 0;      //!< stall on L1/L2-serviced refs
+    sim::Cycle beyondL2Stall = 0;    //!< stall on memory-serviced refs
+    std::uint64_t records = 0;
+    std::uint64_t ops = 0;
+
+    // Stall-source decomposition (diagnostics).
+    sim::Cycle stallDependence = 0;  //!< waits on the previous load
+    sim::Cycle stallLoadWindow = 0;  //!< pending-load limit reached
+    sim::Cycle stallStoreWindow = 0; //!< pending-store limit reached
+    sim::Cycle stallDrain = 0;       //!< end-of-trace drain
+    sim::SampleStat beyondWaits;     //!< individual memory-level waits
+    sim::SampleStat uptoWaits;       //!< individual L1/L2-level waits
+};
+
+/** Event-driven window model of the main processor. */
+class MainProcessor
+{
+  public:
+    /**
+     * @param eq global event queue
+     * @param tp machine parameters
+     * @param hierarchy the processor's cache hierarchy
+     * @param source the workload's dynamic trace
+     */
+    MainProcessor(sim::EventQueue &eq, const mem::TimingParams &tp,
+                  Hierarchy &hierarchy, TraceSource &source)
+        : eq_(eq), tp_(tp), hierarchy_(hierarchy), source_(source)
+    {
+    }
+
+    /** Schedule the first fetch; the run ends when the trace drains. */
+    void
+    start()
+    {
+        eq_.schedule(eq_.now(), [this] { step(); });
+    }
+
+    bool finished() const { return finished_; }
+    const ProcessorStats &stats() const { return stats_; }
+
+    /** Invoked once when the trace drains and all loads complete. */
+    std::function<void(sim::Cycle)> onFinish;
+
+  private:
+    struct Pending
+    {
+        sim::Cycle complete;
+        sim::ServedBy served;
+        /** Cumulative op count at issue (program order / ROB age). */
+        std::uint64_t opStamp;
+    };
+
+    /** Program-order queue of in-flight references. */
+    using PendingQueue = std::deque<Pending>;
+
+    /** Resume execution at the current event time. */
+    void step();
+
+    /** Pop the completed in-order prefix of both queues. */
+    void retireCompleted(sim::Cycle c);
+
+    /** Final drain when the trace ends. */
+    void finish(sim::Cycle c);
+
+    /** Charge a wait until @p until to the level @p served. */
+    void
+    stallUntil(sim::Cycle &c, sim::Cycle until, sim::ServedBy served)
+    {
+        if (until <= c)
+            return;
+        const sim::Cycle wait = until - c;
+        if (served == sim::ServedBy::Memory) {
+            stats_.beyondL2Stall += wait;
+            stats_.beyondWaits.sample(static_cast<double>(wait));
+        } else {
+            stats_.uptoL2Stall += wait;
+            stats_.uptoWaits.sample(static_cast<double>(wait));
+        }
+        c = until;
+    }
+
+    sim::EventQueue &eq_;
+    const mem::TimingParams &tp_;
+    Hierarchy &hierarchy_;
+    TraceSource &source_;
+
+    PendingQueue pendingLoads_;
+    PendingQueue pendingStores_;
+    Pending lastLoad_{0, sim::ServedBy::L1, 0};
+    bool lastLoadValid_ = false;
+    std::uint64_t opsIssued_ = 0;
+
+    /** The in-progress record, already busy-charged. */
+    TraceRecord rec_;
+    bool haveRec_ = false;
+
+    bool finished_ = false;
+    ProcessorStats stats_;
+};
+
+} // namespace cpu
+
+#endif // CPU_MAIN_PROCESSOR_HH

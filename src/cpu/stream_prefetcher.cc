@@ -1,0 +1,125 @@
+#include "cpu/stream_prefetcher.hh"
+
+#include <algorithm>
+
+namespace cpu {
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::matchStream(sim::Addr line)
+{
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        const std::int64_t dist =
+            (static_cast<std::int64_t>(s.nextExpected) -
+             static_cast<std::int64_t>(line)) *
+            s.stride;
+        if (dist >= -1 &&
+            dist <= 4 * static_cast<std::int64_t>(p_.numPref))
+            return &s;
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::allocStream()
+{
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid)
+            return &s;
+        if (s.stamp < victim->stamp)
+            victim = &s;
+    }
+    return victim;
+}
+
+bool
+StreamPrefetcher::inHistory(sim::Addr line) const
+{
+    return std::find(history_.begin(), history_.end(), line) !=
+           history_.end();
+}
+
+void
+StreamPrefetcher::emitExtend(Stream &s, std::uint32_t count,
+                             std::vector<sim::Addr> &out)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::int64_t line =
+            static_cast<std::int64_t>(s.nextExpected) + s.stride;
+        if (line < 0)
+            break;
+        s.nextExpected = static_cast<sim::Addr>(line);
+        out.push_back(s.nextExpected * p_.lineBytes);
+    }
+    s.stamp = ++stampCounter_;
+}
+
+void
+StreamPrefetcher::emitAhead(Stream &s, sim::Addr from_line,
+                            std::vector<sim::Addr> &out)
+{
+    const std::int64_t target =
+        static_cast<std::int64_t>(from_line) +
+        s.stride * static_cast<std::int64_t>(p_.numPref);
+    while (true) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(s.nextExpected) + s.stride;
+        if (next < 0 || (target - next) * s.stride < 0)
+            break;
+        s.nextExpected = static_cast<sim::Addr>(next);
+        out.push_back(s.nextExpected * p_.lineBytes);
+    }
+    s.stamp = ++stampCounter_;
+}
+
+void
+StreamPrefetcher::observeMiss(sim::Addr addr, std::vector<sim::Addr> &out)
+{
+    const sim::Addr line = lineOf(addr);
+
+    // An established stream missed within its window: prefetch the
+    // next NumPref lines from the miss, as with the paper's stream
+    // register.
+    if (Stream *s = matchStream(line)) {
+        emitAhead(*s, line, out);
+        return;
+    }
+
+    // Stream detection: the third miss of a +/-1 line sequence.
+    for (std::int64_t stride : {std::int64_t{1}, std::int64_t{-1}}) {
+        const sim::Addr prev1 = line - static_cast<sim::Addr>(stride);
+        const sim::Addr prev2 = line - static_cast<sim::Addr>(2 * stride);
+        if (inHistory(prev1) && inHistory(prev2)) {
+            Stream *s = allocStream();
+            s->valid = true;
+            s->stride = stride;
+            s->nextExpected = line;
+            ++streamsDetected_;
+            emitExtend(*s, p_.numPref, out);
+            break;
+        }
+    }
+
+    history_.push_back(line);
+    if (history_.size() > p_.historyDepth)
+        history_.pop_front();
+}
+
+void
+StreamPrefetcher::observePrefetchedTouch(sim::Addr addr, bool late,
+                                         std::vector<sim::Addr> &out)
+{
+    // The paper's prefetcher keeps a fixed lookahead: the stream
+    // register tops the stream up to NumPref lines past the consumed
+    // address, whether or not the line arrived on time.  (This is why
+    // its CG prefetches are accurate but only ~64% timely -- the gap
+    // the Seq1+Repl Verbose customization closes.)
+    (void)late;
+    const sim::Addr line = lineOf(addr);
+    if (Stream *s = matchStream(line))
+        emitAhead(*s, line, out);
+}
+
+} // namespace cpu

@@ -1,0 +1,104 @@
+#include "driver/experiment.hh"
+
+namespace driver {
+
+namespace {
+
+SystemConfig
+baseConfig(const ExperimentOptions &opt)
+{
+    SystemConfig cfg;
+    cfg.timing.placement = opt.placement;
+    return cfg;
+}
+
+} // namespace
+
+SystemConfig
+noPrefConfig(const ExperimentOptions &opt)
+{
+    SystemConfig cfg = baseConfig(opt);
+    cfg.label = "NoPref";
+    return cfg;
+}
+
+SystemConfig
+conven4Config(const ExperimentOptions &opt)
+{
+    SystemConfig cfg = baseConfig(opt);
+    cfg.conven4 = true;
+    cfg.label = "Conven4";
+    return cfg;
+}
+
+SystemConfig
+ulmtConfig(const ExperimentOptions &opt, core::UlmtAlgo algo,
+           const std::string &app)
+{
+    SystemConfig cfg = baseConfig(opt);
+    cfg.ulmt.algo = algo;
+    cfg.ulmt.numRows = workloads::tableNumRows(app);
+    cfg.label = core::to_string(algo);
+    return cfg;
+}
+
+SystemConfig
+conven4PlusUlmtConfig(const ExperimentOptions &opt, core::UlmtAlgo algo,
+                      const std::string &app)
+{
+    SystemConfig cfg = ulmtConfig(opt, algo, app);
+    cfg.conven4 = true;
+    cfg.label = "Conven4+" + core::to_string(algo);
+    return cfg;
+}
+
+SystemConfig
+customConfig(const ExperimentOptions &opt, const std::string &app,
+             bool &customized)
+{
+    customized = true;
+    if (app == "CG") {
+        // Table 5: Seq1+Repl in Verbose mode (Conven4 on).
+        SystemConfig cfg =
+            conven4PlusUlmtConfig(opt, core::UlmtAlgo::Seq1Repl, app);
+        cfg.ulmt.verbose = true;
+        cfg.label = "Custom";
+        return cfg;
+    }
+    if (app == "MST" || app == "Mcf") {
+        // Table 5: Repl with NumLevels = 4 (Conven4 on).
+        SystemConfig cfg =
+            conven4PlusUlmtConfig(opt, core::UlmtAlgo::Repl, app);
+        cfg.ulmt.numLevels = 4;
+        cfg.label = "Custom";
+        return cfg;
+    }
+    customized = false;
+    SystemConfig cfg =
+        conven4PlusUlmtConfig(opt, core::UlmtAlgo::Repl, app);
+    cfg.label = "Custom";
+    return cfg;
+}
+
+RunResult
+runOne(const std::string &app, const SystemConfig &cfg,
+       const ExperimentOptions &opt)
+{
+    workloads::WorkloadParams wp;
+    wp.seed = opt.seed;
+    wp.scale = opt.scale;
+    auto workload = workloads::makeWorkload(app, wp);
+    System sys(cfg, *workload);
+    return sys.run();
+}
+
+std::vector<sim::Addr>
+captureMissStream(const std::string &app, const ExperimentOptions &opt)
+{
+    SystemConfig cfg = noPrefConfig(opt);
+    cfg.recordMissStream = true;
+    RunResult r = runOne(app, cfg, opt);
+    return std::move(r.missStream);
+}
+
+} // namespace driver

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment helpers: the standard machine configurations of the
+ * paper's evaluation (Section 5) and the Table 5 customizations.
+ */
+
+#ifndef DRIVER_EXPERIMENT_HH
+#define DRIVER_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/system.hh"
+
+namespace driver {
+
+/** Options shared by all experiment runs. */
+struct ExperimentOptions
+{
+    double scale = 1.0;            //!< workload size multiplier
+    std::uint64_t seed = 0xA11CE;  //!< workload structure seed
+    mem::MemProcPlacement placement = mem::MemProcPlacement::InDram;
+};
+
+/** No prefetching at all. */
+SystemConfig noPrefConfig(const ExperimentOptions &opt);
+
+/** Processor-side Conven4 only. */
+SystemConfig conven4Config(const ExperimentOptions &opt);
+
+/**
+ * Memory-side ULMT only, sized for @p app per Table 2.
+ * @param algo Base, Chain, Repl, Seq1, Seq4 or a combination.
+ */
+SystemConfig ulmtConfig(const ExperimentOptions &opt,
+                        core::UlmtAlgo algo, const std::string &app);
+
+/** Conven4 plus a Non-Verbose ULMT ("Conven4+Repl" etc.). */
+SystemConfig conven4PlusUlmtConfig(const ExperimentOptions &opt,
+                                   core::UlmtAlgo algo,
+                                   const std::string &app);
+
+/**
+ * The customized configuration of Table 5 (Conven4 always on):
+ * CG -> Seq1+Repl in Verbose mode; MST, Mcf -> Repl with NumLevels=4;
+ * other applications -> plain Conven4+Repl.
+ *
+ * @param customized set to whether @p app has a bespoke customization
+ */
+SystemConfig customConfig(const ExperimentOptions &opt,
+                          const std::string &app, bool &customized);
+
+/** Construct the workload and run one configuration to completion. */
+RunResult runOne(const std::string &app, const SystemConfig &cfg,
+                 const ExperimentOptions &opt);
+
+/** Capture the demand L2 miss stream of a NoPref run (Figs. 5/6). */
+std::vector<sim::Addr> captureMissStream(const std::string &app,
+                                         const ExperimentOptions &opt);
+
+} // namespace driver
+
+#endif // DRIVER_EXPERIMENT_HH

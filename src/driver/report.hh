@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text reporting helpers used by the benchmark binaries to print
+ * the paper's tables and figures as aligned ASCII tables.
+ */
+
+#ifndef DRIVER_REPORT_HH
+#define DRIVER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace driver {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a title banner to stdout. */
+    void print(const std::string &title) const;
+
+    /** Render to a string (tests). */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimals. */
+std::string fmt(double v, int digits = 2);
+
+/** Format a percentage (0.37 -> "37.0%"). */
+std::string fmtPercent(double v, int digits = 1);
+
+/** Geometric-mean-free average of a vector (arithmetic mean). */
+double mean(const std::vector<double> &v);
+
+} // namespace driver
+
+#endif // DRIVER_REPORT_HH

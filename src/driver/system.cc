@@ -1,0 +1,102 @@
+#include "driver/system.hh"
+
+#include "sim/logging.hh"
+
+namespace driver {
+
+namespace {
+
+/** Safety valve: no run should need more events than this. */
+constexpr std::uint64_t maxEvents = 4'000'000'000ULL;
+
+} // namespace
+
+System::System(const SystemConfig &cfg, workloads::Workload &workload)
+    : System(cfg, workload, workload.name())
+{
+}
+
+System::System(const SystemConfig &cfg, cpu::TraceSource &source,
+               std::string name)
+    : cfg_(cfg), source_(source), workloadName_(std::move(name))
+{
+    ms_ = std::make_unique<mem::MemorySystem>(eq_, cfg_.timing);
+    hier_ = std::make_unique<cpu::Hierarchy>(eq_, cfg_.timing, *ms_,
+                                             cfg_.conven4);
+    ms_->setPushCallback([this](sim::Cycle when, sim::Addr line) {
+        hier_->acceptPush(when, line);
+    });
+
+    if (cfg_.ulmt.enabled()) {
+        auto algo = core::makeAlgorithm(cfg_.ulmt);
+        engine_ = std::make_unique<core::UlmtEngine>(eq_, cfg_.timing,
+                                                     *ms_,
+                                                     std::move(algo));
+        ms_->setObserver(engine_.get(), cfg_.ulmt.verbose);
+    }
+
+    if (cfg_.hwCorrSramBytes > 0) {
+        hwCorr_ = std::make_unique<HwCorrelationEngine>(
+            *ms_, cfg_.hwCorrSramBytes, cfg_.hwCorrReplicated);
+    }
+
+    if (cfg_.recordMissStream || hwCorr_) {
+        hier_->onDemandL2Miss = [this](sim::Cycle when,
+                                       sim::Addr line) {
+            if (cfg_.recordMissStream)
+                missStream_.push_back(line);
+            if (hwCorr_)
+                hwCorr_->observeMiss(when, line);
+        };
+    }
+
+    cpu_ = std::make_unique<cpu::MainProcessor>(eq_, cfg_.timing,
+                                                *hier_, source_);
+}
+
+RunResult
+System::run()
+{
+    cpu_->start();
+    const bool drained = eq_.run(maxEvents);
+    SIM_ASSERT(drained && cpu_->finished(),
+               "simulation did not complete (event limit hit?)");
+
+    RunResult r;
+    r.workload = workloadName_;
+    r.label = cfg_.label;
+
+    const cpu::ProcessorStats &ps = cpu_->stats();
+    r.cycles = ps.totalCycles;
+    r.busyCycles = ps.busyCycles;
+    r.uptoL2Stall = ps.uptoL2Stall;
+    r.beyondL2Stall = ps.beyondL2Stall;
+    r.records = ps.records;
+    r.proc = ps;
+
+    r.hier = hier_->stats();
+    if (engine_)
+        r.ulmt = engine_->stats();
+    r.memsys = ms_->stats();
+    r.dram = ms_->dram().stats();
+    r.busBusyTotal = ms_->bus().busyTotal();
+    r.busBusyPrefetch = ms_->bus().busyPrefetch();
+
+    const sim::BinnedHistogram &gaps = hier_->missGapHistogram();
+    r.missGapFractions.resize(gaps.numBins());
+    for (std::size_t i = 0; i < gaps.numBins(); ++i)
+        r.missGapFractions[i] = gaps.binFraction(i);
+
+    r.missStream = std::move(missStream_);
+    return r;
+}
+
+void
+System::pageRemap(sim::Addr old_page, sim::Addr new_page,
+                  std::uint32_t page_bytes)
+{
+    if (engine_)
+        engine_->pageRemap(old_page, new_page, page_bytes);
+}
+
+} // namespace driver

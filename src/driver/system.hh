@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Full-system assembly: the public entry point of the library.
+ *
+ * A System wires together the main processor, its cache hierarchy
+ * (optionally with the Conven4 stream prefetcher), the memory system,
+ * and -- when configured -- a ULMT on the memory processor, then runs
+ * a workload to completion and returns every statistic the paper's
+ * evaluation uses.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *     driver::SystemConfig cfg;
+ *     cfg.ulmt.algo = core::UlmtAlgo::Repl;
+ *     cfg.ulmt.numRows = workloads::tableNumRows("Mcf");
+ *     auto wl = workloads::makeWorkload("Mcf", {});
+ *     driver::System sys(cfg, *wl);
+ *     driver::RunResult r = sys.run();
+ */
+
+#ifndef DRIVER_SYSTEM_HH
+#define DRIVER_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+#include "core/ulmt_engine.hh"
+#include "driver/hw_correlation.hh"
+#include "cpu/hierarchy.hh"
+#include "cpu/main_processor.hh"
+#include "mem/memory_system.hh"
+#include "mem/timing_params.hh"
+#include "sim/event_queue.hh"
+#include "workloads/workload.hh"
+
+namespace driver {
+
+/** Everything that defines one simulated machine configuration. */
+struct SystemConfig
+{
+    /** Machine parameters (Table 3 defaults, incl. placement). */
+    mem::TimingParams timing;
+    /** Enable the processor-side Conven4 stream prefetcher. */
+    bool conven4 = false;
+    /** The memory-side ULMT (algo None = no memory-side prefetching). */
+    core::UlmtSpec ulmt;
+    /**
+     * SRAM budget of a hardware correlation engine at the L2 (bytes);
+     * 0 disables it.  A baseline for the ULMT comparison.
+     */
+    std::size_t hwCorrSramBytes = 0;
+    /** Hardware baseline uses Replicated instead of Base. */
+    bool hwCorrReplicated = false;
+    /** Record the demand L2 miss stream (predictability studies). */
+    bool recordMissStream = false;
+    /** Display name ("NoPref", "Conven4+Repl", ...). */
+    std::string label = "NoPref";
+};
+
+/** All statistics from one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string label;
+
+    sim::Cycle cycles = 0;
+    sim::Cycle busyCycles = 0;
+    sim::Cycle uptoL2Stall = 0;
+    sim::Cycle beyondL2Stall = 0;
+    std::uint64_t records = 0;
+    /** Full processor stats (incl. stall-source decomposition). */
+    cpu::ProcessorStats proc;
+
+    cpu::HierarchyStats hier;
+    core::UlmtStats ulmt;
+    mem::MemorySystemStats memsys;
+    mem::DramStats dram;
+
+    /** Bus busy cycles: total and prefetch-attributable. */
+    sim::Cycle busBusyTotal = 0;
+    sim::Cycle busBusyPrefetch = 0;
+
+    /** Figure 6 bins: fraction of miss gaps in [0,80) [80,200)
+     *  [200,280) [280,inf). */
+    std::vector<double> missGapFractions;
+
+    /** Demand L2 miss stream (only when recordMissStream was set). */
+    std::vector<sim::Addr> missStream;
+
+    double
+    busUtilization() const
+    {
+        return cycles ? static_cast<double>(busBusyTotal) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    busUtilizationPrefetch() const
+    {
+        return cycles ? static_cast<double>(busBusyPrefetch) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Execution time relative to a baseline run. */
+    double
+    normalizedTime(const RunResult &baseline) const
+    {
+        return baseline.cycles
+                   ? static_cast<double>(cycles) /
+                         static_cast<double>(baseline.cycles)
+                   : 0.0;
+    }
+
+    /** Speedup over a baseline run. */
+    double
+    speedup(const RunResult &baseline) const
+    {
+        return cycles ? static_cast<double>(baseline.cycles) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** A fully wired simulated machine running one workload. */
+class System
+{
+  public:
+    System(const SystemConfig &cfg, workloads::Workload &workload);
+
+    /**
+     * Run an arbitrary trace source (e.g. a multiprogrammed
+     * interleaving) under @p name.
+     */
+    System(const SystemConfig &cfg, cpu::TraceSource &source,
+           std::string name);
+
+    /** Run the workload to completion and harvest the statistics. */
+    RunResult run();
+
+    /** Deliver an OS page-remap notification to the ULMT (Sec 3.4). */
+    void pageRemap(sim::Addr old_page, sim::Addr new_page,
+                   std::uint32_t page_bytes);
+
+    // Component access (tests, examples).
+    sim::EventQueue &eventQueue() { return eq_; }
+    cpu::Hierarchy &hierarchy() { return *hier_; }
+    mem::MemorySystem &memorySystem() { return *ms_; }
+    core::UlmtEngine *ulmtEngine() { return engine_.get(); }
+    cpu::MainProcessor &processor() { return *cpu_; }
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    cpu::TraceSource &source_;
+    std::string workloadName_;
+    sim::EventQueue eq_;
+    std::unique_ptr<mem::MemorySystem> ms_;
+    std::unique_ptr<cpu::Hierarchy> hier_;
+    std::unique_ptr<core::UlmtEngine> engine_;
+    std::unique_ptr<HwCorrelationEngine> hwCorr_;
+    std::unique_ptr<cpu::MainProcessor> cpu_;
+    std::vector<sim::Addr> missStream_;
+};
+
+} // namespace driver
+
+#endif // DRIVER_SYSTEM_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The split-transaction front-side memory bus (8 B wide, 400 MHz).
+ *
+ * Each transaction reserves the bus for an address phase (requests) or
+ * a data phase (line transfers).  Busy time is accounted per traffic
+ * class so Figure 11's decomposition (utilization attributable to
+ * prefetch traffic vs. everything else) can be regenerated.
+ */
+
+#ifndef MEM_BUS_HH
+#define MEM_BUS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mem {
+
+/** Traffic classes tracked separately on the bus. */
+enum class BusTraffic : std::uint8_t {
+    DemandRequest,
+    DemandData,
+    CpuPrefetchRequest,
+    CpuPrefetchData,
+    UlmtPrefetchData,  //!< pushed lines travelling to the L2
+    Writeback,
+    NumClasses
+};
+
+/** The shared processor <-> memory bus. */
+class Bus
+{
+  public:
+    /**
+     * Reserve the bus for one phase.  Processor-originated traffic
+     * (demand and processor-prefetch) has priority over ULMT pushes
+     * and write-backs, per the queue-1-over-queue-3 rule of Fig. 3.
+     *
+     * @param ready    earliest cycle the transaction can start
+     * @param duration bus occupancy in main-processor cycles
+     * @param cls      traffic class for utilization accounting
+     * @return the cycle the phase completes
+     */
+    sim::Cycle
+    transfer(sim::Cycle ready, sim::Cycle duration, BusTraffic cls)
+    {
+        const bool high = cls == BusTraffic::DemandRequest ||
+                          cls == BusTraffic::DemandData;
+        sim::Cycle start = timeline_.acquire(ready, duration, high);
+        busyByClass_[static_cast<std::size_t>(cls)] += duration;
+        return start + duration;
+    }
+
+    /** Total busy cycles across all classes. */
+    sim::Cycle
+    busyTotal() const
+    {
+        return timeline_.busyTotal();
+    }
+
+    /** Busy cycles of one traffic class. */
+    sim::Cycle
+    busy(BusTraffic cls) const
+    {
+        return busyByClass_[static_cast<std::size_t>(cls)];
+    }
+
+    /** Busy cycles of all prefetch-attributable classes. */
+    sim::Cycle
+    busyPrefetch() const
+    {
+        return busy(BusTraffic::CpuPrefetchRequest) +
+               busy(BusTraffic::CpuPrefetchData) +
+               busy(BusTraffic::UlmtPrefetchData);
+    }
+
+    void
+    reset()
+    {
+        timeline_.reset();
+        busyByClass_.fill(0);
+    }
+
+  private:
+    sim::PriorityTimeline timeline_;
+    std::array<sim::Cycle,
+               static_cast<std::size_t>(BusTraffic::NumClasses)>
+        busyByClass_{};
+};
+
+} // namespace mem
+
+#endif // MEM_BUS_HH

@@ -1,0 +1,147 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+namespace mem {
+
+Cache::Cache(std::string name, const CacheGeometry &geom)
+    : name_(std::move(name)), geom_(geom), numSets_(geom.numSets()),
+      lines_(static_cast<std::size_t>(numSets_) * geom.assoc)
+{
+    SIM_ASSERT(geom_.lineBytes > 0 &&
+               std::has_single_bit(geom_.lineBytes),
+               "%s: line size must be a power of two", name_.c_str());
+    SIM_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
+               "%s: set count must be a power of two", name_.c_str());
+    SIM_ASSERT(geom_.assoc > 0, "%s: zero associativity", name_.c_str());
+}
+
+std::uint32_t
+Cache::setIndex(sim::Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / geom_.lineBytes) & (numSets_ - 1));
+}
+
+CacheLine *
+Cache::setBase(std::uint32_t set)
+{
+    return &lines_[static_cast<std::size_t>(set) * geom_.assoc];
+}
+
+const CacheLine *
+Cache::setBase(std::uint32_t set) const
+{
+    return &lines_[static_cast<std::size_t>(set) * geom_.assoc];
+}
+
+CacheLine *
+Cache::find(sim::Addr addr)
+{
+    const sim::Addr line = lineAddr(addr);
+    CacheLine *base = setBase(setIndex(addr));
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::find(sim::Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+CacheLine *
+Cache::access(sim::Addr addr)
+{
+    CacheLine *line = find(addr);
+    if (line) {
+        ++stats_.hits;
+        touch(line);
+    } else {
+        ++stats_.misses;
+    }
+    return line;
+}
+
+CacheLine *
+Cache::insert(sim::Addr addr, sim::Cycle now, sim::Cycle ready_at,
+              Eviction &evicted)
+{
+    const sim::Addr line_addr = lineAddr(addr);
+    SIM_ASSERT(find(addr) == nullptr,
+               "%s: inserting already-resident line", name_.c_str());
+
+    CacheLine *base = setBase(setIndex(addr));
+    CacheLine *victim = nullptr;
+    CacheLine *settled_victim = nullptr;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        CacheLine *cand = &base[w];
+        if (!cand->valid) {
+            victim = cand;
+            settled_victim = cand;
+            break;
+        }
+        if (!victim || cand->lruStamp < victim->lruStamp)
+            victim = cand;
+        if (cand->readyAt <= now &&
+            (!settled_victim || cand->lruStamp < settled_victim->lruStamp))
+            settled_victim = cand;
+    }
+    // Prefer to displace a line whose fill already completed; fall back
+    // to a pending one only when the whole set is in flight.
+    if (settled_victim)
+        victim = settled_victim;
+
+    evicted = Eviction{};
+    if (victim->valid) {
+        evicted.valid = true;
+        evicted.lineAddr = victim->tag;
+        evicted.dirty = victim->dirty;
+        evicted.prefetched = victim->prefetched;
+        evicted.cpuPrefetched = victim->cpuPrefetched;
+        ++stats_.evictions;
+        if (victim->dirty)
+            ++stats_.dirtyEvictions;
+    }
+
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->prefetched = false;
+    victim->cpuPrefetched = false;
+    victim->readyAt = ready_at;
+    touch(victim);
+    return victim;
+}
+
+bool
+Cache::setAllPending(sim::Addr addr, sim::Cycle now) const
+{
+    const CacheLine *base = setBase(setIndex(addr));
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (!base[w].valid || base[w].readyAt <= now)
+            return false;
+    }
+    return true;
+}
+
+void
+Cache::invalidate(sim::Addr addr)
+{
+    if (CacheLine *line = find(addr))
+        line->valid = false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = CacheLine{};
+    stampCounter_ = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace mem

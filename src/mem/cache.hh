@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A generic set-associative, write-back tag array with LRU replacement.
+ *
+ * The class models tag state and per-line metadata; the surrounding
+ * hierarchy (cpu::Hierarchy, core::MemProcCache) decides what a hit or
+ * miss costs and what happens on eviction.  A line installed by a miss
+ * is resident immediately but carries a readyAt cycle: accesses before
+ * readyAt are delayed hits that complete at readyAt (this models MSHR
+ * merging), and a line whose readyAt is in the future counts as
+ * "transaction pending" for the push-prefetch drop rules of Section 2.1.
+ */
+
+#ifndef MEM_CACHE_HH
+#define MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/timing_params.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mem {
+
+/** Metadata of one cache line. */
+struct CacheLine
+{
+    sim::Addr tag = 0;          //!< full line address (not just tag bits)
+    bool valid = false;
+    bool dirty = false;
+    /** Pushed by the ULMT and not yet referenced by a demand access. */
+    bool prefetched = false;
+    /** Filled by the processor-side stream prefetcher, unreferenced. */
+    bool cpuPrefetched = false;
+    /** Where the fill came from (for stall attribution on delayed hits). */
+    sim::ServedBy fillOrigin = sim::ServedBy::L1;
+    sim::Cycle readyAt = 0;     //!< cycle when the data is available
+    std::uint64_t lruStamp = 0; //!< larger = more recently used
+};
+
+/** What fell out of a set when a new line was installed. */
+struct Eviction
+{
+    bool valid = false;         //!< an actual line was displaced
+    sim::Addr lineAddr = sim::invalidAddr;
+    bool dirty = false;
+    bool prefetched = false;    //!< ULMT-pushed line, never referenced
+    bool cpuPrefetched = false;
+};
+
+/** Statistics kept by the tag array itself. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+};
+
+/**
+ * Set-associative tag array with true-LRU replacement.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheGeometry &geom);
+
+    /** Strip the offset bits: the line-aligned address. */
+    sim::Addr
+    lineAddr(sim::Addr addr) const
+    {
+        return addr & ~static_cast<sim::Addr>(geom_.lineBytes - 1);
+    }
+
+    std::uint32_t lineBytes() const { return geom_.lineBytes; }
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return geom_.assoc; }
+    const std::string &name() const { return name_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Look up a line without modifying replacement state.
+     * @return pointer to the resident line, or nullptr on miss.
+     */
+    CacheLine *find(sim::Addr addr);
+    const CacheLine *find(sim::Addr addr) const;
+
+    /** Promote a line to MRU. */
+    void touch(CacheLine *line) { line->lruStamp = ++stampCounter_; }
+
+    /**
+     * Look up and update stats/LRU: the common demand-access path.
+     * @return the line on a hit (promoted to MRU), nullptr on a miss.
+     */
+    CacheLine *access(sim::Addr addr);
+
+    /**
+     * Install a line, evicting the LRU victim of its set.  Victims
+     * whose fill is still pending (readyAt > now) are avoided when any
+     * settled line exists.
+     *
+     * @param addr      any address within the new line
+     * @param now       current cycle (used to identify pending lines)
+     * @param ready_at  cycle at which the new line's data arrives
+     * @param evicted   out-parameter describing the displaced line
+     * @return the installed line (valid, clean, MRU)
+     */
+    CacheLine *insert(sim::Addr addr, sim::Cycle now, sim::Cycle ready_at,
+                      Eviction &evicted);
+
+    /**
+     * True if every line in addr's set is valid with a pending fill:
+     * the "all lines in the set are in transaction-pending state" push
+     * drop rule.
+     */
+    bool setAllPending(sim::Addr addr, sim::Cycle now) const;
+
+    /** Drop a line if resident (used by page-remap tests). */
+    void invalidate(sim::Addr addr);
+
+    /** Invalidate everything and zero the stats. */
+    void reset();
+
+  private:
+    std::uint32_t setIndex(sim::Addr addr) const;
+    CacheLine *setBase(std::uint32_t set);
+    const CacheLine *setBase(std::uint32_t set) const;
+
+    std::string name_;
+    CacheGeometry geom_;
+    std::uint32_t numSets_;
+    std::vector<CacheLine> lines_;
+    std::uint64_t stampCounter_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace mem
+
+#endif // MEM_CACHE_HH

@@ -1,0 +1,147 @@
+#include "mem/memory_system.hh"
+
+#include "sim/logging.hh"
+
+namespace mem {
+
+namespace {
+
+/** Fixed (non-bus, non-DRAM) pipeline latencies on the two paths. */
+constexpr sim::Cycle reqPathFixed = 44;   //!< decode/queue at controller
+constexpr sim::Cycle respPathFixed = 32;  //!< fill after bus transfer
+
+} // namespace
+
+sim::Cycle
+MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
+                        sim::RequestKind kind)
+{
+    SIM_ASSERT(kind != sim::RequestKind::UlmtPrefetch,
+               "ULMT prefetches use ulmtPrefetch()");
+    const bool demand = kind == sim::RequestKind::Demand;
+    if (demand)
+        ++stats_.demandFetches;
+    else
+        ++stats_.cpuPrefetchFetches;
+
+    // Address phase on the front-side bus, then the controller's fixed
+    // request-path latency.
+    const BusTraffic req_cls = demand ? BusTraffic::DemandRequest
+                                      : BusTraffic::CpuPrefetchRequest;
+    const sim::Cycle at_controller =
+        bus_.transfer(issue, tp_.busRequestOccupancy(), req_cls) +
+        reqPathFixed;
+
+    // The request is now visible in queue 2.  In Non-Verbose mode the
+    // ULMT only sees demand misses (Section 3.2).
+    if (observer_ && (demand || verbose_))
+        observer_->observeMiss(at_controller, line_addr, kind);
+
+    // Track queue-1 occupancy for the prefetch cross-match.
+    ++inflightDemand_[line_addr];
+
+    // Demand fetches outrank all prefetch traffic at the DRAM.
+    const DramAccessResult dram =
+        dram_.accessLine(at_controller, line_addr,
+                         /*high_priority=*/demand);
+    const BusTraffic data_cls = demand ? BusTraffic::DemandData
+                                       : BusTraffic::CpuPrefetchData;
+    const sim::Cycle data_done =
+        bus_.transfer(dram.done, tp_.busDataOccupancy(tp_.l2.lineBytes),
+                      data_cls);
+    const sim::Cycle complete = data_done + respPathFixed;
+
+    eq_.schedule(complete, [this, line_addr] {
+        auto it = inflightDemand_.find(line_addr);
+        SIM_ASSERT(it != inflightDemand_.end(),
+                   "in-flight demand entry vanished");
+        if (--it->second == 0)
+            inflightDemand_.erase(it);
+    });
+    return complete;
+}
+
+bool
+MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr)
+{
+    // Queue 3 capacity: bounded number of prefetches in flight.
+    if (inflightPf_.size() >= tp_.queueDepth) {
+        ++stats_.ulmtPrefetchesDroppedQueueFull;
+        return false;
+    }
+    // Cross-match against queue 1: a higher-priority demand fetch for
+    // the same line is already in flight, so the prefetch is redundant.
+    if (inflightDemand_.count(line_addr)) {
+        ++stats_.ulmtPrefetchesDroppedDemandMatch;
+        return false;
+    }
+    // A prefetch for this line is already in flight.
+    if (inflightPf_.count(line_addr)) {
+        ++stats_.ulmtPrefetchesDroppedFilter;
+        return false;
+    }
+    // Filter module: drop addresses prefetched very recently.  Only
+    // requests that actually issue are recorded in the FIFO.
+    if (!filter_.admit(line_addr)) {
+        ++stats_.ulmtPrefetchesDroppedFilter;
+        return false;
+    }
+
+    ++stats_.ulmtPrefetchesIssued;
+
+    sim::Cycle start = ready;
+    if (tp_.placement == MemProcPlacement::NorthBridge)
+        start += tp_.prefetchInjectDelay;
+
+    const DramAccessResult dram =
+        dram_.accessLine(start, line_addr, /*high_priority=*/false);
+    const sim::Cycle data_done =
+        bus_.transfer(dram.done, tp_.busDataOccupancy(tp_.l2.lineBytes),
+                      BusTraffic::UlmtPrefetchData);
+    const sim::Cycle arrival = data_done + respPathFixed;
+
+    inflightPf_[line_addr] = arrival;
+    eq_.schedule(arrival, [this, line_addr, arrival] {
+        inflightPf_.erase(line_addr);
+        if (push_)
+            push_(arrival, line_addr);
+    });
+    return true;
+}
+
+sim::Cycle
+MemorySystem::tableAccess(sim::Cycle ready, sim::Addr addr, bool is_write)
+{
+    if (is_write)
+        ++stats_.tableWrites;
+    else
+        ++stats_.tableReads;
+
+    if (tp_.placement == MemProcPlacement::InDram) {
+        // Internal access: bank contention applies, but the 25.6 GB/s
+        // on-chip bus makes the transfer itself nearly free.
+        const DramAccessResult r =
+            dram_.accessTable(ready, addr, /*through_channel=*/false);
+        tableWait_.sample(static_cast<double>(
+            r.done - ready -
+            (r.rowHit ? tp_.tableBankRowHitCycles
+                      : tp_.tableBankRowMissCycles)));
+        return r.done + tp_.tableAccessFixedDram;
+    }
+    // From the North Bridge the table data crosses the DRAM channel.
+    const DramAccessResult r =
+        dram_.accessTable(ready, addr, /*through_channel=*/true);
+    return r.done + tp_.tableAccessFixedNorthBridge;
+}
+
+void
+MemorySystem::writeback(sim::Cycle when, sim::Addr line_addr)
+{
+    ++stats_.writebacks;
+    const sim::Cycle on_bus =
+        bus_.transfer(when, tp_.busDataOccupancy(tp_.l2.lineBytes),
+                      BusTraffic::Writeback);
+    dram_.writeLine(on_bus, line_addr);
+}
+
+} // namespace mem

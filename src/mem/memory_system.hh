@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The main memory system: memory controller, DRAM, front-side bus, and
+ * the queue/filter machinery of Figure 3 that surrounds the memory
+ * processor.
+ *
+ * Responsibilities:
+ *  - service demand and processor-prefetch line fetches (queue 1),
+ *  - expose the observed miss stream to the ULMT (queue 2, with
+ *    Verbose / Non-Verbose selection),
+ *  - inject ULMT push prefetches (queue 3) after the Filter module,
+ *    the queue-capacity check, and the queue-1 cross-match,
+ *  - service the memory processor's correlation-table accesses with
+ *    placement-dependent latency (in-DRAM vs. North Bridge),
+ *  - deliver pushed lines to the L2 via a callback, and answer "is a
+ *    prefetch for line X in flight?" so the L2 can model prefetch
+ *    replies stealing MSHRs (delayed hits).
+ */
+
+#ifndef MEM_MEMORY_SYSTEM_HH
+#define MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "mem/bus.hh"
+#include "sim/stats.hh"
+#include "mem/dram.hh"
+#include "mem/prefetch_filter.hh"
+#include "mem/timing_params.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mem {
+
+/**
+ * Observer of the miss stream arriving at the memory controller.
+ * Implemented by the ULMT engine (core::UlmtEngine).
+ */
+class MissObserver
+{
+  public:
+    virtual ~MissObserver() = default;
+
+    /**
+     * A request reached the memory controller.
+     *
+     * @param when cycle at which the address is visible in queue 2
+     * @param line_addr L2-line-aligned address
+     * @param kind Demand or CpuPrefetch (the latter only in Verbose)
+     */
+    virtual void observeMiss(sim::Cycle when, sim::Addr line_addr,
+                             sim::RequestKind kind) = 0;
+};
+
+/** Controller-side statistics. */
+struct MemorySystemStats
+{
+    std::uint64_t demandFetches = 0;
+    std::uint64_t cpuPrefetchFetches = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t ulmtPrefetchesIssued = 0;
+    std::uint64_t ulmtPrefetchesDroppedFilter = 0;
+    std::uint64_t ulmtPrefetchesDroppedQueueFull = 0;
+    std::uint64_t ulmtPrefetchesDroppedDemandMatch = 0;
+    std::uint64_t tableReads = 0;
+    std::uint64_t tableWrites = 0;
+};
+
+/** The memory system below the L2 cache. */
+class MemorySystem
+{
+  public:
+    /** Invoked when a pushed line arrives at the L2. */
+    using PushCallback = std::function<void(sim::Cycle, sim::Addr)>;
+
+    MemorySystem(sim::EventQueue &eq, const TimingParams &tp)
+        : eq_(eq), tp_(tp), dram_(tp), filter_(tp.filterEntries)
+    {
+    }
+
+    /** Attach the ULMT observer; @p verbose selects the Verbose mode. */
+    void
+    setObserver(MissObserver *observer, bool verbose)
+    {
+        observer_ = observer;
+        verbose_ = verbose;
+    }
+
+    /** Set the sink for pushed prefetch lines (the L2). */
+    void setPushCallback(PushCallback cb) { push_ = std::move(cb); }
+
+    /**
+     * Fetch a line for the main processor (demand miss or processor-
+     * side prefetch miss at L2).
+     *
+     * @param issue cycle the L2 miss is detected
+     * @param line_addr L2-line-aligned address
+     * @param kind Demand or CpuPrefetch
+     * @return cycle at which the fill completes at the L2
+     */
+    sim::Cycle fetchLine(sim::Cycle issue, sim::Addr line_addr,
+                         sim::RequestKind kind);
+
+    /**
+     * Inject a ULMT push prefetch for @p line_addr, generated at cycle
+     * @p ready.  Applies the Filter module, the queue-3 capacity
+     * limit, and the cross-match against in-flight demand fetches.
+     *
+     * @return true if the prefetch was issued to DRAM
+     */
+    bool ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr);
+
+    /**
+     * One correlation-table access by the memory processor (on a miss
+     * in its own cache).
+     *
+     * @param ready earliest start cycle
+     * @param addr table address
+     * @param is_write true for a table update
+     * @return completion cycle as seen by the memory processor
+     */
+    sim::Cycle tableAccess(sim::Cycle ready, sim::Addr addr,
+                           bool is_write);
+
+    /** Write a dirty line back to memory (fire and forget). */
+    void writeback(sim::Cycle when, sim::Addr line_addr);
+
+    /**
+     * Arrival cycle of an in-flight ULMT prefetch for @p line_addr, or
+     * sim::neverCycle when none is in flight.  Used by the L2 to model
+     * a prefetch reply stealing the MSHR of a matching demand miss.
+     */
+    sim::Cycle
+    inflightPrefetchArrival(sim::Addr line_addr) const
+    {
+        auto it = inflightPf_.find(line_addr);
+        return it == inflightPf_.end() ? sim::neverCycle : it->second;
+    }
+
+    const MemorySystemStats &stats() const { return stats_; }
+    const Bus &bus() const { return bus_; }
+    const Dram &dram() const { return dram_; }
+    const PrefetchFilter &filter() const { return filter_; }
+    const TimingParams &params() const { return tp_; }
+
+  private:
+    sim::EventQueue &eq_;
+    const TimingParams &tp_;
+    Bus bus_;
+    Dram dram_;
+    PrefetchFilter filter_;
+    MissObserver *observer_ = nullptr;
+    bool verbose_ = false;
+    PushCallback push_;
+
+    /** Demand/CPU-prefetch fetches currently in flight (queue 1). */
+    std::unordered_map<sim::Addr, std::uint32_t> inflightDemand_;
+    /** ULMT prefetches in flight: line -> arrival cycle (queue 3). */
+    std::unordered_map<sim::Addr, sim::Cycle> inflightPf_;
+
+    MemorySystemStats stats_;
+    /** Queueing delay seen by correlation-table accesses at the DRAM. */
+    sim::SampleStat tableWait_;
+
+  public:
+    const sim::SampleStat &tableWait() const { return tableWait_; }
+};
+
+} // namespace mem
+
+#endif // MEM_MEMORY_SYSTEM_HH

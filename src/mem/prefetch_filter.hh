@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Filter module of Figure 3: a fixed-size FIFO of recently issued
+ * prefetch addresses.
+ *
+ * Correlation prefetching may generate the same address several times
+ * in a short window; the filter drops a request whose address is still
+ * in the list, and otherwise records it at the tail (Section 3.2).
+ */
+
+#ifndef MEM_PREFETCH_FILTER_HH
+#define MEM_PREFETCH_FILTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace mem {
+
+/** FIFO prefetch-address filter. */
+class PrefetchFilter
+{
+  public:
+    explicit PrefetchFilter(std::uint32_t entries) : capacity_(entries) {}
+
+    /**
+     * Check an address about to be issued as a prefetch.
+     *
+     * @return true if the request should proceed (address recorded),
+     *         false if it should be dropped (recently issued).
+     */
+    bool
+    admit(sim::Addr line_addr)
+    {
+        if (capacity_ == 0)
+            return true;  // filter disabled
+        auto it = present_.find(line_addr);
+        if (it != present_.end() && it->second > 0) {
+            ++drops_;
+            return false;
+        }
+        fifo_.push_back(line_addr);
+        ++present_[line_addr];
+        if (fifo_.size() > capacity_) {
+            sim::Addr old = fifo_.front();
+            fifo_.pop_front();
+            auto old_it = present_.find(old);
+            if (--old_it->second == 0)
+                present_.erase(old_it);
+        }
+        ++admits_;
+        return true;
+    }
+
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t admits() const { return admits_; }
+    std::uint32_t capacity() const { return capacity_; }
+    std::size_t size() const { return fifo_.size(); }
+
+    void
+    reset()
+    {
+        fifo_.clear();
+        present_.clear();
+        drops_ = 0;
+        admits_ = 0;
+    }
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<sim::Addr> fifo_;
+    std::unordered_map<sim::Addr, std::uint32_t> present_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t admits_ = 0;
+};
+
+} // namespace mem
+
+#endif // MEM_PREFETCH_FILTER_HH

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The global discrete-event queue that orders all state mutations.
+ *
+ * Components never mutate shared state "in the future": anything that
+ * happens at a later cycle is scheduled as an event.  Events at the same
+ * cycle execute in scheduling order (a monotone sequence number breaks
+ * ties), which makes runs fully deterministic.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sim {
+
+/** A deterministic discrete-event scheduler. */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /** Number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Schedule an action at an absolute cycle.  Scheduling in the past
+     * is a simulator bug.
+     */
+    void
+    schedule(Cycle when, Action action)
+    {
+        SIM_ASSERT(when >= now_,
+                   "scheduled at %llu before now %llu",
+                   (unsigned long long)when, (unsigned long long)now_);
+        events_.push(Event{when, nextSeq_++, std::move(action)});
+    }
+
+    /** Schedule an action a relative number of cycles in the future. */
+    void
+    scheduleIn(Cycle delay, Action action)
+    {
+        schedule(now_ + delay, std::move(action));
+    }
+
+    /**
+     * Execute events in order until the queue drains or the event limit
+     * is hit.
+     *
+     * @param max_events Safety valve against runaway simulations.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool
+    run(std::uint64_t max_events = UINT64_MAX)
+    {
+        while (!events_.empty()) {
+            if (executed_ >= max_events)
+                return false;
+            // Moving out of the priority queue requires a const_cast
+            // because std::priority_queue::top() returns const&; the
+            // element is popped immediately after, so this is safe.
+            auto &top = const_cast<Event &>(events_.top());
+            SIM_ASSERT(top.when >= now_, "event queue went backwards");
+            now_ = top.when;
+            Action action = std::move(top.action);
+            events_.pop();
+            ++executed_;
+            action();
+        }
+        return true;
+    }
+
+    /** Drop all pending events (used between experiment runs). */
+    void
+    clear()
+    {
+        events_ = {};
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * A shared resource that is busy for an interval per grant, e.g. a bus
+ * or a DRAM bank.  Requests are granted first-come-first-served in
+ * event order: a request that becomes ready at cycle R is granted at
+ * max(R, nextFree) and the resource is then busy for the stated
+ * duration.
+ *
+ * Because the event queue processes requests in time order, the
+ * timeline only ever moves forward and captures contention from every
+ * earlier-granted request.
+ */
+class ResourceTimeline
+{
+  public:
+    /** Reserve the resource; returns the grant (start) cycle. */
+    Cycle
+    acquire(Cycle ready, Cycle duration)
+    {
+        Cycle start = ready > nextFree_ ? ready : nextFree_;
+        nextFree_ = start + duration;
+        busyTotal_ += duration;
+        return start;
+    }
+
+    /** First cycle at which the resource is idle. */
+    Cycle nextFree() const { return nextFree_; }
+
+    /** Total busy time accumulated. */
+    Cycle busyTotal() const { return busyTotal_; }
+
+    void
+    reset()
+    {
+        nextFree_ = 0;
+        busyTotal_ = 0;
+    }
+
+  private:
+    Cycle nextFree_ = 0;
+    Cycle busyTotal_ = 0;
+};
+
+/**
+ * A shared resource with two priority classes, modeling the paper's
+ * rule that prefetch traffic (queue 3) has lower priority than demand
+ * traffic (queue 1).
+ *
+ * Callers may reserve the resource for ready times in the near future
+ * (a demand fetch books its DRAM slot after its queueing delays), so
+ * grants cannot be first-come-first-served in call order.  Instead the
+ * timeline keeps the set of booked intervals and places each
+ * high-priority request in the earliest idle gap at or after its ready
+ * time.  Low-priority requests queue strictly behind everything
+ * already booked; a high-priority request waits only for bookings of
+ * its own class plus at most one low-priority transfer that had
+ * already started at its ready time (non-preemptive service).
+ */
+class PriorityTimeline
+{
+  public:
+    /** Reserve the resource; returns the grant (start) cycle. */
+    Cycle
+    acquire(Cycle ready, Cycle duration, bool high_priority)
+    {
+        SIM_ASSERT(duration > 0, "zero-length resource reservation");
+        busyTotal_ += duration;
+        prune(ready);
+
+        Cycle t = ready;
+        std::size_t pos = 0;
+        for (; pos < bookings_.size(); ++pos) {
+            const Interval &b = bookings_[pos];
+            if (b.end <= t)
+                continue;
+            // A high-priority request displaces low-priority bookings
+            // that have not started by its ready time (the controller
+            // reorders its queues); it cannot preempt one in progress
+            // and never displaces another high-priority booking.  A
+            // low-priority request respects every booking.
+            if (high_priority && !b.high && b.start > ready)
+                continue;
+            if (b.start >= t + duration)
+                break;  // fits in the gap before this booking
+            t = b.end;
+        }
+        // Insert keeping the list sorted by start (overcommit from
+        // displaced low bookings can make it non-disjoint, which the
+        // gap search tolerates).
+        std::size_t at = bookings_.size();
+        while (at > 0 && bookings_[at - 1].start > t)
+            --at;
+        bookings_.insert(bookings_.begin() +
+                             static_cast<std::ptrdiff_t>(at),
+                         Interval{t, t + duration, high_priority});
+        return t;
+    }
+
+    Cycle busyTotal() const { return busyTotal_; }
+
+    void
+    reset()
+    {
+        bookings_.clear();
+        pruneBefore_ = 0;
+        busyTotal_ = 0;
+    }
+
+  private:
+    struct Interval
+    {
+        Cycle start;
+        Cycle end;
+        bool high;
+    };
+
+    /**
+     * Drop bookings that can no longer affect placement: event-order
+     * skew is bounded by how far components pre-book (well under the
+     * margin).
+     */
+    void
+    prune(Cycle ready)
+    {
+        constexpr Cycle margin = 16384;
+        if (ready <= margin || ready - margin <= pruneBefore_)
+            return;
+        pruneBefore_ = ready - margin;
+        std::size_t keep = 0;
+        while (keep < bookings_.size() &&
+               bookings_[keep].end <= pruneBefore_)
+            ++keep;
+        if (keep > 0)
+            bookings_.erase(bookings_.begin(),
+                            bookings_.begin() +
+                                static_cast<std::ptrdiff_t>(keep));
+    }
+
+    std::vector<Interval> bookings_;
+    Cycle pruneBefore_ = 0;
+    Cycle busyTotal_ = 0;
+};
+
+} // namespace sim
+
+#endif // SIM_EVENT_QUEUE_HH

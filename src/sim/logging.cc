@@ -1,0 +1,86 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <vector>
+
+namespace sim {
+
+namespace {
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+} // namespace
+
+std::string
+strformat(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    std::exit(1);
+}
+
+void
+assertFail(const char *cond, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed: %s\n", cond,
+                 msg.c_str());
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", s.c_str());
+}
+
+} // namespace sim

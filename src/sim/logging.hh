@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for simulator bugs (conditions that should be impossible
+ * regardless of configuration); fatal() is for user errors (bad
+ * configuration or arguments); warn()/inform() report conditions that do
+ * not stop the simulation.
+ */
+
+#ifndef SIM_LOGGING_HH
+#define SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace sim {
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message: a condition that indicates a simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with a message: a condition caused by bad user input. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation detail of SIM_ASSERT. */
+[[noreturn]] void assertFail(const char *cond, const std::string &msg);
+
+/** panic() unless the condition holds. */
+#define SIM_ASSERT(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::sim::assertFail(#cond, ::sim::strformat(__VA_ARGS__));     \
+    } while (0)
+
+} // namespace sim
+
+#endif // SIM_LOGGING_HH

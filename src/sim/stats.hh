@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight statistics containers used by every component.
+ *
+ * The paper reports counters (miss counts, prefetch classifications),
+ * binned histograms (Figure 6's inter-miss-time bins) and running
+ * averages (Figure 10's response/occupancy times); these classes cover
+ * those three shapes.
+ */
+
+#ifndef SIM_STATS_HH
+#define SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace sim {
+
+/** A running sample statistic: count, sum, min, max, mean. */
+class SampleStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A histogram over explicit bin boundaries.  A value v falls into bin i
+ * if edges[i] <= v < edges[i+1]; values >= the last edge land in the
+ * final (open-ended) bin.
+ */
+class BinnedHistogram
+{
+  public:
+    /** @param edges Ascending lower bin edges; edges[0] is the minimum. */
+    explicit BinnedHistogram(std::vector<double> edges)
+        : edges_(std::move(edges)), counts_(edges_.size(), 0)
+    {
+        SIM_ASSERT(!edges_.empty(), "histogram needs at least one edge");
+        for (std::size_t i = 1; i < edges_.size(); ++i)
+            SIM_ASSERT(edges_[i] > edges_[i - 1],
+                       "histogram edges must ascend");
+    }
+
+    void
+    sample(double v)
+    {
+        if (v < edges_.front()) {
+            ++below_;
+            return;
+        }
+        std::size_t bin = 0;
+        while (bin + 1 < edges_.size() && v >= edges_[bin + 1])
+            ++bin;
+        ++counts_[bin];
+        ++total_;
+    }
+
+    std::size_t numBins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    double binEdge(std::size_t i) const { return edges_.at(i); }
+    std::uint64_t total() const { return total_; }
+    std::uint64_t below() const { return below_; }
+
+    /** Fraction of samples in bin i (0 when empty). */
+    double
+    binFraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(counts_.at(i)) / total_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = 0;
+        below_ = 0;
+    }
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t below_ = 0;
+};
+
+} // namespace sim
+
+#endif // SIM_STATS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator component.
+ *
+ * All timing in the simulator is expressed in main-processor cycles
+ * (1.6 GHz in the paper's configuration, Table 3).  The memory processor
+ * runs at half that frequency; components that model it convert with
+ * memProcCyclesToMain().
+ */
+
+#ifndef SIM_TYPES_HH
+#define SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sim {
+
+/** A physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** A point in simulated time, in main-processor cycles. */
+using Cycle = std::uint64_t;
+
+/** A count of instructions executed by a modeled core. */
+using InstCount = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "never" / unscheduled. */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/**
+ * Ratio of main-processor cycles to memory-processor cycles.  The paper
+ * models a 1.6 GHz main core and an 800 MHz memory core (Table 3).
+ */
+inline constexpr Cycle mainCyclesPerMemProcCycle = 2;
+
+/** Convert a duration measured in memory-processor cycles to main cycles. */
+constexpr Cycle
+memProcCyclesToMain(Cycle mem_proc_cycles)
+{
+    return mem_proc_cycles * mainCyclesPerMemProcCycle;
+}
+
+/**
+ * Classification of the agent that generated a memory request.  Used to
+ * implement the Verbose / Non-Verbose observation modes of Section 3.2:
+ * in Non-Verbose mode the ULMT only sees Demand requests, while in
+ * Verbose mode it also sees CpuPrefetch requests (the paper assumes
+ * prefetch requests are distinguishable, as in the MIPS R10000).
+ */
+enum class RequestKind : std::uint8_t {
+    Demand,      //!< A load/store miss from the main processor.
+    CpuPrefetch, //!< Issued by the processor-side stream prefetcher.
+    UlmtPrefetch //!< Issued by the user-level memory thread.
+};
+
+/** Which level of the hierarchy ultimately served an access. */
+enum class ServedBy : std::uint8_t {
+    L1,     //!< L1 hit.
+    L2,     //!< L1 miss that hit in L2.
+    Memory  //!< L2 miss serviced by main memory.
+};
+
+} // namespace sim
+
+#endif // SIM_TYPES_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The nine applications of Table 2.
+ *
+ * | App    | Source suite   | Kernel reproduced here                  |
+ * |--------|----------------|-----------------------------------------|
+ * | CG     | NAS            | CRS conjugate-gradient SpMV + vector ops |
+ * | Equake | SpecFP2000     | time-stepped unstructured-mesh SpMV      |
+ * | FT     | NAS            | 3-D FFT butterfly passes (strided)       |
+ * | Gap    | SpecInt2000    | group-theory object/bag traversals       |
+ * | Mcf    | SpecInt2000    | network-simplex arc-list pointer chase   |
+ * | MST    | Olden          | vertex-list walk + per-vertex hash walk  |
+ * | Parser | SpecInt2000    | dictionary hash + linked word lookups    |
+ * | Sparse | SparseBench    | GMRES: CRS SpMV + Krylov orthogonalize   |
+ * | Tree   | Univ. Hawaii   | Barnes-Hut octree force computation      |
+ *
+ * Mostly-irregular mix, as in the paper: CG is the regular exception,
+ * Mcf/MST/Tree are purely irregular pointer chasers, the rest mix
+ * patterns.
+ */
+
+#ifndef WORKLOADS_APPS_HH
+#define WORKLOADS_APPS_HH
+
+#include "workloads/workload.hh"
+
+namespace workloads {
+
+/** NAS CG: sequential multi-stream behaviour dominates. */
+class CgWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "CG"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** Equake: repeating irregular gathers over a fixed mesh. */
+class EquakeWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "Equake"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** NAS FT: strided transpose passes of a 3-D FFT. */
+class FtWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "FT"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** Gap: heap-object traversals in a fixed irregular order. */
+class GapWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "Gap"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** Mcf: dependent arc-list chasing, the same cycle every iteration. */
+class McfWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "Mcf"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** Olden MST: repeated linked-list walks with hash probes. */
+class MstWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "MST"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** Parser: dictionary lookups driven by phrase-structured text. */
+class ParserWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "Parser"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** SparseBench GMRES: SpMV plus conflict-prone Krylov vectors. */
+class SparseWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "Sparse"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+/** Barnes-Hut treecode, 2048 bodies. */
+class TreeWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+    std::string name() const override { return "Tree"; }
+
+  protected:
+    void generate(TraceBuilder &tb, sim::Rng &rng) override;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_APPS_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NAS CG: conjugate gradient with a banded random sparse matrix in
+ * compressed-row storage.
+ *
+ * The dominant traffic is the streaming SpMV over vals/colidx (several
+ * concurrent sequential streams) plus the streaming vector updates;
+ * the x gather stays within a vector that largely fits in the L2.
+ * This reproduces CG's role in the paper: the one regular application,
+ * whose many interleaved sequential streams overwhelm a conventional
+ * 4-stream prefetcher (motivating the Seq1+Repl Verbose customization
+ * of Table 5).
+ */
+
+#include "workloads/apps.hh"
+
+namespace workloads {
+
+void
+CgWorkload::generate(TraceBuilder &tb, sim::Rng &rng)
+{
+    const std::size_t n = scaled(16384, 256);        // rows
+    const std::size_t nnz_per_row = 14;
+    const std::size_t iters = 3;
+    const std::size_t band = n / 8;
+
+    const sim::Addr rowptr = tb.alloc(4 * (n + 1));
+    const sim::Addr colidx = tb.alloc(4 * n * nnz_per_row);
+    const sim::Addr vals = tb.alloc(8 * n * nnz_per_row);
+    const sim::Addr x = tb.alloc(8 * n);
+    const sim::Addr p = tb.alloc(8 * n);
+    const sim::Addr q = tb.alloc(8 * n);
+    const sim::Addr r = tb.alloc(8 * n);
+
+    // Fixed banded sparsity pattern.
+    std::vector<std::uint32_t> cols(n * nnz_per_row);
+    for (std::size_t row = 0; row < n; ++row) {
+        for (std::size_t k = 0; k < nnz_per_row; ++k) {
+            const std::size_t lo = row > band ? row - band : 0;
+            const std::size_t hi =
+                row + band < n ? row + band : n - 1;
+            cols[row * nnz_per_row + k] =
+                static_cast<std::uint32_t>(rng.range(lo, hi));
+        }
+    }
+
+    for (std::size_t it = 0; it < iters; ++it) {
+        // q = A * p
+        for (std::size_t row = 0; row < n; ++row) {
+            tb.compute(14);
+            tb.load(rowptr + 4 * row);
+            for (std::size_t k = 0; k < nnz_per_row; ++k) {
+                const std::size_t j = row * nnz_per_row + k;
+                tb.compute(26);
+                tb.load(vals + 8 * j);
+                if (k % 2 == 0) {
+                    tb.compute(12);
+                    tb.load(colidx + 4 * j);
+                }
+                tb.compute(18);
+                tb.load(p + 8 * cols[j]);
+            }
+            tb.compute(26);
+            tb.store(q + 8 * row);
+        }
+        // alpha = (r.r)/(p.q); x += alpha p; r -= alpha q  (streams)
+        for (std::size_t i = 0; i < n; i += 2) {
+            tb.compute(34);
+            tb.load(p + 8 * i);
+            tb.load(q + 8 * i);
+            tb.store(x + 8 * i);
+            tb.compute(26);
+            tb.load(r + 8 * i);
+            tb.store(r + 8 * i);
+        }
+        // p = r + beta p
+        for (std::size_t i = 0; i < n; i += 2) {
+            tb.compute(30);
+            tb.load(r + 8 * i);
+            tb.store(p + 8 * i);
+        }
+    }
+}
+
+} // namespace workloads

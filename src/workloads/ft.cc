@@ -1,0 +1,79 @@
+/**
+ * @file
+ * NAS FT: 3-D fast Fourier transform.
+ *
+ * Butterfly passes along each dimension of a complex grid: the
+ * unit-stride dimension is purely sequential, while the other two
+ * dimensions walk the grid at large strides.  The strided miss
+ * sequences repeat across FFT invocations, so correlation prefetching
+ * learns them while a +/-1-stride sequential prefetcher only covers
+ * the contiguous dimension -- FT's mixed profile in Figure 5.
+ */
+
+#include "workloads/apps.hh"
+
+#include <cmath>
+
+namespace workloads {
+
+void
+FtWorkload::generate(TraceBuilder &tb, sim::Rng &rng)
+{
+    (void)rng;
+    // The footprint scales with the cube of the dimension, so the
+    // scale factor applies to the volume, not the side.
+    const double side = 48.0 * std::cbrt(params().scale);
+    const std::size_t nx =
+        side < 8.0 ? 8 : static_cast<std::size_t>(side);
+    const std::size_t ny = nx;
+    const std::size_t nz = nx;
+    const std::size_t elem = 16;  // complex<double>
+    const std::size_t ffts = 4;   // two forward + two inverse
+
+    const sim::Addr grid = tb.alloc(elem * nx * ny * nz);
+    const sim::Addr twiddle = tb.alloc(elem * nx);
+
+    auto idx = [&](std::size_t x, std::size_t y, std::size_t z) {
+        return grid + elem * (x + nx * (y + ny * z));
+    };
+
+    for (std::size_t f = 0; f < ffts; ++f) {
+        // Pass 1: unit stride along x.
+        for (std::size_t z = 0; z < nz; ++z) {
+            for (std::size_t y = 0; y < ny; ++y) {
+                for (std::size_t x = 0; x < nx; x += 2) {
+                    tb.compute(60);
+                    tb.load(idx(x, y, z));
+                    tb.compute(30);
+                    tb.load(twiddle + elem * (x % nx));
+                    tb.compute(35);
+                    tb.store(idx(x + 1, y, z));
+                }
+            }
+        }
+        // Pass 2: stride nx along y.
+        for (std::size_t z = 0; z < nz; ++z) {
+            for (std::size_t x = 0; x < nx; ++x) {
+                for (std::size_t y = 0; y < ny; y += 2) {
+                    tb.compute(65);
+                    tb.load(idx(x, y, z));
+                    tb.compute(40);
+                    tb.store(idx(x, y + 1, z));
+                }
+            }
+        }
+        // Pass 3: stride nx*ny along z.
+        for (std::size_t y = 0; y < ny; ++y) {
+            for (std::size_t x = 0; x < nx; ++x) {
+                for (std::size_t z = 0; z < nz; z += 2) {
+                    tb.compute(65);
+                    tb.load(idx(x, y, z));
+                    tb.compute(40);
+                    tb.store(idx(x, y, z + 1));
+                }
+            }
+        }
+    }
+}
+
+} // namespace workloads

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Gap: computational group theory.
+ *
+ * GAP's workspace is a large heap of small objects (permutation words,
+ * bags).  A hot working set of frequently-reused objects stays cache
+ * resident, while operations regularly reach into a much larger cold
+ * region in a stable, allocation-independent order; a global hash
+ * table adds scattered probes.  The cold visits repeat every pass,
+ * producing irregular but correlation-predictable misses with no
+ * sequential component.
+ */
+
+#include "workloads/apps.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace workloads {
+
+void
+GapWorkload::generate(TraceBuilder &tb, sim::Rng &rng)
+{
+    const std::size_t num_objects = scaled(26000, 1024);
+    const std::size_t hot_objects = scaled(2500, 64);
+    const std::size_t passes = 14;
+    const std::size_t hash_bytes = 4u << 20;
+
+    // Hot set first (contiguous-ish, cache resident), then the heap.
+    std::vector<sim::Addr> hot(hot_objects);
+    for (auto &h : hot)
+        h = tb.alloc(64 + 64 * rng.below(2));
+    std::vector<sim::Addr> cold(num_objects);
+    for (auto &c : cold)
+        c = tb.alloc(64 + 64 * rng.below(3));
+    const sim::Addr hash = tb.alloc(hash_bytes);
+
+    // Stable visit order: mostly hot objects, every few operations a
+    // cold object in a fixed shuffled order.
+    std::vector<std::uint32_t> cold_order(num_objects);
+    std::iota(cold_order.begin(), cold_order.end(), 0);
+    for (std::size_t i = num_objects - 1; i > 0; --i)
+        std::swap(cold_order[i], cold_order[rng.below(i + 1)]);
+    std::vector<std::uint32_t> probe(num_objects);
+    for (auto &p : probe)
+        p = static_cast<std::uint32_t>(rng.below(hash_bytes / 64));
+    std::vector<std::uint32_t> hot_pick(num_objects);
+    for (auto &p : hot_pick)
+        p = static_cast<std::uint32_t>(rng.below(hot_objects));
+
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+        // The operation mix drifts a little between passes: a few
+        // percent of the cold visits change position, as GAP's bag
+        // contents evolve.
+        for (std::size_t m = 0; m < num_objects / 32; ++m) {
+            const std::size_t x = rng.below(num_objects);
+            const std::size_t y = rng.below(num_objects);
+            std::swap(cold_order[x], cold_order[y]);
+        }
+        for (std::size_t i = 0; i < num_objects; ++i) {
+            // Work on a hot object (cache resident after warmup).
+            const sim::Addr h = hot[hot_pick[i]];
+            tb.compute(95);
+            tb.load(h);
+            tb.compute(75);
+            tb.load(h + 32);
+            tb.compute(65);
+            tb.store(h);
+
+            // Reach into the cold heap in the stable order.
+            const std::uint32_t o = cold_order[i];
+            tb.compute(85);
+            tb.load(cold[o]);
+            if (o % 2 == 0) {
+                tb.compute(70);
+                tb.load(cold[o] + 64);
+            }
+            if (i % 4 == 0) {
+                tb.compute(60);
+                tb.load(hash + 64 * probe[o]);
+            }
+        }
+    }
+}
+
+} // namespace workloads

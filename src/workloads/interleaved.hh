@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multiprogrammed workload support (Section 3.4).
+ *
+ * The paper argues that sharing one correlation table among all
+ * applications is a poor approach (the table suffers interference) and
+ * proposes one ULMT, with its own table, per application.  This
+ * utility interleaves two workloads in timeslices, as a multiprogrammed
+ * machine would, so the interference can be measured: run each app
+ * solo versus interleaved against the same (shared) table and compare
+ * coverage.
+ */
+
+#ifndef WORKLOADS_INTERLEAVED_HH
+#define WORKLOADS_INTERLEAVED_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace workloads {
+
+/** Round-robin interleaving of two workloads at a fixed quantum. */
+class InterleavedWorkload : public cpu::TraceSource
+{
+  public:
+    /**
+     * @param a first workload
+     * @param b second workload
+     * @param quantum_records records per timeslice
+     */
+    InterleavedWorkload(std::unique_ptr<Workload> a,
+                        std::unique_ptr<Workload> b,
+                        std::size_t quantum_records = 20000)
+        : a_(std::move(a)), b_(std::move(b)),
+          quantum_(quantum_records)
+    {
+    }
+
+    bool
+    next(cpu::TraceRecord &rec) override
+    {
+        for (int attempts = 0; attempts < 2; ++attempts) {
+            Workload *cur = onB_ ? b_.get() : a_.get();
+            Workload *other = onB_ ? a_.get() : b_.get();
+            if (!curDone(cur) && cur->next(rec)) {
+                if (justSwitched_) {
+                    // A context switch breaks any pointer chain: the
+                    // first reference of a slice depends on nothing
+                    // from the other application.
+                    rec.dependsOnPrev = false;
+                    justSwitched_ = false;
+                }
+                if (++inQuantum_ >= quantum_ && !curDone(other)) {
+                    inQuantum_ = 0;
+                    onB_ = !onB_;
+                    justSwitched_ = true;
+                }
+                return true;
+            }
+            markDone(cur);
+            if (curDone(other))
+                return false;
+            onB_ = !onB_;
+            inQuantum_ = 0;
+            justSwitched_ = true;
+        }
+        return false;
+    }
+
+    std::string
+    name() const
+    {
+        return a_->name() + "|" + b_->name();
+    }
+
+  private:
+    bool
+    curDone(const Workload *w) const
+    {
+        return (w == a_.get() && aDone_) || (w == b_.get() && bDone_);
+    }
+
+    void
+    markDone(const Workload *w)
+    {
+        if (w == a_.get())
+            aDone_ = true;
+        else
+            bDone_ = true;
+    }
+
+    std::unique_ptr<Workload> a_;
+    std::unique_ptr<Workload> b_;
+    std::size_t quantum_;
+    std::size_t inQuantum_ = 0;
+    bool onB_ = false;
+    bool justSwitched_ = false;
+    bool aDone_ = false;
+    bool bDone_ = false;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_INTERLEAVED_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Mcf: combinatorial optimization (network simplex).
+ *
+ * The inner loop of mcf repeatedly walks the arc list in a pointer-
+ * dependent order, touching the tail/head node of each arc.  We model
+ * the arc list as a fixed shuffled cycle over a multi-megabyte arc
+ * array: every reference's address comes from the previous load
+ * (dependsOnPrev), so misses serialize at full memory round-trip --
+ * the [200, 280)-cycle bin of Figure 6 -- and the sequence repeats
+ * each simplex iteration, which is why pair-based schemes predict Mcf
+ * well while sequential schemes predict nothing (Figure 5).
+ */
+
+#include "workloads/apps.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace workloads {
+
+void
+McfWorkload::generate(TraceBuilder &tb, sim::Rng &rng)
+{
+    const std::size_t num_arcs = scaled(16000, 9000);
+    const std::size_t num_nodes = num_arcs / 6;
+    const std::size_t arc_bytes = 96;
+    const std::size_t node_bytes = 64;
+    const std::size_t iters = 38;
+
+    const sim::Addr arcs = tb.alloc(arc_bytes * num_arcs);
+    const sim::Addr nodes = tb.alloc(node_bytes * num_nodes);
+
+    // A fixed random cycle through the arcs (the simplex scan order).
+    std::vector<std::uint32_t> next(num_arcs);
+    std::iota(next.begin(), next.end(), 0);
+    for (std::size_t i = num_arcs - 1; i > 0; --i)
+        std::swap(next[i], next[rng.below(i + 1)]);
+    // Tail node of each arc.
+    std::vector<std::uint32_t> tail(num_arcs);
+    for (auto &t : tail)
+        t = static_cast<std::uint32_t>(rng.below(num_nodes));
+
+    std::uint32_t cur = 0;
+    for (std::size_t it = 0; it < iters; ++it) {
+        for (std::size_t step = 0; step < num_arcs; ++step) {
+            const std::uint32_t arc = next[cur];
+            tb.compute(52);
+            // Follow the list: the next arc's address is loaded from
+            // the current one.
+            tb.load(arcs + arc_bytes * arc, /*depends_on_prev=*/true);
+            tb.compute(38);
+            // Touch the arc's tail node (address from arc data).
+            tb.load(nodes + node_bytes * tail[arc],
+                    /*depends_on_prev=*/true);
+            cur = arc;
+        }
+        // Occasional pivot: a small fraction of the scan order changes
+        // between iterations.
+        const std::size_t mutations = num_arcs / 24;
+        for (std::size_t m = 0; m < mutations; ++m) {
+            const std::size_t a = rng.below(num_arcs);
+            const std::size_t b = rng.below(num_arcs);
+            std::swap(next[a], next[b]);
+        }
+    }
+}
+
+} // namespace workloads

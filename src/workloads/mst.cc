@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Olden MST: minimum spanning tree with per-vertex hash tables.
+ *
+ * Olden's MST repeatedly walks the remaining-vertex linked list and,
+ * at each vertex, performs a hash lookup.  The list walk is a long
+ * dependent chain whose miss sequence repeats on every round (deeply
+ * predictable -- this is the application the NumLevels=4 customization
+ * of Table 5 targets), while the hash probes add a second dependent
+ * level.
+ */
+
+#include "workloads/apps.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace workloads {
+
+void
+MstWorkload::generate(TraceBuilder &tb, sim::Rng &rng)
+{
+    const std::size_t num_vertices = scaled(8192, 256);
+    const std::size_t rounds = scaled(56, 4);
+    const std::size_t vertex_bytes = 128;
+    const std::size_t table_bytes = 1920;  // per-vertex hash table
+
+    const sim::Addr vertices = tb.alloc(vertex_bytes * num_vertices);
+    const sim::Addr tables = tb.alloc(table_bytes * num_vertices);
+
+    // Fixed linked-list order over the vertices.
+    std::vector<std::uint32_t> order(num_vertices);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = num_vertices - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+
+    // The algorithm removes the chosen vertex from the list after each
+    // round, so the walked sequence shrinks and splices over time.
+    std::vector<std::uint32_t> remaining = order;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            const std::uint32_t v = remaining[i];
+            tb.compute(68);
+            // Walk the vertex list (dependent chain).
+            tb.load(vertices + vertex_bytes * v,
+                    /*depends_on_prev=*/true);
+            // Hash probe in this vertex's table.  The probed bucket
+            // alternates between two per-vertex hot buckets from round
+            // to round, so a vertex's successor set needs NumSucc >= 2
+            // entries and deep far-ahead prefetching pays off -- the
+            // regularity the NumLevels=4 customization exploits.
+            const std::size_t bucket =
+                (v * 2654435761u + (round & 1) * 40503u) %
+                (table_bytes / 64);
+            tb.compute(54);
+            tb.load(tables + table_bytes * v + 64 * bucket,
+                    /*depends_on_prev=*/true);
+        }
+        tb.compute(64);  // blue-rule bookkeeping between rounds
+        // Remove the round's chosen vertices from the list.
+        const std::size_t removals = num_vertices / (2 * rounds) + 1;
+        for (std::size_t r = 0; r < removals && remaining.size() > 16;
+             ++r) {
+            remaining.erase(remaining.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                rng.below(remaining.size())));
+        }
+    }
+}
+
+} // namespace workloads

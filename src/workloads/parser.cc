@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Parser: link-grammar word processing.
+ *
+ * Parsing hashes each word of the input into a large dictionary and
+ * chases the word's linked entry.  Natural text reuses words and
+ * phrases heavily, so the irregular miss sequences recur -- but
+ * interleaved with fresh material, giving the partial predictability
+ * (and the modest speedups) the paper reports for Parser.
+ */
+
+#include "workloads/apps.hh"
+
+namespace workloads {
+
+void
+ParserWorkload::generate(TraceBuilder &tb, sim::Rng &rng)
+{
+    const std::size_t vocab = scaled(49152, 1024);
+    const std::size_t num_phrases = scaled(4096, 64);
+    const std::size_t text_words = scaled(360000, 4096);
+    const std::size_t bucket_bytes = 8;
+    const std::size_t word_bytes = 96;
+
+    const sim::Addr buckets = tb.alloc(bucket_bytes * vocab);
+    const sim::Addr words = tb.alloc(word_bytes * vocab);
+
+    // Phrase table: short word-id sequences with Zipf-ish popularity.
+    std::vector<std::vector<std::uint32_t>> phrases(num_phrases);
+    for (auto &ph : phrases) {
+        const std::size_t len = 4 + rng.below(8);
+        ph.resize(len);
+        for (auto &w : ph) {
+            // Zipf-like word choice: small ids are more common.
+            const double u = rng.real();
+            w = static_cast<std::uint32_t>(
+                static_cast<double>(vocab - 1) * u * u);
+        }
+    }
+
+    std::size_t emitted = 0;
+    while (emitted < text_words) {
+        // Sample a phrase, favouring popular (low-index) phrases.
+        const double u = rng.real();
+        const std::size_t p = static_cast<std::size_t>(
+            static_cast<double>(num_phrases - 1) * u * u);
+        for (std::uint32_t w : phrases[p]) {
+            tb.compute(105);
+            const std::size_t bucket =
+                (static_cast<std::size_t>(w) * 2654435761u) % vocab;
+            tb.load(buckets + bucket_bytes * bucket);
+            tb.compute(75);
+            tb.load(words + word_bytes * w, /*depends_on_prev=*/true);
+            if (w % 4 == 0) {
+                tb.compute(60);
+                tb.load(words + word_bytes * w + 64,
+                        /*depends_on_prev=*/true);
+            }
+            ++emitted;
+        }
+    }
+}
+
+} // namespace workloads

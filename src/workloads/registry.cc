@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload registry: construction by name and Table 2 metadata.
+ */
+
+#include "workloads/apps.hh"
+
+#include "sim/logging.hh"
+
+namespace workloads {
+
+const std::vector<std::string> &
+applicationNames()
+{
+    static const std::vector<std::string> names = {
+        "CG",  "Equake", "FT",     "Gap",  "Mcf",
+        "MST", "Parser", "Sparse", "Tree",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &p)
+{
+    if (name == "CG")
+        return std::make_unique<CgWorkload>(p);
+    if (name == "Equake")
+        return std::make_unique<EquakeWorkload>(p);
+    if (name == "FT")
+        return std::make_unique<FtWorkload>(p);
+    if (name == "Gap")
+        return std::make_unique<GapWorkload>(p);
+    if (name == "Mcf")
+        return std::make_unique<McfWorkload>(p);
+    if (name == "MST")
+        return std::make_unique<MstWorkload>(p);
+    if (name == "Parser")
+        return std::make_unique<ParserWorkload>(p);
+    if (name == "Sparse")
+        return std::make_unique<SparseWorkload>(p);
+    if (name == "Tree")
+        return std::make_unique<TreeWorkload>(p);
+    sim::fatal("unknown workload '%s'", name.c_str());
+}
+
+std::uint32_t
+tableNumRows(const std::string &app_name)
+{
+    // Table 2: NumRows (K) per application.
+    if (app_name == "CG")
+        return 64 * 1024;
+    if (app_name == "Equake")
+        return 128 * 1024;
+    if (app_name == "FT")
+        return 256 * 1024;
+    if (app_name == "Gap")
+        return 128 * 1024;
+    if (app_name == "Mcf")
+        return 32 * 1024;
+    if (app_name == "MST")
+        return 256 * 1024;
+    if (app_name == "Parser")
+        return 128 * 1024;
+    if (app_name == "Sparse")
+        return 256 * 1024;
+    if (app_name == "Tree")
+        return 8 * 1024;
+    sim::fatal("unknown application '%s'", app_name.c_str());
+}
+
+} // namespace workloads

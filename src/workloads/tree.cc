@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tree: the Barnes-Hut treecode (2048 bodies, as in Table 2).
+ *
+ * A real octree is built over random bodies and the force-computation
+ * phase performs the classic theta-criterion traversal per body.
+ * Bodies are visited in tree order, so consecutive bodies walk almost
+ * identical node sequences: long dependent pointer chains whose miss
+ * pattern repeats -- purely irregular (no sequential component), with
+ * a footprint just above the L2, producing the conflict-limited
+ * speedups the paper reports for Tree.
+ */
+
+#include "workloads/apps.hh"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace workloads {
+
+namespace {
+
+struct BhNode
+{
+    double cx, cy, cz;      //!< cell center
+    double half;            //!< half-width
+    double mx, my, mz;      //!< center of mass
+    int body = -1;          //!< leaf body index, or -1
+    bool leaf = true;
+    std::array<int, 8> child{-1, -1, -1, -1, -1, -1, -1, -1};
+};
+
+struct Body
+{
+    double x, y, z;
+};
+
+class Octree
+{
+  public:
+    explicit Octree(const std::vector<Body> &bodies) : bodies_(bodies)
+    {
+        nodes_.push_back(makeCell(0.5, 0.5, 0.5, 0.5));
+        for (std::size_t i = 0; i < bodies.size(); ++i)
+            insert(0, static_cast<int>(i), 0);
+        computeMass(0);
+    }
+
+    const std::vector<BhNode> &nodes() const { return nodes_; }
+
+  private:
+    BhNode
+    makeCell(double cx, double cy, double cz, double half)
+    {
+        BhNode n;
+        n.cx = cx;
+        n.cy = cy;
+        n.cz = cz;
+        n.half = half;
+        n.leaf = true;
+        return n;
+    }
+
+    int
+    octant(const BhNode &n, const Body &b) const
+    {
+        return (b.x >= n.cx ? 1 : 0) | (b.y >= n.cy ? 2 : 0) |
+               (b.z >= n.cz ? 4 : 0);
+    }
+
+    void
+    insert(int node_idx, int body_idx, int depth)
+    {
+        BhNode &n = nodes_[node_idx];
+        if (n.leaf && n.body < 0) {
+            n.body = body_idx;
+            return;
+        }
+        if (n.leaf) {
+            // Split: push the resident body down (bounded depth).
+            if (depth > 24)
+                return;  // coincident points: drop
+            const int old_body = n.body;
+            n.leaf = false;
+            n.body = -1;
+            pushDown(node_idx, old_body, depth);
+        }
+        pushDown(node_idx, body_idx, depth);
+    }
+
+    void
+    pushDown(int node_idx, int body_idx, int depth)
+    {
+        const int oct = octant(nodes_[node_idx], bodies_[body_idx]);
+        int child = nodes_[node_idx].child[oct];
+        if (child < 0) {
+            const BhNode &n = nodes_[node_idx];
+            const double h = n.half / 2;
+            BhNode cell = makeCell(n.cx + ((oct & 1) ? h : -h),
+                                   n.cy + ((oct & 2) ? h : -h),
+                                   n.cz + ((oct & 4) ? h : -h), h);
+            nodes_.push_back(cell);
+            child = static_cast<int>(nodes_.size()) - 1;
+            nodes_[node_idx].child[oct] = child;
+        }
+        insert(child, body_idx, depth + 1);
+    }
+
+    void
+    computeMass(int node_idx)
+    {
+        BhNode &n = nodes_[node_idx];
+        if (n.leaf) {
+            if (n.body >= 0) {
+                n.mx = bodies_[n.body].x;
+                n.my = bodies_[n.body].y;
+                n.mz = bodies_[n.body].z;
+            }
+            return;
+        }
+        double sx = 0, sy = 0, sz = 0;
+        int count = 0;
+        for (int c : n.child) {
+            if (c < 0)
+                continue;
+            computeMass(c);
+            sx += nodes_[c].mx;
+            sy += nodes_[c].my;
+            sz += nodes_[c].mz;
+            ++count;
+        }
+        if (count > 0) {
+            n.mx = sx / count;
+            n.my = sy / count;
+            n.mz = sz / count;
+        }
+    }
+
+    const std::vector<Body> &bodies_;
+    std::vector<BhNode> nodes_;
+};
+
+} // namespace
+
+void
+TreeWorkload::generate(TraceBuilder &tb, sim::Rng &rng)
+{
+    const std::size_t num_bodies = scaled(2048, 64);
+    const std::size_t timesteps = 3;
+    const std::size_t node_bytes = 256;  // cell + mass + child data
+    const std::size_t body_bytes = 256;  // pos/vel/acc/phi per body
+    const double theta = 0.45;  // opening angle: deeper traversals
+
+    std::vector<Body> bodies(num_bodies);
+    for (auto &b : bodies)
+        b = Body{rng.real(), rng.real(), rng.real()};
+
+    Octree tree(bodies);
+    const std::size_t num_nodes = tree.nodes().size();
+
+    const sim::Addr node_base = tb.alloc(node_bytes * num_nodes);
+    const sim::Addr body_base = tb.alloc(body_bytes * num_bodies);
+
+    // Visit bodies in tree (Morton-ish) order so consecutive bodies
+    // make similar traversals, as the real treecode does.
+    std::vector<int> body_order;
+    body_order.reserve(num_bodies);
+    {
+        std::vector<int> stack{0};
+        while (!stack.empty()) {
+            const int idx = stack.back();
+            stack.pop_back();
+            const BhNode &n = tree.nodes()[idx];
+            if (n.leaf) {
+                if (n.body >= 0)
+                    body_order.push_back(n.body);
+                continue;
+            }
+            for (int c : n.child) {
+                if (c >= 0)
+                    stack.push_back(c);
+            }
+        }
+    }
+
+    for (std::size_t step = 0; step < timesteps; ++step) {
+        for (int bi : body_order) {
+            const Body &b = bodies[static_cast<std::size_t>(bi)];
+            tb.compute(18);
+            tb.load(body_base + body_bytes * bi);
+
+            // Theta-criterion depth-first force traversal.
+            std::vector<int> stack{0};
+            while (!stack.empty()) {
+                const int idx = stack.back();
+                stack.pop_back();
+                const BhNode &n = tree.nodes()[idx];
+                tb.compute(16);
+                tb.load(node_base + node_bytes * idx,
+                        /*depends_on_prev=*/true);
+                tb.compute(12);
+                // Center-of-mass data sits on the cell's second line.
+                tb.load(node_base + node_bytes * idx + 64,
+                        /*depends_on_prev=*/true);
+
+                const double dx = n.mx - b.x;
+                const double dy = n.my - b.y;
+                const double dz = n.mz - b.z;
+                const double dist =
+                    std::sqrt(dx * dx + dy * dy + dz * dz) + 1e-9;
+                if (n.leaf || (2 * n.half) / dist < theta) {
+                    // Body-body interaction: read the other body's
+                    // position from the body array.
+                    if (n.leaf && n.body >= 0 && n.body != bi) {
+                        tb.compute(8);
+                        tb.load(body_base + body_bytes * n.body,
+                                /*depends_on_prev=*/true);
+                    }
+                    tb.compute(30);  // force accumulation
+                    continue;
+                }
+                tb.compute(6);
+                for (int c : n.child) {
+                    if (c >= 0)
+                        stack.push_back(c);
+                }
+            }
+            tb.compute(8);
+            tb.store(body_base + body_bytes * bi + 64);
+        }
+    }
+}
+
+} // namespace workloads

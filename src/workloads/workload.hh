@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Workload infrastructure: the nine applications of Table 2.
+ *
+ * The paper drives its simulator with SPEC/NAS/Olden binaries; this
+ * repository substitutes kernels that reproduce the same dynamic
+ * memory-reference behaviour from the same algorithmic sources (CRS
+ * sparse algebra, FFT transposes, network-simplex pointer chasing,
+ * spanning-tree hash walks, dictionary lookups, Barnes-Hut octrees).
+ * What matters for correlation prefetching is the *shape* of the L2
+ * miss stream -- which patterns repeat, which references depend on the
+ * previous load, how much compute separates misses -- and each kernel
+ * is built to preserve that shape (see DESIGN.md, substitutions).
+ *
+ * Each workload deterministically generates its full dynamic trace
+ * from a seed, so every prefetching configuration replays an identical
+ * reference stream.
+ */
+
+#ifndef WORKLOADS_WORKLOAD_HH
+#define WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace workloads {
+
+/** Size/length multiplier for a workload instance. */
+struct WorkloadParams
+{
+    std::uint64_t seed = 0xA11CE;
+    /** 1.0 = evaluation size; tests use smaller scales. */
+    double scale = 1.0;
+};
+
+/** Accumulates the dynamic trace of a kernel. */
+class TraceBuilder
+{
+  public:
+    /** Allocate a region of the simulated address space. */
+    sim::Addr
+    alloc(std::size_t bytes, std::size_t align = 64)
+    {
+        cursor_ = (cursor_ + align - 1) / align * align;
+        const sim::Addr base = cursor_;
+        cursor_ += bytes;
+        return base;
+    }
+
+    /**
+     * Allocate at a set-conflicting address: the region starts at the
+     * next multiple of @p stride_bytes, so consecutive allocations
+     * alias the same cache sets (used to reproduce the conflict-heavy
+     * behaviour of Sparse/FT).
+     */
+    sim::Addr
+    allocAligned(std::size_t bytes, std::size_t stride_bytes)
+    {
+        cursor_ = (cursor_ + stride_bytes - 1) / stride_bytes *
+                  stride_bytes;
+        const sim::Addr base = cursor_;
+        cursor_ += bytes;
+        return base;
+    }
+
+    /** Queue compute work to attach to the next reference. */
+    void compute(std::uint32_t ops) { pendingOps_ += ops; }
+
+    void
+    load(sim::Addr addr, bool depends_on_prev = false)
+    {
+        recs_.push_back(cpu::TraceRecord{takeOps(), addr, false,
+                                         depends_on_prev});
+    }
+
+    void
+    store(sim::Addr addr, bool depends_on_prev = false)
+    {
+        recs_.push_back(cpu::TraceRecord{takeOps(), addr, true,
+                                         depends_on_prev});
+    }
+
+    /** Flush pending compute as a reference-free record. */
+    void
+    flushCompute()
+    {
+        if (pendingOps_ > 0) {
+            recs_.push_back(cpu::TraceRecord{takeOps(),
+                                             sim::invalidAddr, false,
+                                             false});
+        }
+    }
+
+    std::vector<cpu::TraceRecord> &records() { return recs_; }
+    std::size_t footprint() const { return cursor_ - base_; }
+
+  private:
+    std::uint32_t
+    takeOps()
+    {
+        const std::uint32_t ops = pendingOps_;
+        pendingOps_ = 0;
+        return ops;
+    }
+
+    static constexpr sim::Addr base_ = 0x1000'0000;
+    sim::Addr cursor_ = base_;
+    std::uint32_t pendingOps_ = 0;
+    std::vector<cpu::TraceRecord> recs_;
+};
+
+/** A named, resettable workload. */
+class Workload : public cpu::TraceSource
+{
+  public:
+    explicit Workload(const WorkloadParams &p) : params_(p) {}
+
+    virtual std::string name() const = 0;
+
+    bool
+    next(cpu::TraceRecord &rec) override
+    {
+        if (!generated_) {
+            TraceBuilder tb;
+            sim::Rng rng(params_.seed);
+            generate(tb, rng);
+            tb.flushCompute();
+            records_ = std::move(tb.records());
+            footprint_ = tb.footprint();
+            generated_ = true;
+        }
+        if (pos_ >= records_.size())
+            return false;
+        rec = records_[pos_++];
+        return true;
+    }
+
+    /** Rewind so the identical trace replays. */
+    void reset() { pos_ = 0; }
+
+    std::size_t
+    footprintBytes()
+    {
+        ensureGenerated();
+        return footprint_;
+    }
+
+    std::size_t
+    traceLength()
+    {
+        ensureGenerated();
+        return records_.size();
+    }
+
+  protected:
+    /** Produce the full dynamic trace. */
+    virtual void generate(TraceBuilder &tb, sim::Rng &rng) = 0;
+
+    /** Scaled size helper: max(minimum, round(n * scale)). */
+    std::size_t
+    scaled(std::size_t n, std::size_t minimum = 16) const
+    {
+        const double v = static_cast<double>(n) * params_.scale;
+        const auto r = static_cast<std::size_t>(v);
+        return r < minimum ? minimum : r;
+    }
+
+    const WorkloadParams &params() const { return params_; }
+
+  private:
+    void
+    ensureGenerated()
+    {
+        cpu::TraceRecord rec;
+        if (!generated_) {
+            const std::size_t save = pos_;
+            next(rec);
+            pos_ = save;
+        }
+    }
+
+    WorkloadParams params_;
+    bool generated_ = false;
+    std::vector<cpu::TraceRecord> records_;
+    std::size_t footprint_ = 0;
+    std::size_t pos_ = 0;
+};
+
+/** The nine applications of Table 2, in the paper's order. */
+const std::vector<std::string> &applicationNames();
+
+/** Construct a workload by name ("CG", "Equake", ..., "Tree"). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &p);
+
+/** The paper's per-application correlation-table rows (Table 2). */
+std::uint32_t tableNumRows(const std::string &app_name);
+
+} // namespace workloads
+
+#endif // WORKLOADS_WORKLOAD_HH

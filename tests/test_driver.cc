@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the driver layer: configuration builders (incl. the Table
+ * 5 customizations), the algorithm factory, report formatting, and the
+ * profiling ULMT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hh"
+#include "core/profiler.hh"
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+
+namespace {
+
+TEST(Factory, NamesRoundTrip)
+{
+    for (core::UlmtAlgo a :
+         {core::UlmtAlgo::Base, core::UlmtAlgo::Chain,
+          core::UlmtAlgo::Repl, core::UlmtAlgo::Seq1,
+          core::UlmtAlgo::Seq4, core::UlmtAlgo::Seq4Base,
+          core::UlmtAlgo::Seq4Repl, core::UlmtAlgo::Seq1Repl,
+          core::UlmtAlgo::Adaptive, core::UlmtAlgo::Profile}) {
+        EXPECT_EQ(core::parseUlmtAlgo(core::to_string(a)), a);
+        core::UlmtSpec spec;
+        spec.algo = a;
+        spec.numRows = 1024;
+        auto algo = core::makeAlgorithm(spec);
+        ASSERT_NE(algo, nullptr) << core::to_string(a);
+        EXPECT_EQ(algo->name(), core::to_string(a));
+    }
+    core::UlmtSpec none;
+    none.algo = core::UlmtAlgo::None;
+    EXPECT_EQ(core::makeAlgorithm(none), nullptr);
+}
+
+TEST(Factory, Table4Defaults)
+{
+    core::CorrelationParams base = core::baseDefaults(64 * 1024);
+    EXPECT_EQ(base.numSucc, 4u);
+    EXPECT_EQ(base.assoc, 4u);
+    core::CorrelationParams cr = core::chainReplDefaults(64 * 1024);
+    EXPECT_EQ(cr.numSucc, 2u);
+    EXPECT_EQ(cr.assoc, 2u);
+    EXPECT_EQ(cr.numLevels, 3u);
+}
+
+TEST(Experiment, Table5Customizations)
+{
+    driver::ExperimentOptions o;
+    bool customized = false;
+
+    // CG: Seq1+Repl in Verbose mode, Conven4 on.
+    driver::SystemConfig cg = driver::customConfig(o, "CG", customized);
+    EXPECT_TRUE(customized);
+    EXPECT_TRUE(cg.conven4);
+    EXPECT_TRUE(cg.ulmt.verbose);
+    EXPECT_EQ(cg.ulmt.algo, core::UlmtAlgo::Seq1Repl);
+
+    // MST and Mcf: Repl with NumLevels = 4.
+    for (const char *app : {"MST", "Mcf"}) {
+        driver::SystemConfig c =
+            driver::customConfig(o, app, customized);
+        EXPECT_TRUE(customized) << app;
+        EXPECT_EQ(c.ulmt.algo, core::UlmtAlgo::Repl);
+        EXPECT_EQ(c.ulmt.numLevels, 4u);
+        EXPECT_FALSE(c.ulmt.verbose);
+    }
+
+    // Everyone else: plain Conven4+Repl.
+    driver::SystemConfig other =
+        driver::customConfig(o, "Gap", customized);
+    EXPECT_FALSE(customized);
+    EXPECT_EQ(other.ulmt.algo, core::UlmtAlgo::Repl);
+    EXPECT_EQ(other.ulmt.numLevels, 3u);
+}
+
+TEST(Experiment, ConfigBuilders)
+{
+    driver::ExperimentOptions o;
+    EXPECT_EQ(driver::noPrefConfig(o).label, "NoPref");
+    EXPECT_FALSE(driver::noPrefConfig(o).conven4);
+    EXPECT_TRUE(driver::conven4Config(o).conven4);
+    const driver::SystemConfig u =
+        driver::ulmtConfig(o, core::UlmtAlgo::Chain, "Mcf");
+    EXPECT_EQ(u.label, "Chain");
+    EXPECT_EQ(u.ulmt.numRows, workloads::tableNumRows("Mcf"));
+    const driver::SystemConfig c = driver::conven4PlusUlmtConfig(
+        o, core::UlmtAlgo::Repl, "Tree");
+    EXPECT_EQ(c.label, "Conven4+Repl");
+    EXPECT_TRUE(c.conven4);
+    EXPECT_EQ(c.ulmt.numRows, 8u * 1024u);
+}
+
+TEST(Report, TextTableAligns)
+{
+    driver::TextTable t({"A", "LongHeader"});
+    t.addRow({"xx", "1"});
+    t.addRow({"y", "22"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("A   LongHeader"), std::string::npos);
+    EXPECT_NE(s.find("xx  1"), std::string::npos);
+    EXPECT_NE(s.find("y   22"), std::string::npos);
+}
+
+TEST(Report, Formatting)
+{
+    EXPECT_EQ(driver::fmt(1.2345), "1.23");
+    EXPECT_EQ(driver::fmt(1.2345, 1), "1.2");
+    EXPECT_EQ(driver::fmtPercent(0.375), "37.5%");
+    EXPECT_EQ(driver::mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(driver::mean({}), 0.0);
+}
+
+TEST(Profiler, ReportsHotPagesAndSets)
+{
+    core::ProfilingUlmt prof(4096, 2048, 64);
+    core::NullCostTracker nc;
+    std::vector<sim::Addr> discard;
+    // 100 misses on page 3, 10 on page 7, sequential within page 3.
+    for (int i = 0; i < 100; ++i) {
+        prof.prefetchStep(3 * 4096 + (i % 64) * 64, discard, nc);
+        prof.learnStep(3 * 4096 + (i % 64) * 64, nc);
+    }
+    for (int i = 0; i < 10; ++i)
+        prof.learnStep(7 * 4096 + i * 64, nc);
+
+    const core::MissProfile p = prof.report(5);
+    EXPECT_EQ(p.misses, 110u);
+    ASSERT_FALSE(p.hottestPages.empty());
+    EXPECT_EQ(p.hottestPages[0].first, 3u);
+    EXPECT_EQ(p.hottestPages[0].second, 100u);
+    EXPECT_GT(p.sequentialFraction, 0.5);
+    EXPECT_GT(p.distinctLines, 60u);
+    EXPECT_FALSE(p.hottestSets.empty());
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the memory controller: demand fetch latency, the ULMT
+ * prefetch injection path (Filter, queue-3 capacity, queue-1
+ * cross-match), table-access latencies per placement, and the
+ * Verbose/Non-Verbose observation modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/memory_system.hh"
+
+namespace {
+
+struct RecordingObserver : public mem::MissObserver
+{
+    void
+    observeMiss(sim::Cycle when, sim::Addr line,
+                sim::RequestKind kind) override
+    {
+        events.push_back({when, line, kind});
+    }
+
+    struct Event
+    {
+        sim::Cycle when;
+        sim::Addr line;
+        sim::RequestKind kind;
+    };
+    std::vector<Event> events;
+};
+
+struct Fixture : public ::testing::Test
+{
+    Fixture() : ms(eq, tp) {}
+
+    sim::EventQueue eq;
+    mem::TimingParams tp;
+    mem::MemorySystem ms{eq, tp};
+};
+
+TEST_F(Fixture, DemandFetchUncontendedLatency)
+{
+    const sim::Cycle done =
+        ms.fetchLine(0, 0x10000, sim::RequestKind::Demand);
+    EXPECT_EQ(done, tp.memRowMissRt());  // cold row
+    eq.run();
+    const sim::Cycle done2 =
+        ms.fetchLine(eq.now() + 10000, 0x10040,
+                     sim::RequestKind::Demand);
+    EXPECT_EQ(done2 - (eq.now() + 10000), tp.memRowHitRt());
+}
+
+TEST_F(Fixture, ObserverSeesDemandAtControllerTime)
+{
+    RecordingObserver obs;
+    ms.setObserver(&obs, /*verbose=*/false);
+    ms.fetchLine(100, 0x40, sim::RequestKind::Demand);
+    ASSERT_EQ(obs.events.size(), 1u);
+    EXPECT_EQ(obs.events[0].line, 0x40u);
+    // Request phase: bus (4) + fixed request path (44).
+    EXPECT_EQ(obs.events[0].when, 148u);
+}
+
+TEST_F(Fixture, NonVerboseHidesCpuPrefetches)
+{
+    RecordingObserver obs;
+    ms.setObserver(&obs, /*verbose=*/false);
+    ms.fetchLine(0, 0x40, sim::RequestKind::CpuPrefetch);
+    EXPECT_TRUE(obs.events.empty());
+    ms.setObserver(&obs, /*verbose=*/true);
+    ms.fetchLine(1000, 0x80, sim::RequestKind::CpuPrefetch);
+    ASSERT_EQ(obs.events.size(), 1u);
+    EXPECT_EQ(obs.events[0].kind, sim::RequestKind::CpuPrefetch);
+}
+
+TEST_F(Fixture, PrefetchDeliveredToPushCallback)
+{
+    std::vector<std::pair<sim::Cycle, sim::Addr>> pushes;
+    ms.setPushCallback([&](sim::Cycle when, sim::Addr line) {
+        pushes.emplace_back(when, line);
+    });
+    EXPECT_TRUE(ms.ulmtPrefetch(0, 0x1000));
+    EXPECT_EQ(ms.inflightPrefetchArrival(0x1000),
+              tp.bankRowMissCycles + tp.channelXferCycles + 32 + 32);
+    eq.run();
+    ASSERT_EQ(pushes.size(), 1u);
+    EXPECT_EQ(pushes[0].second, 0x1000u);
+    // Delivered and no longer in flight.
+    EXPECT_EQ(ms.inflightPrefetchArrival(0x1000), sim::neverCycle);
+}
+
+TEST_F(Fixture, FilterDropsRepeats)
+{
+    EXPECT_TRUE(ms.ulmtPrefetch(0, 0x40));
+    eq.run();
+    EXPECT_FALSE(ms.ulmtPrefetch(eq.now(), 0x40));
+    EXPECT_EQ(ms.stats().ulmtPrefetchesDroppedFilter, 1u);
+    // After 32 other issued prefetches the entry ages out of the FIFO
+    // (draining in between so queue 3 never rejects them).
+    for (std::uint32_t i = 1; i <= 32; ++i) {
+        EXPECT_TRUE(ms.ulmtPrefetch(eq.now(), 0x40 + i * 64 * 100));
+        eq.run();
+    }
+    EXPECT_TRUE(ms.ulmtPrefetch(eq.now(), 0x40));
+}
+
+TEST_F(Fixture, Queue3CapacityBoundsInflight)
+{
+    std::uint32_t issued = 0;
+    for (std::uint32_t i = 0; i < tp.queueDepth + 8; ++i) {
+        if (ms.ulmtPrefetch(0, 0x100000 + i * 64))
+            ++issued;
+    }
+    EXPECT_EQ(issued, tp.queueDepth);
+    EXPECT_EQ(ms.stats().ulmtPrefetchesDroppedQueueFull, 8u);
+}
+
+TEST_F(Fixture, DemandMatchCancelsPrefetch)
+{
+    ms.fetchLine(0, 0x2000, sim::RequestKind::Demand);
+    EXPECT_FALSE(ms.ulmtPrefetch(10, 0x2000));
+    EXPECT_EQ(ms.stats().ulmtPrefetchesDroppedDemandMatch, 1u);
+    // After the demand completes the match clears.
+    eq.run();
+    EXPECT_TRUE(ms.ulmtPrefetch(eq.now(), 0x2000));
+}
+
+TEST_F(Fixture, DuplicateInflightPrefetchDropped)
+{
+    EXPECT_TRUE(ms.ulmtPrefetch(0, 0x3000));
+    EXPECT_FALSE(ms.ulmtPrefetch(1, 0x3000));
+}
+
+TEST_F(Fixture, TableAccessInDramLatency)
+{
+    EXPECT_EQ(ms.tableAccess(0, 0x40'0000'0000ULL, false), 56u);
+    // Second access to the same DRAM row: row hit -> 21 cycles.
+    const sim::Cycle t2 =
+        ms.tableAccess(1000, 0x40'0000'0020ULL, false);
+    EXPECT_EQ(t2 - 1000, 21u);
+}
+
+TEST(MemorySystemNb, TableAccessNorthBridgeLatency)
+{
+    sim::EventQueue eq;
+    mem::TimingParams tp;
+    tp.placement = mem::MemProcPlacement::NorthBridge;
+    mem::MemorySystem ms(eq, tp);
+    EXPECT_EQ(ms.tableAccess(0, 0x40'0000'0000ULL, false), 100u);
+    EXPECT_EQ(ms.tableAccess(1000, 0x40'0000'0020ULL, false) - 1000,
+              65u);
+}
+
+TEST(MemorySystemNb, PrefetchInjectDelayApplies)
+{
+    sim::EventQueue eq;
+    mem::TimingParams tp_dram;
+    mem::TimingParams tp_nb;
+    tp_nb.placement = mem::MemProcPlacement::NorthBridge;
+    mem::MemorySystem in_dram(eq, tp_dram);
+    mem::MemorySystem in_nb(eq, tp_nb);
+    in_dram.ulmtPrefetch(0, 0x5000);
+    in_nb.ulmtPrefetch(0, 0x5000);
+    EXPECT_EQ(in_nb.inflightPrefetchArrival(0x5000),
+              in_dram.inflightPrefetchArrival(0x5000) +
+                  tp_nb.prefetchInjectDelay);
+}
+
+TEST_F(Fixture, WritebackOccupiesBusAndDram)
+{
+    ms.writeback(0, 0x4000);
+    EXPECT_EQ(ms.stats().writebacks, 1u);
+    EXPECT_EQ(ms.bus().busy(mem::BusTraffic::Writeback), 32u);
+    EXPECT_EQ(ms.dram().stats().accesses, 1u);
+}
+
+} // namespace

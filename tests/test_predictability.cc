@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the Figure 5 predictability evaluator on synthetic miss
+ * streams with known structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/base_chain.hh"
+#include "core/predictability.hh"
+#include "core/replicated.hh"
+#include "core/seq_prefetcher.hh"
+#include "sim/random.hh"
+
+namespace {
+
+core::CorrelationParams
+bigParams()
+{
+    core::CorrelationParams p;
+    p.numRows = 4096;
+    p.assoc = 4;
+    p.numSucc = 4;
+    p.numLevels = 3;
+    return p;
+}
+
+std::vector<sim::Addr>
+repeatingCycle(std::size_t cycle_len, std::size_t reps,
+               std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<sim::Addr> cycle;
+    for (std::size_t i = 0; i < cycle_len; ++i)
+        cycle.push_back(rng.below(1 << 18) * 64);
+    std::vector<sim::Addr> stream;
+    for (std::size_t r = 0; r < reps; ++r)
+        stream.insert(stream.end(), cycle.begin(), cycle.end());
+    return stream;
+}
+
+TEST(Predictability, RepeatingIrregularCycleIsFullyPredictable)
+{
+    const auto stream = repeatingCycle(128, 20, 5);
+    core::ReplicatedPrefetcher repl(bigParams());
+    const auto res = core::evaluatePredictability(repl, stream, 3);
+    // After the first cycle everything repeats: high at all levels.
+    EXPECT_GT(res.accuracy[0], 0.9);
+    EXPECT_GT(res.accuracy[1], 0.9);
+    EXPECT_GT(res.accuracy[2], 0.9);
+}
+
+TEST(Predictability, RandomStreamIsUnpredictable)
+{
+    sim::Rng rng(11);
+    std::vector<sim::Addr> stream;
+    for (int i = 0; i < 4000; ++i)
+        stream.push_back(rng.below(1 << 22) * 64);
+    core::ReplicatedPrefetcher repl(bigParams());
+    const auto res = core::evaluatePredictability(repl, stream, 3);
+    EXPECT_LT(res.accuracy[0], 0.05);
+}
+
+TEST(Predictability, SequentialStreamFullyCoveredBySeq)
+{
+    std::vector<sim::Addr> stream;
+    for (int i = 0; i < 2000; ++i)
+        stream.push_back(0x100000 + i * 64);
+    core::SeqParams p;
+    p.numSeq = 1;
+    core::SeqPrefetcher seq(p);
+    const auto res = core::evaluatePredictability(seq, stream, 3);
+    EXPECT_GT(res.accuracy[0], 0.95);
+    EXPECT_GT(res.accuracy[2], 0.95);
+}
+
+TEST(Predictability, BaseOnlyPredictsLevelOne)
+{
+    const auto stream = repeatingCycle(64, 10, 3);
+    core::BasePrefetcher base(bigParams());
+    const auto res = core::evaluatePredictability(base, stream, 3);
+    EXPECT_GT(res.accuracy[0], 0.8);
+    // Base has no level-2/3 predictions.
+    EXPECT_EQ(res.accuracy[1], 0.0);
+    EXPECT_EQ(res.accuracy[2], 0.0);
+}
+
+TEST(Predictability, ChainDegradesOnAlternation)
+{
+    // Two alternating contexts around a shared address break the MRU
+    // path: Chain loses deep levels, Replicated keeps them.
+    std::vector<sim::Addr> stream;
+    for (int rep = 0; rep < 200; ++rep) {
+        // a, b, c then b, e, f: successors of b alternate.
+        for (sim::Addr a : {0x1000, 0x2000, 0x3000, 0x2000, 0x5000,
+                            0x6000})
+            stream.push_back(a);
+    }
+    core::CorrelationParams p = bigParams();
+    core::ChainPrefetcher chain(p);
+    core::ReplicatedPrefetcher repl(p);
+    const auto chain_res =
+        core::evaluatePredictability(chain, stream, 3);
+    const auto repl_res = core::evaluatePredictability(repl, stream, 3);
+    EXPECT_GT(repl_res.accuracy[1], chain_res.accuracy[1]);
+    EXPECT_GE(repl_res.accuracy[2], chain_res.accuracy[2]);
+    EXPECT_GT(repl_res.accuracy[1], 0.9);
+}
+
+TEST(Predictability, EmptyStream)
+{
+    core::ReplicatedPrefetcher repl(bigParams());
+    const auto res = core::evaluatePredictability(repl, {}, 3);
+    EXPECT_EQ(res.misses, 0u);
+    EXPECT_EQ(res.accuracy[0], 0.0);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the correlation-table
+ * invariants, across table geometries and algorithm parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/base_chain.hh"
+#include "core/replicated.hh"
+#include "sim/random.hh"
+
+namespace {
+
+core::NullCostTracker nc;
+
+/** (numRows, assoc, numSucc, numLevels) */
+using Params =
+    std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+               std::uint32_t>;
+
+core::CorrelationParams
+make(const Params &p)
+{
+    core::CorrelationParams cp;
+    cp.numRows = std::get<0>(p);
+    cp.assoc = std::get<1>(p);
+    cp.numSucc = std::get<2>(p);
+    cp.numLevels = std::get<3>(p);
+    return cp;
+}
+
+std::vector<sim::Addr>
+randomStream(std::size_t n, std::size_t distinct, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<sim::Addr> s(n);
+    for (auto &a : s)
+        a = rng.below(distinct) * 64;
+    return s;
+}
+
+class ReplProperties : public ::testing::TestWithParam<Params>
+{
+};
+
+TEST_P(ReplProperties, PrefetchCountBounded)
+{
+    const core::CorrelationParams cp = make(GetParam());
+    core::ReplicatedPrefetcher repl(cp);
+    std::vector<sim::Addr> out;
+    for (sim::Addr m : randomStream(3000, 512, 1)) {
+        out.clear();
+        repl.prefetchStep(m, out, nc);
+        EXPECT_LE(out.size(),
+                  static_cast<std::size_t>(cp.numSucc) * cp.numLevels);
+        repl.learnStep(m, nc);
+    }
+}
+
+TEST_P(ReplProperties, PredictionsMatchDeclaredShape)
+{
+    const core::CorrelationParams cp = make(GetParam());
+    core::ReplicatedPrefetcher repl(cp);
+    core::LevelPredictions preds;
+    for (sim::Addr m : randomStream(2000, 256, 2)) {
+        repl.predict(m, preds);
+        ASSERT_EQ(preds.size(), cp.numLevels);
+        for (const auto &level : preds)
+            ASSERT_LE(level.size(), cp.numSucc);
+        repl.learnStep(m, nc);
+    }
+}
+
+TEST_P(ReplProperties, TrueMruSuccessorAtEveryLevel)
+{
+    // The defining property of Replicated (Table 1): after observing a
+    // deterministic sequence, the level-k MRU entry of row X is the
+    // k-th miss after X's most recent occurrence.
+    const core::CorrelationParams cp = make(GetParam());
+    core::ReplicatedPrefetcher repl(cp);
+    const auto stream = randomStream(4000, 64, 3);
+    for (sim::Addr m : stream)
+        repl.learnStep(m, nc);
+
+    // Find the LAST occurrence of each address with numLevels
+    // followers available, and check the MRU entries.
+    for (std::size_t i = stream.size() - cp.numLevels - 1;
+         i > stream.size() - 200; --i) {
+        const sim::Addr x = stream[i];
+        // Only the final occurrence of x reflects the MRU state.
+        bool later = false;
+        for (std::size_t j = i + 1; j < stream.size(); ++j) {
+            if (stream[j] == x)
+                later = true;
+        }
+        if (later)
+            continue;
+        core::LevelPredictions preds;
+        repl.predict(x, preds);
+        for (std::uint32_t lvl = 0; lvl < cp.numLevels; ++lvl) {
+            if (preds[lvl].empty())
+                continue;  // row may have been displaced
+            EXPECT_EQ(preds[lvl].front(), stream[i + 1 + lvl])
+                << "level " << lvl + 1;
+        }
+    }
+}
+
+TEST_P(ReplProperties, InsertionsNeverExceedObservations)
+{
+    const core::CorrelationParams cp = make(GetParam());
+    core::ReplicatedPrefetcher repl(cp);
+    const auto stream = randomStream(3000, 1024, 4);
+    for (sim::Addr m : stream)
+        repl.learnStep(m, nc);
+    EXPECT_LE(repl.insertions(), stream.size());
+    EXPECT_LE(repl.replacements(), repl.insertions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ReplProperties,
+    ::testing::Values(Params{256, 2, 2, 3}, Params{256, 4, 4, 3},
+                      Params{1024, 2, 2, 1}, Params{1024, 2, 1, 4},
+                      Params{4096, 4, 2, 2}, Params{512, 8, 3, 5}));
+
+class PairProperties : public ::testing::TestWithParam<Params>
+{
+};
+
+TEST_P(PairProperties, BasePrefetchesAtMostNumSucc)
+{
+    const core::CorrelationParams cp = make(GetParam());
+    core::BasePrefetcher base(cp);
+    std::vector<sim::Addr> out;
+    for (sim::Addr m : randomStream(3000, 512, 5)) {
+        out.clear();
+        base.prefetchStep(m, out, nc);
+        EXPECT_LE(out.size(), cp.numSucc);
+        base.learnStep(m, nc);
+    }
+}
+
+TEST_P(PairProperties, BaseLevelOneIsImmediateSuccessorSet)
+{
+    const core::CorrelationParams cp = make(GetParam());
+    core::BasePrefetcher base(cp);
+    const auto stream = randomStream(4000, 32, 6);
+    for (sim::Addr m : stream)
+        base.learnStep(m, nc);
+    // For the last 100 transitions x -> y, y must be in x's successor
+    // set unless more than numSucc distinct successors followed x
+    // afterwards (LRU displacement) or the row itself was displaced.
+    for (std::size_t i = stream.size() - 100; i + 1 < stream.size();
+         ++i) {
+        const sim::Addr x = stream[i];
+        const sim::Addr y = stream[i + 1];
+        // Count distinct successors of x observed after position i.
+        std::vector<sim::Addr> later;
+        for (std::size_t j = i + 1; j + 1 < stream.size(); ++j) {
+            if (stream[j] == x)
+                later.push_back(stream[j + 1]);
+        }
+        std::sort(later.begin(), later.end());
+        later.erase(std::unique(later.begin(), later.end()),
+                    later.end());
+        if (later.size() >= cp.numSucc)
+            continue;
+        core::LevelPredictions preds;
+        base.predict(x, preds);
+        if (preds[0].empty())
+            continue;  // row displaced by table conflicts
+        EXPECT_NE(std::find(preds[0].begin(), preds[0].end(), y),
+                  preds[0].end());
+    }
+}
+
+TEST_P(PairProperties, ChainNeverPrefetchesBeyondLevels)
+{
+    const core::CorrelationParams cp = make(GetParam());
+    core::ChainPrefetcher chain(cp);
+    std::vector<sim::Addr> out;
+    for (sim::Addr m : randomStream(3000, 128, 7)) {
+        out.clear();
+        chain.prefetchStep(m, out, nc);
+        EXPECT_LE(out.size(),
+                  static_cast<std::size_t>(cp.numSucc) * cp.numLevels);
+        chain.learnStep(m, nc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PairProperties,
+    ::testing::Values(Params{256, 2, 2, 3}, Params{1024, 4, 4, 2},
+                      Params{512, 2, 1, 3}, Params{2048, 8, 6, 4}));
+
+} // namespace

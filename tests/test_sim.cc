@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, resource
+ * timelines, RNG determinism, statistics containers, logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleEventsKeepSchedulingOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, EventLimitStopsRun)
+{
+    sim::EventQueue eq;
+    std::function<void()> forever = [&] { eq.scheduleIn(1, forever); };
+    eq.schedule(0, forever);
+    EXPECT_FALSE(eq.run(100));
+    EXPECT_EQ(eq.executed(), 100u);
+}
+
+TEST(ResourceTimeline, SerializesOverlappingRequests)
+{
+    sim::ResourceTimeline tl;
+    EXPECT_EQ(tl.acquire(0, 10), 0u);
+    EXPECT_EQ(tl.acquire(5, 10), 10u);   // busy until 10
+    EXPECT_EQ(tl.acquire(50, 10), 50u);  // idle gap
+    EXPECT_EQ(tl.busyTotal(), 30u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    sim::Rng a(42), b(42), c(43);
+    bool all_equal = true;
+    bool any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal &= va == b.next();
+        any_diff_seed |= va != c.next();
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    sim::Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, RealIsUnitInterval)
+{
+    sim::Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(SampleStat, TracksMoments)
+{
+    sim::SampleStat s;
+    EXPECT_EQ(s.mean(), 0.0);
+    s.sample(10);
+    s.sample(20);
+    s.sample(30);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(s.min(), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(BinnedHistogram, PaperBins)
+{
+    // The Figure 6 bins.
+    sim::BinnedHistogram h({0.0, 80.0, 200.0, 280.0});
+    h.sample(0);
+    h.sample(79);
+    h.sample(80);
+    h.sample(279);
+    h.sample(280);
+    h.sample(100000);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(3), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 2.0 / 6.0);
+}
+
+TEST(Logging, StrformatFormats)
+{
+    EXPECT_EQ(sim::strformat("a=%d b=%s", 3, "x"), "a=3 b=x");
+    EXPECT_EQ(sim::strformat("%05.1f", 2.25), "002.2");
+}
+
+} // namespace

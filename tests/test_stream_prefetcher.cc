@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the Conven4 processor-side stream prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/stream_prefetcher.hh"
+
+namespace {
+
+cpu::StreamPrefetcherParams
+params(std::uint32_t seq = 4, std::uint32_t pref = 6)
+{
+    return cpu::StreamPrefetcherParams{seq, pref, 32, 16};
+}
+
+TEST(StreamPrefetcher, DetectsOnThirdMiss)
+{
+    cpu::StreamPrefetcher pf(params());
+    std::vector<sim::Addr> out;
+    pf.observeMiss(0x1000, out);
+    EXPECT_TRUE(out.empty());
+    pf.observeMiss(0x1020, out);
+    EXPECT_TRUE(out.empty());
+    pf.observeMiss(0x1040, out);
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out[0], 0x1060u);
+    EXPECT_EQ(out[5], 0x1100u);
+    EXPECT_EQ(pf.streamsDetected(), 1u);
+}
+
+TEST(StreamPrefetcher, DetectsDescendingStream)
+{
+    cpu::StreamPrefetcher pf(params());
+    std::vector<sim::Addr> out;
+    pf.observeMiss(0x2000, out);
+    pf.observeMiss(0x1fe0, out);
+    pf.observeMiss(0x1fc0, out);
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out[0], 0x1fa0u);
+}
+
+TEST(StreamPrefetcher, NoDetectionOnRandomMisses)
+{
+    cpu::StreamPrefetcher pf(params());
+    std::vector<sim::Addr> out;
+    for (sim::Addr a : {0x1000u, 0x8000u, 0x3000u, 0x9000u, 0x5000u})
+        pf.observeMiss(a, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.streamsDetected(), 0u);
+}
+
+TEST(StreamPrefetcher, InterleavedStreamsBothDetected)
+{
+    cpu::StreamPrefetcher pf(params());
+    std::vector<sim::Addr> out;
+    for (int i = 0; i < 4; ++i) {
+        pf.observeMiss(0x10000 + i * 32, out);
+        pf.observeMiss(0x80000 + i * 32, out);
+    }
+    EXPECT_EQ(pf.streamsDetected(), 2u);
+}
+
+TEST(StreamPrefetcher, TouchTopsUpFixedLookahead)
+{
+    cpu::StreamPrefetcher pf(params());
+    std::vector<sim::Addr> out;
+    pf.observeMiss(0x1000, out);
+    pf.observeMiss(0x1020, out);
+    pf.observeMiss(0x1040, out);  // emits up to 0x1100
+    out.clear();
+    // Consuming the first prefetched line keeps NumPref of runway.
+    pf.observePrefetchedTouch(0x1060, /*late=*/false, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x1120u);
+    // The lookahead is fixed: a late touch does not grow it.
+    out.clear();
+    pf.observePrefetchedTouch(0x1080, /*late=*/true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x1140u);
+}
+
+TEST(StreamPrefetcher, RegisterMissRetriggers)
+{
+    cpu::StreamPrefetcher pf(params());
+    std::vector<sim::Addr> out;
+    pf.observeMiss(0x1000, out);
+    pf.observeMiss(0x1020, out);
+    pf.observeMiss(0x1040, out);
+    out.clear();
+    // A miss within the stream window: prefetch the next NumPref from
+    // the miss (the paper's stream-register behaviour).
+    pf.observeMiss(0x1120, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), 0x1120u + 6 * 32);
+}
+
+TEST(StreamPrefetcher, LruStreamReplacement)
+{
+    cpu::StreamPrefetcher pf(params(2, 6));  // only two registers
+    std::vector<sim::Addr> out;
+    auto detect = [&](sim::Addr base) {
+        for (int i = 0; i < 3; ++i)
+            pf.observeMiss(base + i * 32, out);
+    };
+    detect(0x10000);
+    detect(0x80000);
+    detect(0xF0000);  // evicts the 0x10000 stream
+    EXPECT_EQ(pf.streamsDetected(), 3u);
+    out.clear();
+    // The evicted stream no longer tops up on touches.
+    pf.observePrefetchedTouch(0x10000 + 3 * 32, false, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamPrefetcher, ResetClearsState)
+{
+    cpu::StreamPrefetcher pf(params());
+    std::vector<sim::Addr> out;
+    pf.observeMiss(0x1000, out);
+    pf.observeMiss(0x1020, out);
+    pf.reset();
+    pf.observeMiss(0x1040, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.streamsDetected(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the nine application kernels: determinism, replayability,
+ * footprints relative to the L2, dependence structure, and Table 2
+ * metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hh"
+
+namespace {
+
+workloads::WorkloadParams
+smallParams(std::uint64_t seed = 42)
+{
+    workloads::WorkloadParams p;
+    p.seed = seed;
+    p.scale = 0.05;
+    return p;
+}
+
+class EveryApp : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryApp, ProducesANonTrivialTrace)
+{
+    auto wl = workloads::makeWorkload(GetParam(), smallParams());
+    EXPECT_GT(wl->traceLength(), 1000u);
+    cpu::TraceRecord rec;
+    std::size_t refs = 0;
+    std::size_t n = 0;
+    while (wl->next(rec)) {
+        ++n;
+        if (rec.hasRef())
+            ++refs;
+    }
+    EXPECT_EQ(n, wl->traceLength());
+    EXPECT_GT(refs, n / 4);  // memory-intensive
+}
+
+TEST_P(EveryApp, DeterministicForSameSeed)
+{
+    auto a = workloads::makeWorkload(GetParam(), smallParams(7));
+    auto b = workloads::makeWorkload(GetParam(), smallParams(7));
+    cpu::TraceRecord ra, rb;
+    while (true) {
+        const bool ha = a->next(ra);
+        const bool hb = b->next(rb);
+        ASSERT_EQ(ha, hb);
+        if (!ha)
+            break;
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(ra.computeOps, rb.computeOps);
+        ASSERT_EQ(ra.isWrite, rb.isWrite);
+        ASSERT_EQ(ra.dependsOnPrev, rb.dependsOnPrev);
+    }
+}
+
+TEST_P(EveryApp, DifferentSeedsDiffer)
+{
+    auto a = workloads::makeWorkload(GetParam(), smallParams(7));
+    auto b = workloads::makeWorkload(GetParam(), smallParams(8));
+    cpu::TraceRecord ra, rb;
+    bool any_diff = false;
+    for (int i = 0; i < 5000; ++i) {
+        if (!a->next(ra) || !b->next(rb))
+            break;
+        if (ra.addr != rb.addr) {
+            any_diff = true;
+            break;
+        }
+    }
+    // FT is fully deterministic (no random structure); all others
+    // must depend on the seed.
+    if (GetParam() != "FT") {
+        EXPECT_TRUE(any_diff);
+    }
+}
+
+TEST_P(EveryApp, ResetReplaysIdentically)
+{
+    auto wl = workloads::makeWorkload(GetParam(), smallParams());
+    cpu::TraceRecord rec;
+    std::vector<sim::Addr> first;
+    for (int i = 0; i < 1000 && wl->next(rec); ++i)
+        first.push_back(rec.addr);
+    wl->reset();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_TRUE(wl->next(rec));
+        ASSERT_EQ(rec.addr, first[i]);
+    }
+}
+
+TEST_P(EveryApp, FullScaleFootprintExceedsL2)
+{
+    workloads::WorkloadParams p;
+    p.scale = 1.0;
+    auto wl = workloads::makeWorkload(GetParam(), p);
+    EXPECT_GT(wl->footprintBytes(), 512u * 1024u)
+        << GetParam() << " must not fit in the 512 KB L2";
+}
+
+TEST_P(EveryApp, Table2NumRowsDefined)
+{
+    const std::uint32_t rows = workloads::tableNumRows(GetParam());
+    EXPECT_GE(rows, 8u * 1024u);
+    EXPECT_LE(rows, 256u * 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, EveryApp,
+    ::testing::ValuesIn(workloads::applicationNames()),
+    [](const auto &info) { return info.param; });
+
+TEST(Workloads, NineApplications)
+{
+    EXPECT_EQ(workloads::applicationNames().size(), 9u);
+}
+
+TEST(Workloads, PointerChasersMarkDependences)
+{
+    for (const char *app_name : {"Mcf", "MST", "Tree"}) {
+        const std::string app(app_name);
+        auto wl = workloads::makeWorkload(app, smallParams());
+        cpu::TraceRecord rec;
+        std::size_t deps = 0, refs = 0;
+        while (wl->next(rec)) {
+            if (rec.hasRef()) {
+                ++refs;
+                if (rec.dependsOnPrev)
+                    ++deps;
+            }
+        }
+        EXPECT_GT(static_cast<double>(deps) /
+                      static_cast<double>(refs),
+                  0.5)
+            << app << " should be dominated by dependent references";
+    }
+}
+
+TEST(Workloads, StreamingAppsAreMostlyIndependent)
+{
+    for (const char *app_name : {"CG", "FT", "Sparse"}) {
+        const std::string app(app_name);
+        auto wl = workloads::makeWorkload(app, smallParams());
+        cpu::TraceRecord rec;
+        std::size_t deps = 0, refs = 0;
+        while (wl->next(rec)) {
+            if (rec.hasRef()) {
+                ++refs;
+                if (rec.dependsOnPrev)
+                    ++deps;
+            }
+        }
+        EXPECT_LT(static_cast<double>(deps) /
+                      static_cast<double>(refs),
+                  0.1)
+            << app;
+    }
+}
+
+TEST(Workloads, ScaleShrinksTheTrace)
+{
+    workloads::WorkloadParams small = smallParams();
+    workloads::WorkloadParams tiny = smallParams();
+    tiny.scale = 0.02;
+    for (const std::string &app : workloads::applicationNames()) {
+        auto a = workloads::makeWorkload(app, small);
+        auto b = workloads::makeWorkload(app, tiny);
+        EXPECT_GE(a->traceLength(), b->traceLength()) << app;
+    }
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(
+        { workloads::makeWorkload("NoSuchApp", smallParams()); },
+        ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+} // namespace
