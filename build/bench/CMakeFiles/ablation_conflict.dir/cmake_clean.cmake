@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conflict.dir/ablation_conflict.cc.o"
+  "CMakeFiles/ablation_conflict.dir/ablation_conflict.cc.o.d"
+  "ablation_conflict"
+  "ablation_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filter.dir/ablation_filter.cc.o"
+  "CMakeFiles/ablation_filter.dir/ablation_filter.cc.o.d"
+  "ablation_filter"
+  "ablation_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiprog.dir/ablation_multiprog.cc.o"
+  "CMakeFiles/ablation_multiprog.dir/ablation_multiprog.cc.o.d"
+  "ablation_multiprog"
+  "ablation_multiprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

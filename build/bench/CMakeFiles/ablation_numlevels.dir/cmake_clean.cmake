@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_numlevels.dir/ablation_numlevels.cc.o"
+  "CMakeFiles/ablation_numlevels.dir/ablation_numlevels.cc.o.d"
+  "ablation_numlevels"
+  "ablation_numlevels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_numlevels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_hw_correlation.dir/baseline_hw_correlation.cc.o"
+  "CMakeFiles/baseline_hw_correlation.dir/baseline_hw_correlation.cc.o.d"
+  "baseline_hw_correlation"
+  "baseline_hw_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_hw_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

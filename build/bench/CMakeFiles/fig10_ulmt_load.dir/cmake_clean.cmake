@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ulmt_load.dir/fig10_ulmt_load.cc.o"
+  "CMakeFiles/fig10_ulmt_load.dir/fig10_ulmt_load.cc.o.d"
+  "fig10_ulmt_load"
+  "fig10_ulmt_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ulmt_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

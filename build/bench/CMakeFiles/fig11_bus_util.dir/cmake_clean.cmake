@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bus_util.dir/fig11_bus_util.cc.o"
+  "CMakeFiles/fig11_bus_util.dir/fig11_bus_util.cc.o.d"
+  "fig11_bus_util"
+  "fig11_bus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_predictability.dir/fig5_predictability.cc.o"
+  "CMakeFiles/fig5_predictability.dir/fig5_predictability.cc.o.d"
+  "fig5_predictability"
+  "fig5_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_miss_gaps.dir/fig6_miss_gaps.cc.o"
+  "CMakeFiles/fig6_miss_gaps.dir/fig6_miss_gaps.cc.o.d"
+  "fig6_miss_gaps"
+  "fig6_miss_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_miss_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_location.dir/fig8_location.cc.o"
+  "CMakeFiles/fig8_location.dir/fig8_location.cc.o.d"
+  "fig8_location"
+  "fig8_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

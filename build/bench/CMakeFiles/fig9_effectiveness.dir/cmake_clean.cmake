@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_effectiveness.dir/fig9_effectiveness.cc.o"
+  "CMakeFiles/fig9_effectiveness.dir/fig9_effectiveness.cc.o.d"
+  "fig9_effectiveness"
+  "fig9_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

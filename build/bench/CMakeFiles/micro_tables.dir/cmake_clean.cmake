@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tables.dir/micro_tables.cc.o"
+  "CMakeFiles/micro_tables.dir/micro_tables.cc.o.d"
+  "micro_tables"
+  "micro_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

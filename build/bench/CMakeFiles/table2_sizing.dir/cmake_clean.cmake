@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sizing.dir/table2_sizing.cc.o"
+  "CMakeFiles/table2_sizing.dir/table2_sizing.cc.o.d"
+  "table2_sizing"
+  "table2_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_prefetcher.dir/custom_prefetcher.cpp.o"
+  "CMakeFiles/custom_prefetcher.dir/custom_prefetcher.cpp.o.d"
+  "custom_prefetcher"
+  "custom_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

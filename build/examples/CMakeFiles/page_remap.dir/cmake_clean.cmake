@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_remap.dir/page_remap.cpp.o"
+  "CMakeFiles/page_remap.dir/page_remap.cpp.o.d"
+  "page_remap"
+  "page_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_app.dir/profile_app.cpp.o"
+  "CMakeFiles/profile_app.dir/profile_app.cpp.o.d"
+  "profile_app"
+  "profile_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

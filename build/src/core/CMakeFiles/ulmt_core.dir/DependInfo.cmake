@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/ulmt_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/base_chain.cc" "src/core/CMakeFiles/ulmt_core.dir/base_chain.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/base_chain.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/core/CMakeFiles/ulmt_core.dir/factory.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/factory.cc.o.d"
+  "/root/repo/src/core/pair_table.cc" "src/core/CMakeFiles/ulmt_core.dir/pair_table.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/pair_table.cc.o.d"
+  "/root/repo/src/core/predictability.cc" "src/core/CMakeFiles/ulmt_core.dir/predictability.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/predictability.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/ulmt_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/replicated.cc" "src/core/CMakeFiles/ulmt_core.dir/replicated.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/replicated.cc.o.d"
+  "/root/repo/src/core/seq_prefetcher.cc" "src/core/CMakeFiles/ulmt_core.dir/seq_prefetcher.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/seq_prefetcher.cc.o.d"
+  "/root/repo/src/core/ulmt_engine.cc" "src/core/CMakeFiles/ulmt_core.dir/ulmt_engine.cc.o" "gcc" "src/core/CMakeFiles/ulmt_core.dir/ulmt_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ulmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulmt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

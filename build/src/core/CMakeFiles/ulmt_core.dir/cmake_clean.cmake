@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulmt_core.dir/adaptive.cc.o"
+  "CMakeFiles/ulmt_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/base_chain.cc.o"
+  "CMakeFiles/ulmt_core.dir/base_chain.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/factory.cc.o"
+  "CMakeFiles/ulmt_core.dir/factory.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/pair_table.cc.o"
+  "CMakeFiles/ulmt_core.dir/pair_table.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/predictability.cc.o"
+  "CMakeFiles/ulmt_core.dir/predictability.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/profiler.cc.o"
+  "CMakeFiles/ulmt_core.dir/profiler.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/replicated.cc.o"
+  "CMakeFiles/ulmt_core.dir/replicated.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/seq_prefetcher.cc.o"
+  "CMakeFiles/ulmt_core.dir/seq_prefetcher.cc.o.d"
+  "CMakeFiles/ulmt_core.dir/ulmt_engine.cc.o"
+  "CMakeFiles/ulmt_core.dir/ulmt_engine.cc.o.d"
+  "libulmt_core.a"
+  "libulmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulmt_core.a"
+)

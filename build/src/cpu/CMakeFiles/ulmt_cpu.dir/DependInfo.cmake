@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/hierarchy.cc" "src/cpu/CMakeFiles/ulmt_cpu.dir/hierarchy.cc.o" "gcc" "src/cpu/CMakeFiles/ulmt_cpu.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cpu/main_processor.cc" "src/cpu/CMakeFiles/ulmt_cpu.dir/main_processor.cc.o" "gcc" "src/cpu/CMakeFiles/ulmt_cpu.dir/main_processor.cc.o.d"
+  "/root/repo/src/cpu/stream_prefetcher.cc" "src/cpu/CMakeFiles/ulmt_cpu.dir/stream_prefetcher.cc.o" "gcc" "src/cpu/CMakeFiles/ulmt_cpu.dir/stream_prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ulmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulmt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulmt_cpu.dir/hierarchy.cc.o"
+  "CMakeFiles/ulmt_cpu.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ulmt_cpu.dir/main_processor.cc.o"
+  "CMakeFiles/ulmt_cpu.dir/main_processor.cc.o.d"
+  "CMakeFiles/ulmt_cpu.dir/stream_prefetcher.cc.o"
+  "CMakeFiles/ulmt_cpu.dir/stream_prefetcher.cc.o.d"
+  "libulmt_cpu.a"
+  "libulmt_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulmt_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/experiment.cc" "src/driver/CMakeFiles/ulmt_driver.dir/experiment.cc.o" "gcc" "src/driver/CMakeFiles/ulmt_driver.dir/experiment.cc.o.d"
+  "/root/repo/src/driver/report.cc" "src/driver/CMakeFiles/ulmt_driver.dir/report.cc.o" "gcc" "src/driver/CMakeFiles/ulmt_driver.dir/report.cc.o.d"
+  "/root/repo/src/driver/system.cc" "src/driver/CMakeFiles/ulmt_driver.dir/system.cc.o" "gcc" "src/driver/CMakeFiles/ulmt_driver.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ulmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ulmt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ulmt_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulmt_driver.dir/experiment.cc.o"
+  "CMakeFiles/ulmt_driver.dir/experiment.cc.o.d"
+  "CMakeFiles/ulmt_driver.dir/report.cc.o"
+  "CMakeFiles/ulmt_driver.dir/report.cc.o.d"
+  "CMakeFiles/ulmt_driver.dir/system.cc.o"
+  "CMakeFiles/ulmt_driver.dir/system.cc.o.d"
+  "libulmt_driver.a"
+  "libulmt_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulmt_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

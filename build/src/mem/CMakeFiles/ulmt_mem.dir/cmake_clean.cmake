@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulmt_mem.dir/cache.cc.o"
+  "CMakeFiles/ulmt_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ulmt_mem.dir/memory_system.cc.o"
+  "CMakeFiles/ulmt_mem.dir/memory_system.cc.o.d"
+  "libulmt_mem.a"
+  "libulmt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulmt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulmt_sim.dir/logging.cc.o"
+  "CMakeFiles/ulmt_sim.dir/logging.cc.o.d"
+  "libulmt_sim.a"
+  "libulmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

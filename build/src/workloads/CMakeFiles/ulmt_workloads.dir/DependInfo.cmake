@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cg.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/cg.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/cg.cc.o.d"
+  "/root/repo/src/workloads/equake.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/equake.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/equake.cc.o.d"
+  "/root/repo/src/workloads/ft.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/ft.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/ft.cc.o.d"
+  "/root/repo/src/workloads/gap.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/gap.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/gap.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/mcf.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/mcf.cc.o.d"
+  "/root/repo/src/workloads/mst.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/mst.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/mst.cc.o.d"
+  "/root/repo/src/workloads/parser.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/parser.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/parser.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/sparse.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/sparse.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/sparse.cc.o.d"
+  "/root/repo/src/workloads/tree.cc" "src/workloads/CMakeFiles/ulmt_workloads.dir/tree.cc.o" "gcc" "src/workloads/CMakeFiles/ulmt_workloads.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/ulmt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulmt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulmt_workloads.dir/cg.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/cg.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/equake.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/equake.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/ft.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/ft.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/gap.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/gap.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/mcf.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/mcf.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/mst.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/mst.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/parser.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/parser.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/registry.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/sparse.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/sparse.cc.o.d"
+  "CMakeFiles/ulmt_workloads.dir/tree.cc.o"
+  "CMakeFiles/ulmt_workloads.dir/tree.cc.o.d"
+  "libulmt_workloads.a"
+  "libulmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

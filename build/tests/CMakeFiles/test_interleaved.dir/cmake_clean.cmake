@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interleaved.dir/test_interleaved.cc.o"
+  "CMakeFiles/test_interleaved.dir/test_interleaved.cc.o.d"
+  "test_interleaved"
+  "test_interleaved.pdb"
+  "test_interleaved[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interleaved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

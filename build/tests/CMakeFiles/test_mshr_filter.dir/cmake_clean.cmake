@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mshr_filter.dir/test_mshr_filter.cc.o"
+  "CMakeFiles/test_mshr_filter.dir/test_mshr_filter.cc.o.d"
+  "test_mshr_filter"
+  "test_mshr_filter.pdb"
+  "test_mshr_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mshr_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_processor.dir/test_processor.cc.o"
+  "CMakeFiles/test_processor.dir/test_processor.cc.o.d"
+  "test_processor"
+  "test_processor.pdb"
+  "test_processor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

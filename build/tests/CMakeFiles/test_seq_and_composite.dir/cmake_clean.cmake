@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_and_composite.dir/test_seq_and_composite.cc.o"
+  "CMakeFiles/test_seq_and_composite.dir/test_seq_and_composite.cc.o.d"
+  "test_seq_and_composite"
+  "test_seq_and_composite.pdb"
+  "test_seq_and_composite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_and_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_prefetcher.dir/test_stream_prefetcher.cc.o"
+  "CMakeFiles/test_stream_prefetcher.dir/test_stream_prefetcher.cc.o.d"
+  "test_stream_prefetcher"
+  "test_stream_prefetcher.pdb"
+  "test_stream_prefetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ulmt_engine.dir/test_ulmt_engine.cc.o"
+  "CMakeFiles/test_ulmt_engine.dir/test_ulmt_engine.cc.o.d"
+  "test_ulmt_engine"
+  "test_ulmt_engine.pdb"
+  "test_ulmt_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ulmt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_system[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_prefetcher[1]_include.cmake")
+include("/root/repo/build/tests/test_processor[1]_include.cmake")
+include("/root/repo/build/tests/test_tables[1]_include.cmake")
+include("/root/repo/build/tests/test_seq_and_composite[1]_include.cmake")
+include("/root/repo/build/tests/test_ulmt_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_predictability[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_interleaved[1]_include.cmake")
+include("/root/repo/build/tests/test_mshr_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
