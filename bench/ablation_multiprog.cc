@@ -11,13 +11,18 @@
  * shared table loses coverage to inter-application row conflicts; a
  * doubled table (a proxy for per-application tables) restores it.
  *
- * Usage: ablation_multiprog [scale]
+ * The four runs are independent simulations, so they go through the
+ * generic task interface of the parallel runner.
+ *
+ * Usage: ablation_multiprog [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <functional>
 
+#include "bench/harness.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 #include "driver/system.hh"
 #include "workloads/interleaved.hh"
 
@@ -77,16 +82,27 @@ runShared(const std::string &a, const std::string &b, double scale,
 int
 main(int argc, char **argv)
 {
-    const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+    const bench::Options bopt = bench::parseArgs(argc, argv, 0.25);
+    const double scale = bopt.scale;
+    bench::Harness harness("ablation_multiprog", bopt);
+
     const std::string a = "Mcf", b = "Gap";
     const std::uint32_t rows = 32 * 1024;  // Mcf's Table 2 size
 
-    const Coverage solo_a = coverageOf(runSolo(a, scale, rows));
-    const Coverage solo_b = coverageOf(runSolo(b, scale, rows));
-    const Coverage shared =
-        coverageOf(runShared(a, b, scale, rows));
-    const Coverage doubled =
-        coverageOf(runShared(a, b, scale, 2 * rows));
+    const std::vector<std::function<driver::RunResult()>> tasks = {
+        [&] { return runSolo(a, scale, rows); },
+        [&] { return runSolo(b, scale, rows); },
+        [&] { return runShared(a, b, scale, rows); },
+        [&] { return runShared(a, b, scale, 2 * rows); },
+    };
+    const std::vector<driver::RunResult> results =
+        driver::runTasks(tasks);
+    harness.recordAll(results);
+
+    const Coverage solo_a = coverageOf(results[0]);
+    const Coverage solo_b = coverageOf(results[1]);
+    const Coverage shared = coverageOf(results[2]);
+    const Coverage doubled = coverageOf(results[3]);
 
     driver::TextTable table({"Configuration", "Coverage"});
     table.addRow({a + " solo, table " + std::to_string(rows / 1024) +
@@ -101,5 +117,11 @@ main(int argc, char **argv)
                   driver::fmtPercent(doubled.covered)});
     table.print("Ablation: shared vs per-application tables "
                 "(Section 3.4)");
+
+    harness.metric("coverage_solo_" + a, solo_a.covered);
+    harness.metric("coverage_solo_" + b, solo_b.covered);
+    harness.metric("coverage_shared", shared.covered);
+    harness.metric("coverage_doubled", doubled.covered);
+    harness.writeJson();
     return 0;
 }

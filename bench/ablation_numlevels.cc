@@ -8,33 +8,52 @@
  * deeply predictable (MST), wasted when it is not (Mcf shows marginal
  * gains, as the paper observes).
  *
- * Usage: ablation_numlevels [scale]
+ * Usage: ablation_numlevels [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench/harness.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 
 int
 main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 0.5);
     driver::ExperimentOptions opt;
-    opt.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+    opt.scale = bopt.scale;
+    bench::Harness harness("ablation_numlevels", bopt);
 
     const std::vector<std::string> apps = {"MST", "Mcf", "Tree"};
-    driver::TextTable table({"Appl", "NumLevels", "Speedup",
-                             "Coverage", "Occupancy", "Table MB"});
+    const std::vector<std::uint32_t> levels_sweep = {1, 2, 3, 4, 5, 6};
 
+    std::vector<driver::Job> jobs;
     for (const std::string &app : apps) {
-        const driver::RunResult base =
-            driver::runOne(app, driver::noPrefConfig(opt), opt);
-        for (std::uint32_t levels : {1u, 2u, 3u, 4u, 5u, 6u}) {
+        jobs.push_back({app, driver::noPrefConfig(opt), opt});
+        for (std::uint32_t levels : levels_sweep) {
             driver::SystemConfig cfg = driver::conven4PlusUlmtConfig(
                 opt, core::UlmtAlgo::Repl, app);
             cfg.ulmt.numLevels = levels;
-            const driver::RunResult r = driver::runOne(app, cfg, opt);
+            jobs.push_back({app, std::move(cfg), opt});
+        }
+    }
+    const std::size_t per_app = 1 + levels_sweep.size();
+
+    const std::vector<driver::RunResult> results =
+        driver::runAll(jobs);
+    harness.recordAll(results);
+
+    driver::TextTable table({"Appl", "NumLevels", "Speedup",
+                             "Coverage", "Occupancy", "Table MB"});
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const std::string &app = apps[ai];
+        const driver::RunResult &base = results[ai * per_app];
+        for (std::size_t li = 0; li < levels_sweep.size(); ++li) {
+            const std::uint32_t levels = levels_sweep[li];
+            const driver::RunResult &r =
+                results[ai * per_app + 1 + li];
             const double cov =
                 static_cast<double>(r.hier.ulmtHits +
                                     r.hier.ulmtDelayedHits) /
@@ -47,9 +66,13 @@ main(int argc, char **argv)
                           driver::fmt(cov),
                           driver::fmt(r.ulmt.occupancyTime.mean(), 0),
                           driver::fmt(mb, 1)});
+            harness.metric(sim::strformat("speedup_%s_levels%u",
+                                          app.c_str(), levels),
+                           r.speedup(base));
         }
     }
     table.print("Ablation: Replicated NumLevels sweep "
                 "(Conven4 on)");
+    harness.writeJson();
     return 0;
 }

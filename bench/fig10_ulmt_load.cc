@@ -9,14 +9,15 @@
  * (the dominant inter-miss gap), Repl's response the lowest, ReplMC's
  * response roughly double Repl's.
  *
- * Usage: fig10_ulmt_load [scale]
+ * Usage: fig10_ulmt_load [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench/harness.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 
 namespace {
 
@@ -31,8 +32,10 @@ struct Load
 int
 main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 1.0);
     driver::ExperimentOptions opt;
-    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    opt.scale = bopt.scale;
+    bench::Harness harness("fig10_ulmt_load", bopt);
 
     struct Variant
     {
@@ -48,14 +51,25 @@ main(int argc, char **argv)
          mem::MemProcPlacement::NorthBridge},
     };
 
-    std::vector<Load> loads(variants.size());
-    for (const std::string &app : workloads::applicationNames()) {
-        for (std::size_t v = 0; v < variants.size(); ++v) {
+    const auto &apps = workloads::applicationNames();
+    std::vector<driver::Job> jobs;
+    for (const std::string &app : apps) {
+        for (const Variant &v : variants) {
             driver::ExperimentOptions o = opt;
-            o.placement = variants[v].placement;
-            const driver::SystemConfig cfg =
-                driver::ulmtConfig(o, variants[v].algo, app);
-            const driver::RunResult r = driver::runOne(app, cfg, o);
+            o.placement = v.placement;
+            jobs.push_back(
+                {app, driver::ulmtConfig(o, v.algo, app), o});
+        }
+    }
+    const std::vector<driver::RunResult> results =
+        driver::runAll(jobs);
+    harness.recordAll(results);
+
+    std::vector<Load> loads(variants.size());
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const driver::RunResult &r =
+                results[ai * variants.size() + v];
             if (r.ulmt.missesProcessed == 0)
                 continue;
             Load &l = loads[v];
@@ -81,8 +95,13 @@ main(int argc, char **argv)
                       driver::fmt(l.occMem / n, 1),
                       driver::fmt((l.occBusy + l.occMem) / n, 1),
                       driver::fmt(l.ipc / n)});
+        harness.metric("response_" + variants[v].name,
+                       (l.respBusy + l.respMem) / n);
+        harness.metric("occupancy_" + variants[v].name,
+                       (l.occBusy + l.occMem) / n);
     }
     table.print("Figure 10: ULMT response and occupancy "
                 "(main-processor cycles, averaged over applications)");
+    harness.writeJson();
     return 0;
 }

@@ -9,20 +9,23 @@
  * demand traffic squeezed into fewer cycles) and the additional part
  * directly attributable to prefetch traffic.
  *
- * Usage: fig11_bus_util [scale]
+ * Usage: fig11_bus_util [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench/harness.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 
 int
 main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 1.0);
     driver::ExperimentOptions opt;
-    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    opt.scale = bopt.scale;
+    bench::Harness harness("fig11_bus_util", bopt);
 
     struct Entry
     {
@@ -37,8 +40,10 @@ main(int argc, char **argv)
         {"Conven4+ReplMC", 0, 0, 0},
     };
 
-    for (const std::string &app : workloads::applicationNames()) {
-        for (Entry &e : entries) {
+    const auto &apps = workloads::applicationNames();
+    std::vector<driver::Job> jobs;
+    for (const std::string &app : apps) {
+        for (const Entry &e : entries) {
             driver::ExperimentOptions o = opt;
             driver::SystemConfig cfg;
             if (e.name == "NoPref") {
@@ -56,10 +61,20 @@ main(int argc, char **argv)
                 cfg = driver::ulmtConfig(
                     o, core::parseUlmtAlgo(e.name), app);
             }
-            const driver::RunResult r = driver::runOne(app, cfg, o);
-            e.util += r.busUtilization();
-            e.pf_util += r.busUtilizationPrefetch();
-            ++e.n;
+            jobs.push_back({app, std::move(cfg), o});
+        }
+    }
+    const std::vector<driver::RunResult> results =
+        driver::runAll(jobs);
+    harness.recordAll(results);
+
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+            const driver::RunResult &r =
+                results[ai * entries.size() + ei];
+            entries[ei].util += r.busUtilization();
+            entries[ei].pf_util += r.busUtilizationPrefetch();
+            ++entries[ei].n;
         }
     }
 
@@ -71,8 +86,10 @@ main(int argc, char **argv)
         table.addRow({e.name, driver::fmtPercent(e.util / n),
                       driver::fmtPercent((e.util - e.pf_util) / n),
                       driver::fmtPercent(e.pf_util / n)});
+        harness.metric("bus_util_" + e.name, e.util / n);
     }
     table.print("Figure 11: main memory bus utilization "
                 "(average over applications)");
+    harness.writeJson();
     return 0;
 }

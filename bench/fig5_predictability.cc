@@ -9,14 +9,18 @@
  * Assoc=4, NumSucc=4); under these conditions Chain and Repl are
  * equivalent to Base at level 1.
  *
- * Usage: fig5_predictability [scale]
+ * The miss streams are captured in parallel (one NoPref simulation per
+ * application), then every (application, algorithm) replay runs as an
+ * independent chunk writing into its own slot.
+ *
+ * Usage: fig5_predictability [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <map>
 
+#include "bench/harness.hh"
 #include "core/base_chain.hh"
 #include "core/composite.hh"
 #include "core/predictability.hh"
@@ -24,6 +28,7 @@
 #include "core/seq_prefetcher.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 
 namespace {
 
@@ -96,15 +101,58 @@ algorithms()
     };
 }
 
+struct Cell
+{
+    bool applicable[3] = {false, false, false};
+    double accuracy[3] = {0.0, 0.0, 0.0};
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 1.0);
     driver::ExperimentOptions opt;
-    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    opt.scale = bopt.scale;
+    bench::Harness harness("fig5_predictability", bopt);
 
     const auto algos = algorithms();
+    const std::vector<std::string> apps =
+        workloads::applicationNames();
+
+    const std::vector<driver::RunResult> captures =
+        driver::captureMissStreamRuns(apps, opt);
+    harness.recordAll(captures);
+
+    // One chunk per (application, algorithm) replay; each writes its
+    // own Cell, so the chunks are fully independent.
+    std::vector<Cell> cells(apps.size() * algos.size());
+    std::vector<std::function<void()>> chunks;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        for (std::size_t gi = 0; gi < algos.size(); ++gi) {
+            chunks.push_back([&, ai, gi] {
+                auto algo = algos[gi].second();
+                const core::PredictabilityResult res =
+                    core::evaluatePredictability(
+                        *algo, captures[ai].missStream, 3);
+                Cell &cell = cells[ai * algos.size() + gi];
+                for (int lvl = 0; lvl < 3; ++lvl) {
+                    // Base predicts one level only.
+                    const bool applicable =
+                        lvl < static_cast<int>(res.accuracy.size()) &&
+                        static_cast<std::uint32_t>(lvl) <
+                            std::min<std::uint32_t>(algo->levels(), 3);
+                    cell.applicable[lvl] = applicable;
+                    if (applicable)
+                        cell.accuracy[lvl] = res.accuracy[
+                            static_cast<std::size_t>(lvl)];
+                }
+            });
+        }
+    }
+    driver::parallelInvoke(chunks);
+
     // accuracy[level][algo] per app, then averaged.
     std::map<std::string, std::vector<double>> acc[3];
 
@@ -116,29 +164,19 @@ main(int argc, char **argv)
                                    driver::TextTable(headers),
                                    driver::TextTable(headers)};
 
-    for (const std::string &app : workloads::applicationNames()) {
-        const std::vector<sim::Addr> stream =
-            driver::captureMissStream(app, opt);
-        std::vector<std::string> row[3] = {{app}, {app}, {app}};
-        for (const auto &[name, maker] : algos) {
-            auto algo = maker();
-            const core::PredictabilityResult res =
-                core::evaluatePredictability(*algo, stream, 3);
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        std::vector<std::string> row[3] = {
+            {apps[ai]}, {apps[ai]}, {apps[ai]}};
+        for (std::size_t gi = 0; gi < algos.size(); ++gi) {
+            const Cell &cell = cells[ai * algos.size() + gi];
             for (int lvl = 0; lvl < 3; ++lvl) {
-                // Base predicts one level only.
-                const bool applicable =
-                    lvl < static_cast<int>(res.accuracy.size()) &&
-                    static_cast<std::uint32_t>(lvl) <
-                        std::min<std::uint32_t>(algo->levels(), 3);
-                const double a =
-                    applicable ? res.accuracy[
-                                     static_cast<std::size_t>(lvl)]
-                               : 0.0;
-                row[lvl].push_back(applicable
-                                       ? driver::fmtPercent(a)
-                                       : std::string("n/a"));
-                if (applicable)
-                    acc[lvl][name].push_back(a);
+                row[lvl].push_back(
+                    cell.applicable[lvl]
+                        ? driver::fmtPercent(cell.accuracy[lvl])
+                        : std::string("n/a"));
+                if (cell.applicable[lvl])
+                    acc[lvl][algos[gi].first].push_back(
+                        cell.accuracy[lvl]);
             }
         }
         for (int lvl = 0; lvl < 3; ++lvl)
@@ -149,15 +187,21 @@ main(int argc, char **argv)
         std::vector<std::string> avg_row = {"Average"};
         for (const auto &[name, maker] : algos) {
             const auto &v = acc[lvl][name];
-            avg_row.push_back(v.empty()
-                                  ? std::string("n/a")
-                                  : driver::fmtPercent(
-                                        driver::mean(v)));
+            const bool have = !v.empty();
+            avg_row.push_back(have ? driver::fmtPercent(
+                                         driver::mean(v))
+                                   : std::string("n/a"));
+            if (have)
+                harness.metric(
+                    sim::strformat("avg_accuracy_%s_level%d",
+                                   name.c_str(), lvl + 1),
+                    driver::mean(v));
         }
         tables[lvl].addRow(avg_row);
         tables[lvl].print(
             sim::strformat("Figure 5: %% of L2 misses correctly "
                            "predicted, level %d", lvl + 1));
     }
+    harness.writeJson();
     return 0;
 }

@@ -9,20 +9,51 @@
  * customizations for CG, MST and Mcf), then the average speedups the
  * paper headlines: Repl alone, Conven4+Repl, and with customization.
  *
- * Usage: fig7_exec_time [scale]
+ * Usage: fig7_exec_time [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench/harness.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 
 int
 main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 1.0);
     driver::ExperimentOptions opt;
-    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    opt.scale = bopt.scale;
+    bench::Harness harness("fig7_exec_time", bopt);
+
+    const auto &apps = workloads::applicationNames();
+    std::vector<driver::Job> jobs;
+    for (const std::string &app : apps) {
+        jobs.push_back({app, driver::noPrefConfig(opt), opt});
+        jobs.push_back({app, driver::conven4Config(opt), opt});
+        jobs.push_back(
+            {app, driver::ulmtConfig(opt, core::UlmtAlgo::Base, app),
+             opt});
+        jobs.push_back(
+            {app, driver::ulmtConfig(opt, core::UlmtAlgo::Chain, app),
+             opt});
+        jobs.push_back(
+            {app, driver::ulmtConfig(opt, core::UlmtAlgo::Repl, app),
+             opt});
+        jobs.push_back({app,
+                        driver::conven4PlusUlmtConfig(
+                            opt, core::UlmtAlgo::Repl, app),
+                        opt});
+        bool customized = false;
+        jobs.push_back(
+            {app, driver::customConfig(opt, app, customized), opt});
+    }
+    const std::size_t per_app = jobs.size() / apps.size();
+
+    const std::vector<driver::RunResult> results =
+        driver::runAll(jobs);
+    harness.recordAll(results);
 
     driver::TextTable table({"Appl", "Config", "Norm.time", "Busy",
                              "UptoL2", "BeyondL2", "Speedup"});
@@ -30,25 +61,12 @@ main(int argc, char **argv)
     std::vector<double> repl_sp, c4_sp, c4repl_sp, custom_sp, base_sp,
         chain_sp;
 
-    for (const std::string &app : workloads::applicationNames()) {
-        const driver::RunResult base =
-            driver::runOne(app, driver::noPrefConfig(opt), opt);
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const std::string &app = apps[ai];
+        const driver::RunResult &base = results[ai * per_app];
 
-        std::vector<driver::SystemConfig> configs = {
-            driver::noPrefConfig(opt),
-            driver::conven4Config(opt),
-            driver::ulmtConfig(opt, core::UlmtAlgo::Base, app),
-            driver::ulmtConfig(opt, core::UlmtAlgo::Chain, app),
-            driver::ulmtConfig(opt, core::UlmtAlgo::Repl, app),
-            driver::conven4PlusUlmtConfig(opt, core::UlmtAlgo::Repl,
-                                          app),
-        };
-        bool customized = false;
-        configs.push_back(driver::customConfig(opt, app, customized));
-
-        for (std::size_t i = 0; i < configs.size(); ++i) {
-            driver::RunResult r =
-                i == 0 ? base : driver::runOne(app, configs[i], opt);
+        for (std::size_t i = 0; i < per_app; ++i) {
+            const driver::RunResult &r = results[ai * per_app + i];
             const double denom = static_cast<double>(base.cycles);
             const double sp = r.speedup(base);
             table.addRow(
@@ -86,5 +104,14 @@ main(int argc, char **argv)
     avg.addRow({"with Custom", driver::fmt(driver::mean(custom_sp)),
                 "1.53"});
     avg.print("Figure 7: average speedups over NoPref");
+
+    harness.metric("avg_speedup_conven4", driver::mean(c4_sp));
+    harness.metric("avg_speedup_base", driver::mean(base_sp));
+    harness.metric("avg_speedup_chain", driver::mean(chain_sp));
+    harness.metric("avg_speedup_repl", driver::mean(repl_sp));
+    harness.metric("avg_speedup_conven4_repl",
+                   driver::mean(c4repl_sp));
+    harness.metric("avg_speedup_custom", driver::mean(custom_sp));
+    harness.writeJson();
     return 0;
 }

@@ -10,46 +10,58 @@
  * the cheaper North Bridge placement loses very little (1.46 -> 1.41
  * average speedup).
  *
- * Usage: fig8_location [scale]
+ * Usage: fig8_location [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench/harness.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 
 int
 main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 1.0);
     driver::ExperimentOptions opt;
-    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    opt.scale = bopt.scale;
+    bench::Harness harness("fig8_location", bopt);
+
+    const auto &apps = workloads::applicationNames();
+    std::vector<driver::Job> jobs;
+    for (const std::string &app : apps) {
+        driver::ExperimentOptions nb = opt;
+        nb.placement = mem::MemProcPlacement::NorthBridge;
+        driver::SystemConfig nb_cfg = driver::conven4PlusUlmtConfig(
+            nb, core::UlmtAlgo::Repl, app);
+        nb_cfg.label = "Conven4+ReplMC";
+
+        jobs.push_back({app, driver::noPrefConfig(opt), opt});
+        jobs.push_back({app,
+                        driver::conven4PlusUlmtConfig(
+                            opt, core::UlmtAlgo::Repl, app),
+                        opt});
+        jobs.push_back({app, std::move(nb_cfg), nb});
+    }
+    const std::vector<driver::RunResult> results =
+        driver::runAll(jobs);
+    harness.recordAll(results);
 
     driver::TextTable table({"Appl", "Config", "Norm.time", "Busy",
                              "UptoL2", "BeyondL2", "Speedup"});
 
     std::vector<double> dram_sp, nb_sp;
-    for (const std::string &app : workloads::applicationNames()) {
-        const driver::RunResult base =
-            driver::runOne(app, driver::noPrefConfig(opt), opt);
-
-        driver::ExperimentOptions nb = opt;
-        nb.placement = mem::MemProcPlacement::NorthBridge;
-
-        const driver::RunResult in_dram = driver::runOne(
-            app,
-            driver::conven4PlusUlmtConfig(opt, core::UlmtAlgo::Repl,
-                                          app),
-            opt);
-        driver::SystemConfig nb_cfg = driver::conven4PlusUlmtConfig(
-            nb, core::UlmtAlgo::Repl, app);
-        nb_cfg.label = "Conven4+ReplMC";
-        const driver::RunResult in_nb = driver::runOne(app, nb_cfg, nb);
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const driver::RunResult &base = results[ai * 3];
+        const driver::RunResult &in_dram = results[ai * 3 + 1];
+        const driver::RunResult &in_nb = results[ai * 3 + 2];
 
         for (const driver::RunResult *r : {&base, &in_dram, &in_nb}) {
             const double denom = static_cast<double>(base.cycles);
             table.addRow(
-                {app, r->label, driver::fmt(r->normalizedTime(base)),
+                {apps[ai], r->label,
+                 driver::fmt(r->normalizedTime(base)),
                  driver::fmt(static_cast<double>(r->busyCycles) /
                              denom),
                  driver::fmt(static_cast<double>(r->uptoL2Stall) /
@@ -69,5 +81,9 @@ main(int argc, char **argv)
     avg.addRow({"Conven4+ReplMC (North Bridge)",
                 driver::fmt(driver::mean(nb_sp)), "1.41"});
     avg.print("Figure 8: average speedups");
+
+    harness.metric("avg_speedup_in_dram", driver::mean(dram_sp));
+    harness.metric("avg_speedup_north_bridge", driver::mean(nb_sp));
+    harness.writeJson();
     return 0;
 }

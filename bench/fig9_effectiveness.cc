@@ -14,15 +14,16 @@
  * Reported for Sparse, Tree, and the average of the other seven
  * applications, for Base, Chain, Repl, Conven4+Repl, Conven4+ReplMC.
  *
- * Usage: fig9_effectiveness [scale]
+ * Usage: fig9_effectiveness [scale] [--jobs=N]
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 
+#include "bench/harness.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "driver/runner.hh"
 
 namespace {
 
@@ -76,24 +77,18 @@ breakdown(const driver::RunResult &r, const driver::RunResult &base)
 int
 main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 1.0);
     driver::ExperimentOptions opt;
-    opt.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    opt.scale = bopt.scale;
+    bench::Harness harness("fig9_effectiveness", bopt);
 
     const std::vector<std::string> configs = {
         "Base", "Chain", "Repl", "Conven4+Repl", "Conven4+ReplMC"};
 
-    // group -> config -> accumulated breakdown
-    std::map<std::string, std::map<std::string, Breakdown>> groups;
-    int others = 0;
-
-    for (const std::string &app : workloads::applicationNames()) {
-        const driver::RunResult base =
-            driver::runOne(app, driver::noPrefConfig(opt), opt);
-        const std::string group =
-            (app == "Sparse" || app == "Tree") ? app : "Other7";
-        if (group == "Other7")
-            ++others;
-
+    const auto &apps = workloads::applicationNames();
+    std::vector<driver::Job> jobs;
+    for (const std::string &app : apps) {
+        jobs.push_back({app, driver::noPrefConfig(opt), opt});
         for (const std::string &name : configs) {
             driver::ExperimentOptions o = opt;
             driver::SystemConfig cfg;
@@ -112,8 +107,30 @@ main(int argc, char **argv)
                     o, core::UlmtAlgo::Repl, app);
                 cfg.label = "Conven4+ReplMC";
             }
-            const driver::RunResult r = driver::runOne(app, cfg, o);
-            groups[group][name] += breakdown(r, base);
+            jobs.push_back({app, std::move(cfg), o});
+        }
+    }
+    const std::size_t per_app = 1 + configs.size();
+
+    const std::vector<driver::RunResult> results =
+        driver::runAll(jobs);
+    harness.recordAll(results);
+
+    // group -> config -> accumulated breakdown
+    std::map<std::string, std::map<std::string, Breakdown>> groups;
+    int others = 0;
+
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const std::string &app = apps[ai];
+        const driver::RunResult &base = results[ai * per_app];
+        const std::string group =
+            (app == "Sparse" || app == "Tree") ? app : "Other7";
+        if (group == "Other7")
+            ++others;
+        for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+            const driver::RunResult &r =
+                results[ai * per_app + 1 + ci];
+            groups[group][configs[ci]] += breakdown(r, base);
         }
     }
     for (auto &[name, b] : groups["Other7"])
@@ -132,9 +149,12 @@ main(int argc, char **argv)
                           driver::fmt(b.replaced),
                           driver::fmt(b.redundant),
                           driver::fmt(b.coverage())});
+            harness.metric("coverage_" + group + "_" + name,
+                           b.coverage());
         }
     }
     table.print("Figure 9: L2 miss + prefetch breakdown "
                 "(normalized to original misses)");
+    harness.writeJson();
     return 0;
 }

@@ -1,0 +1,160 @@
+#include "bench/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "driver/runner.hh"
+#include "sim/logging.hh"
+
+namespace bench {
+
+Options
+parseArgs(int argc, char **argv, double default_scale)
+{
+    Options opt;
+    opt.scale = default_scale;
+    bool scale_seen = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            char *end = nullptr;
+            const long v = std::strtol(arg + 7, &end, 10);
+            if (*end != '\0' || v < 1 || v > 1024)
+                sim::fatal("bad --jobs value '%s'", arg + 7);
+            opt.jobs = static_cast<unsigned>(v);
+        } else if (!scale_seen) {
+            opt.scale = std::atof(arg);
+            scale_seen = true;
+        } else {
+            sim::fatal("unexpected argument '%s' "
+                       "(usage: bench [scale] [--jobs=N])", arg);
+        }
+    }
+    if (opt.jobs)
+        driver::setRunnerJobs(opt.jobs);
+    return opt;
+}
+
+Harness::Harness(std::string name, const Options &opt)
+    : name_(std::move(name)), opt_(opt),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+Harness::record(const driver::RunResult &r)
+{
+    runs_.push_back(Run{r.workload, r.label, r.wallSeconds,
+                        r.eventsExecuted, r.cycles});
+}
+
+void
+Harness::recordAll(const std::vector<driver::RunResult> &rs)
+{
+    for (const driver::RunResult &r : rs)
+        record(r);
+}
+
+void
+Harness::metric(const std::string &key, double value)
+{
+    metrics_.emplace_back(key, value);
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::strformat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+std::string
+jsonNumber(double v)
+{
+    // Shortest round-trippable decimal; JSON has no inf/nan.
+    if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0)
+        return "null";
+    return sim::strformat("%.17g", v);
+}
+
+} // namespace
+
+std::string
+Harness::writeJson() const
+{
+    const double total = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+
+    std::string out = "{\n";
+    out += "  \"bench\": ";
+    appendEscaped(out, name_);
+    out += ",\n";
+    out += sim::strformat("  \"jobs\": %u,\n", driver::runnerJobs());
+    out += "  \"scale\": " + jsonNumber(opt_.scale) + ",\n";
+    out += "  \"wall_seconds_total\": " + jsonNumber(total) + ",\n";
+
+    out += "  \"runs\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        const Run &r = runs_[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"workload\": ";
+        appendEscaped(out, r.workload);
+        out += ", \"config\": ";
+        appendEscaped(out, r.label);
+        out += ", \"wall_seconds\": " + jsonNumber(r.wallSeconds);
+        out += sim::strformat(", \"events\": %llu",
+                              (unsigned long long)r.events);
+        out += ", \"events_per_sec\": " +
+               jsonNumber(r.wallSeconds > 0.0
+                              ? static_cast<double>(r.events) /
+                                    r.wallSeconds
+                              : 0.0);
+        out += sim::strformat(", \"sim_cycles\": %llu}",
+                              (unsigned long long)r.simCycles);
+    }
+    out += runs_.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        out += i ? ",\n    " : "\n    ";
+        appendEscaped(out, metrics_[i].first);
+        out += ": " + jsonNumber(metrics_[i].second);
+    }
+    out += metrics_.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char *dir = std::getenv("ULMT_BENCH_DIR")) {
+        if (*dir)
+            path = std::string(dir) + "/" + path;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        sim::warn("cannot write %s", path.c_str());
+        return path;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("\n[bench] wrote %s (%.2fs total, %u jobs)\n",
+                path.c_str(), total, driver::runnerJobs());
+    return path;
+}
+
+} // namespace bench

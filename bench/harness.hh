@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared benchmark harness: common CLI parsing, wall-clock timing and
+ * machine-readable output.
+ *
+ * Every bench binary records its simulation runs and headline metrics
+ * in a Harness and finishes with writeJson(), which emits
+ * `BENCH_<name>.json` (in $ULMT_BENCH_DIR or the working directory).
+ * The JSON tracks the repo's performance trajectory across PRs: wall
+ * clock per run, simulated events per second, sim cycles, worker
+ * count, plus whatever figure-level metrics the bench reports.
+ * Schema (see EXPERIMENTS.md for the full description):
+ *
+ * {
+ *   "bench": "fig7_exec_time",
+ *   "jobs": 8,
+ *   "scale": 1.0,
+ *   "wall_seconds_total": 12.34,
+ *   "runs": [
+ *     {"workload": "Mcf", "config": "NoPref", "wall_seconds": 0.51,
+ *      "events": 1234567, "events_per_sec": 2.4e6,
+ *      "sim_cycles": 98765432}, ...
+ *   ],
+ *   "metrics": {"avg_speedup_repl": 1.32, ...}
+ * }
+ */
+
+#ifndef BENCH_HARNESS_HH
+#define BENCH_HARNESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/system.hh"
+
+namespace bench {
+
+/** Common bench CLI: `bench [scale] [--jobs=N]`. */
+struct Options
+{
+    double scale = 1.0;
+    unsigned jobs = 0;  //!< 0 = resolve via driver::runnerJobs()
+};
+
+/**
+ * Parse the common CLI.  A bare positional argument is the workload
+ * scale; `--jobs=N` overrides the worker count for this process (it
+ * takes precedence over ULMT_JOBS).
+ */
+Options parseArgs(int argc, char **argv, double default_scale);
+
+/** Collects per-run perf data and metrics; writes BENCH_<name>.json. */
+class Harness
+{
+  public:
+    /** @param name the bench name, e.g. "fig7_exec_time". */
+    Harness(std::string name, const Options &opt);
+
+    /** Record one completed simulation run. */
+    void record(const driver::RunResult &r);
+
+    /** Record a batch (e.g. the output of driver::runAll). */
+    void recordAll(const std::vector<driver::RunResult> &rs);
+
+    /** Report a figure-level metric (average speedup, coverage, ...). */
+    void metric(const std::string &key, double value);
+
+    /** Write BENCH_<name>.json; returns the path written. */
+    std::string writeJson() const;
+
+  private:
+    struct Run
+    {
+        std::string workload;
+        std::string label;
+        double wallSeconds;
+        std::uint64_t events;
+        std::uint64_t simCycles;
+    };
+
+    std::string name_;
+    Options opt_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<Run> runs_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+} // namespace bench
+
+#endif // BENCH_HARNESS_HH

@@ -9,6 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/base_chain.hh"
 #include "core/replicated.hh"
 #include "core/seq_prefetcher.hh"
@@ -100,4 +105,36 @@ BENCHMARK(BM_ReplLookupOnly);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the JSON output file so this
+// bench emits BENCH_micro_tables.json like the simulation benches
+// (into $ULMT_BENCH_DIR when set).  Explicit --benchmark_out= flags
+// still win.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+            has_out = true;
+
+    std::string out_flag, fmt_flag;
+    if (!has_out) {
+        std::string dir;
+        if (const char *env = std::getenv("ULMT_BENCH_DIR"))
+            dir = std::string(env) + "/";
+        out_flag =
+            "--benchmark_out=" + dir + "BENCH_micro_tables.json";
+        fmt_flag = "--benchmark_out_format=json";
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+
+    int args_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&args_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,11 +8,17 @@
  * miss stream: levels of successors prefetched, whether each level
  * keeps true MRU order, row accesses per Prefetching/Learning step,
  * response time, and the table space per row.
+ *
+ * Host-side only (no simulation), so there is nothing to parallelize;
+ * the bench still emits BENCH_table1_characteristics.json.
+ *
+ * Usage: table1_characteristics [scale] [--jobs=N]
  */
 
 #include <cstdio>
 #include <memory>
 
+#include "bench/harness.hh"
 #include "core/base_chain.hh"
 #include "core/cost.hh"
 #include "core/replicated.hh"
@@ -93,8 +99,11 @@ measure(core::CorrelationPrefetcher &algo, std::uint32_t num_rows)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options bopt = bench::parseArgs(argc, argv, 1.0);
+    bench::Harness harness("table1_characteristics", bopt);
+
     constexpr std::uint32_t rows = 8192;
     core::BasePrefetcher base(core::baseDefaults(rows));
     core::ChainPrefetcher chain(core::chainReplDefaults(rows));
@@ -125,5 +134,16 @@ main()
                   std::to_string(mc.bytesPerRow),
                   std::to_string(mr.bytesPerRow)});
     table.print("Table 1: algorithm characteristics (measured)");
+
+    harness.metric("base_instrs_per_miss", mb.instrsPerMiss);
+    harness.metric("chain_instrs_per_miss", mc.instrsPerMiss);
+    harness.metric("repl_instrs_per_miss", mr.instrsPerMiss);
+    harness.metric("base_bytes_per_row",
+                   static_cast<double>(mb.bytesPerRow));
+    harness.metric("chain_bytes_per_row",
+                   static_cast<double>(mc.bytesPerRow));
+    harness.metric("repl_bytes_per_row",
+                   static_cast<double>(mr.bytesPerRow));
+    harness.writeJson();
     return 0;
 }

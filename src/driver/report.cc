@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "driver/system.hh"
 #include "sim/logging.hh"
 
 namespace driver {
@@ -75,6 +76,147 @@ mean(const std::vector<double> &v)
         return 0.0;
     return std::accumulate(v.begin(), v.end(), 0.0) /
            static_cast<double>(v.size());
+}
+
+namespace {
+
+/** Appends "key=value " pairs; doubles use exact hex-float form. */
+class Fingerprint
+{
+  public:
+    void
+    add(const char *key, std::uint64_t v)
+    {
+        out_ += sim::strformat("%s=%llu ", key,
+                               (unsigned long long)v);
+    }
+
+    void
+    add(const char *key, double v)
+    {
+        out_ += sim::strformat("%s=%a ", key, v);
+    }
+
+    void
+    add(const char *key, const std::string &v)
+    {
+        out_ += key;
+        out_ += '=';
+        out_ += v;
+        out_ += ' ';
+    }
+
+    void
+    add(const char *key, const sim::SampleStat &s)
+    {
+        out_ += sim::strformat("%s=(%llu,%a,%a,%a) ", key,
+                               (unsigned long long)s.count(), s.sum(),
+                               s.min(), s.max());
+    }
+
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+} // namespace
+
+std::string
+resultFingerprint(const RunResult &r)
+{
+    Fingerprint fp;
+    fp.add("workload", r.workload);
+    fp.add("label", r.label);
+    fp.add("cycles", r.cycles);
+    fp.add("busyCycles", r.busyCycles);
+    fp.add("uptoL2Stall", r.uptoL2Stall);
+    fp.add("beyondL2Stall", r.beyondL2Stall);
+    fp.add("records", r.records);
+    fp.add("eventsExecuted", r.eventsExecuted);
+
+    const cpu::ProcessorStats &p = r.proc;
+    fp.add("proc.ops", p.ops);
+    fp.add("proc.stallDependence", p.stallDependence);
+    fp.add("proc.stallLoadWindow", p.stallLoadWindow);
+    fp.add("proc.stallStoreWindow", p.stallStoreWindow);
+    fp.add("proc.stallDrain", p.stallDrain);
+    fp.add("proc.beyondWaits", p.beyondWaits);
+    fp.add("proc.uptoWaits", p.uptoWaits);
+
+    const cpu::HierarchyStats &h = r.hier;
+    fp.add("hier.loads", h.loads);
+    fp.add("hier.stores", h.stores);
+    fp.add("hier.l1Hits", h.l1Hits);
+    fp.add("hier.l1Misses", h.l1Misses);
+    fp.add("hier.l2Hits", h.l2Hits);
+    fp.add("hier.l2Misses", h.l2Misses);
+    fp.add("hier.l2MshrMerges", h.l2MshrMerges);
+    fp.add("hier.ulmtHits", h.ulmtHits);
+    fp.add("hier.ulmtDelayedHits", h.ulmtDelayedHits);
+    fp.add("hier.nonPrefMisses", h.nonPrefMisses);
+    fp.add("hier.ulmtReplaced", h.ulmtReplaced);
+    fp.add("hier.pushRedundantPresent", h.pushRedundantPresent);
+    fp.add("hier.pushRedundantWb", h.pushRedundantWb);
+    fp.add("hier.pushDroppedMshrFull", h.pushDroppedMshrFull);
+    fp.add("hier.pushDroppedSetPending", h.pushDroppedSetPending);
+    fp.add("hier.pushInstalled", h.pushInstalled);
+    fp.add("hier.delayedHitSavedCycles", h.delayedHitSavedCycles);
+    fp.add("hier.cpuPfIssued", h.cpuPfIssued);
+    fp.add("hier.cpuPfToMemory", h.cpuPfToMemory);
+    fp.add("hier.cpuPfUseful", h.cpuPfUseful);
+    fp.add("hier.cpuPfTimely", h.cpuPfTimely);
+    fp.add("hier.cpuPfReplaced", h.cpuPfReplaced);
+
+    const core::UlmtStats &u = r.ulmt;
+    fp.add("ulmt.missesObserved", u.missesObserved);
+    fp.add("ulmt.missesProcessed", u.missesProcessed);
+    fp.add("ulmt.missesDroppedQueueFull", u.missesDroppedQueueFull);
+    fp.add("ulmt.prefetchesGenerated", u.prefetchesGenerated);
+    fp.add("ulmt.responseTime", u.responseTime);
+    fp.add("ulmt.occupancyTime", u.occupancyTime);
+    fp.add("ulmt.responseBusy", u.responseBusy);
+    fp.add("ulmt.responseMem", u.responseMem);
+    fp.add("ulmt.occupancyBusy", u.occupancyBusy);
+    fp.add("ulmt.occupancyMem", u.occupancyMem);
+    fp.add("ulmt.busyCycles", u.busyCycles);
+    fp.add("ulmt.memStallCycles", u.memStallCycles);
+    fp.add("ulmt.instructions", u.instructions);
+
+    const mem::MemorySystemStats &m = r.memsys;
+    fp.add("mem.demandFetches", m.demandFetches);
+    fp.add("mem.cpuPrefetchFetches", m.cpuPrefetchFetches);
+    fp.add("mem.writebacks", m.writebacks);
+    fp.add("mem.ulmtPrefetchesIssued", m.ulmtPrefetchesIssued);
+    fp.add("mem.ulmtPrefetchesDroppedFilter",
+           m.ulmtPrefetchesDroppedFilter);
+    fp.add("mem.ulmtPrefetchesDroppedQueueFull",
+           m.ulmtPrefetchesDroppedQueueFull);
+    fp.add("mem.ulmtPrefetchesDroppedDemandMatch",
+           m.ulmtPrefetchesDroppedDemandMatch);
+    fp.add("mem.tableReads", m.tableReads);
+    fp.add("mem.tableWrites", m.tableWrites);
+
+    fp.add("dram.accesses", r.dram.accesses);
+    fp.add("dram.rowHits", r.dram.rowHits);
+    fp.add("dram.rowMisses", r.dram.rowMisses);
+
+    fp.add("busBusyTotal", r.busBusyTotal);
+    fp.add("busBusyPrefetch", r.busBusyPrefetch);
+
+    for (std::size_t i = 0; i < r.missGapFractions.size(); ++i)
+        fp.add(sim::strformat("missGap%zu", i).c_str(),
+               r.missGapFractions[i]);
+
+    fp.add("missStream.size",
+           static_cast<std::uint64_t>(r.missStream.size()));
+    std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a
+    for (sim::Addr a : r.missStream) {
+        hash ^= a;
+        hash *= 1099511628211ULL;
+    }
+    fp.add("missStream.hash", hash);
+    return fp.take();
 }
 
 } // namespace driver

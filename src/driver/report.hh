@@ -12,6 +12,8 @@
 
 namespace driver {
 
+struct RunResult;
+
 /** A simple column-aligned text table. */
 class TextTable
 {
@@ -42,6 +44,17 @@ std::string fmtPercent(double v, int digits = 1);
 
 /** Geometric-mean-free average of a vector (arithmetic mean). */
 double mean(const std::vector<double> &v);
+
+/**
+ * Serialize every deterministic field of a RunResult (all counters,
+ * sample statistics with exact hex-float encoding, miss-gap fractions
+ * and a hash of the miss stream) into one string.  Two runs of the
+ * same (app, config, seed) must produce byte-identical fingerprints
+ * regardless of worker count -- the determinism regression tests and
+ * golden comparisons rely on this.  Host-side timing (wallSeconds) is
+ * deliberately excluded.
+ */
+std::string resultFingerprint(const RunResult &r);
 
 } // namespace driver
 

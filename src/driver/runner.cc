@@ -1,0 +1,186 @@
+#include "driver/runner.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace driver {
+
+namespace {
+
+unsigned override_jobs = 0;
+
+unsigned
+envJobs()
+{
+    const char *env = std::getenv("ULMT_JOBS");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (*end != '\0' || v < 1 || v > 1024)
+        sim::fatal("ULMT_JOBS='%s' is not a worker count in [1,1024]",
+                   env);
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+unsigned
+runnerJobs()
+{
+    if (override_jobs)
+        return override_jobs;
+    if (const unsigned env = envJobs())
+        return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+setRunnerJobs(unsigned n)
+{
+    override_jobs = n;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    SIM_ASSERT(workers > 0, "thread pool needs at least one worker");
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+std::vector<RunResult>
+runTasks(const std::vector<std::function<RunResult()>> &tasks,
+         unsigned jobs)
+{
+    const unsigned workers = jobs ? jobs : runnerJobs();
+    std::vector<RunResult> results(tasks.size());
+
+    if (workers <= 1 || tasks.size() <= 1) {
+        // Inline serial path: no threads, no log redirection --
+        // byte-identical to the historical behavior.
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            results[i] = tasks[i]();
+        return results;
+    }
+
+    std::vector<std::string> logs(tasks.size());
+    {
+        ThreadPool pool(std::min<std::size_t>(workers, tasks.size()));
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            pool.submit([&tasks, &results, &logs, i] {
+                sim::setThreadLogSink(&logs[i]);
+                results[i] = tasks[i]();
+                sim::setThreadLogSink(nullptr);
+            });
+        }
+        pool.wait();
+    }
+    // Replay captured diagnostics in deterministic job order.
+    for (const std::string &log : logs) {
+        if (!log.empty())
+            std::fputs(log.c_str(), stderr);
+    }
+    return results;
+}
+
+std::vector<RunResult>
+runAll(const std::vector<Job> &jobs, unsigned jobs_override)
+{
+    std::vector<std::function<RunResult()>> tasks;
+    tasks.reserve(jobs.size());
+    for (const Job &job : jobs) {
+        tasks.push_back(
+            [&job] { return runOne(job.app, job.cfg, job.opt); });
+    }
+    return runTasks(tasks, jobs_override);
+}
+
+std::vector<RunResult>
+captureMissStreamRuns(const std::vector<std::string> &apps,
+                      const ExperimentOptions &opt)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(apps.size());
+    for (const std::string &app : apps) {
+        SystemConfig cfg = noPrefConfig(opt);
+        cfg.recordMissStream = true;
+        jobs.push_back(Job{app, std::move(cfg), opt});
+    }
+    return runAll(jobs);
+}
+
+void
+parallelInvoke(const std::vector<std::function<void()>> &chunks,
+               unsigned jobs)
+{
+    const unsigned workers = jobs ? jobs : runnerJobs();
+    if (workers <= 1 || chunks.size() <= 1) {
+        for (const auto &chunk : chunks)
+            chunk();
+        return;
+    }
+    ThreadPool pool(std::min<std::size_t>(workers, chunks.size()));
+    for (const auto &chunk : chunks)
+        pool.submit(chunk);
+    pool.wait();
+}
+
+} // namespace driver

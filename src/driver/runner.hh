@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel experiment runner: fans independent (app, config) jobs out
+ * across a fixed-size thread pool.
+ *
+ * Every figure/table of the paper's evaluation is a sweep of fully
+ * independent simulations (each System owns its event queue, RNG,
+ * statistics and -- via sim::setThreadLogSink -- its logging sink), so
+ * the sweep is embarrassingly parallel.  The runner guarantees:
+ *
+ *  - results[i] always corresponds to jobs[i], regardless of the
+ *    order in which worker threads finish;
+ *  - with one worker (ULMT_JOBS=1 or setRunnerJobs(1)) jobs run
+ *    inline on the calling thread, reproducing the historical serial
+ *    behavior bit for bit;
+ *  - diagnostics (sim::warn/inform) of concurrent jobs never
+ *    interleave: each job logs into a private buffer that the runner
+ *    replays to stderr in job order.
+ *
+ * Worker count resolution: setRunnerJobs() override (the benches'
+ * --jobs=N flag) > the ULMT_JOBS environment variable > the number of
+ * hardware threads.
+ */
+
+#ifndef DRIVER_RUNNER_HH
+#define DRIVER_RUNNER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.hh"
+
+namespace driver {
+
+/** One independent simulation: an application under a configuration. */
+struct Job
+{
+    std::string app;
+    SystemConfig cfg;
+    ExperimentOptions opt;
+};
+
+/** Resolve the worker count (flag > ULMT_JOBS > hardware threads). */
+unsigned runnerJobs();
+
+/** Program-level override of the worker count (0 clears it). */
+void setRunnerJobs(unsigned n);
+
+/** A fixed-size pool of worker threads draining one task queue. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(unsigned workers);
+
+    /** Joins the workers; pending tasks are drained first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has completed. */
+    void wait();
+
+    unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::size_t inFlight_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Run every task, placing tasks[i]'s result at results[i].
+ *
+ * @param jobs worker count; 0 means runnerJobs().  With 1 the tasks
+ *             run inline on the calling thread (bit-for-bit serial).
+ */
+std::vector<RunResult>
+runTasks(const std::vector<std::function<RunResult()>> &tasks,
+         unsigned jobs = 0);
+
+/** runOne() over every job, in parallel. */
+std::vector<RunResult> runAll(const std::vector<Job> &jobs,
+                              unsigned jobs_override = 0);
+
+/**
+ * Parallel captureMissStream: a recorded NoPref run per application
+ * (Figures 5/6, Table 2).  results[i].missStream holds app i's demand
+ * L2 miss stream; the full RunResult is returned so callers can also
+ * feed the bench harness.
+ */
+std::vector<RunResult>
+captureMissStreamRuns(const std::vector<std::string> &apps,
+                      const ExperimentOptions &opt);
+
+/**
+ * Run arbitrary host-side chunks in parallel (no return value; chunks
+ * write into caller-owned slots).  Chunks must be independent.
+ */
+void parallelInvoke(const std::vector<std::function<void()>> &chunks,
+                    unsigned jobs = 0);
+
+} // namespace driver
+
+#endif // DRIVER_RUNNER_HH

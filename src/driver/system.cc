@@ -1,5 +1,7 @@
 #include "driver/system.hh"
 
+#include <chrono>
+
 #include "sim/logging.hh"
 
 namespace driver {
@@ -58,13 +60,18 @@ RunResult
 System::run()
 {
     cpu_->start();
+    const auto wall_start = std::chrono::steady_clock::now();
     const bool drained = eq_.run(maxEvents);
+    const auto wall_end = std::chrono::steady_clock::now();
     SIM_ASSERT(drained && cpu_->finished(),
                "simulation did not complete (event limit hit?)");
 
     RunResult r;
     r.workload = workloadName_;
     r.label = cfg_.label;
+    r.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    r.eventsExecuted = eq_.executed();
 
     const cpu::ProcessorStats &ps = cpu_->stats();
     r.cycles = ps.totalCycles;

@@ -82,6 +82,22 @@ struct RunResult
     sim::Cycle busBusyTotal = 0;
     sim::Cycle busBusyPrefetch = 0;
 
+    // --- Host-side performance of the simulation itself -------------
+    /** Wall-clock seconds spent inside the event loop (host time;
+     *  excluded from determinism comparisons). */
+    double wallSeconds = 0.0;
+    /** Events executed by the run's event queue. */
+    std::uint64_t eventsExecuted = 0;
+
+    /** Host-side simulation throughput. */
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(eventsExecuted) / wallSeconds
+                   : 0.0;
+    }
+
     /** Figure 6 bins: fraction of miss gaps in [0,80) [80,200)
      *  [200,280) [280,inf). */
     std::vector<double> missGapFractions;

@@ -12,10 +12,9 @@
 #define SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/action.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -25,7 +24,7 @@ namespace sim {
 class EventQueue
 {
   public:
-    using Action = std::function<void()>;
+    using Action = InplaceAction;
 
     /** Current simulated time. */
     Cycle now() const { return now_; }
@@ -46,7 +45,8 @@ class EventQueue
         SIM_ASSERT(when >= now_,
                    "scheduled at %llu before now %llu",
                    (unsigned long long)when, (unsigned long long)now_);
-        events_.push(Event{when, nextSeq_++, std::move(action)});
+        events_.push_back(Event{when, nextSeq_++, std::move(action)});
+        siftUp(events_.size() - 1);
     }
 
     /** Schedule an action a relative number of cycles in the future. */
@@ -69,14 +69,11 @@ class EventQueue
         while (!events_.empty()) {
             if (executed_ >= max_events)
                 return false;
-            // Moving out of the priority queue requires a const_cast
-            // because std::priority_queue::top() returns const&; the
-            // element is popped immediately after, so this is safe.
-            auto &top = const_cast<Event &>(events_.top());
+            Event &top = events_.front();
             SIM_ASSERT(top.when >= now_, "event queue went backwards");
             now_ = top.when;
             Action action = std::move(top.action);
-            events_.pop();
+            popTop();
             ++executed_;
             action();
         }
@@ -87,7 +84,7 @@ class EventQueue
     void
     clear()
     {
-        events_ = {};
+        events_.clear();
     }
 
   private:
@@ -98,18 +95,66 @@ class EventQueue
         Action action;
     };
 
-    struct Later
+    /** Strict total order: (when, seq) is unique per event, so heap
+     *  extraction reproduces the exact order the old priority_queue
+     *  produced. */
+    static bool
+    earlier(const Event &a, const Event &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /** Remove the root of the min-heap (its action already moved out). */
+    void
+    popTop()
+    {
+        Event last = std::move(events_.back());
+        events_.pop_back();
+        if (!events_.empty()) {
+            events_.front() = std::move(last);
+            siftDown(0);
+        }
+    }
+
+    // Hole-based sifts: one move per level instead of a three-move
+    // swap, which matters at millions of events per run.
+    void
+    siftUp(std::size_t i)
+    {
+        Event e = std::move(events_[i]);
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!earlier(e, events_[parent]))
+                break;
+            events_[i] = std::move(events_[parent]);
+            i = parent;
+        }
+        events_[i] = std::move(e);
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const std::size_t n = events_.size();
+        Event e = std::move(events_[i]);
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n &&
+                earlier(events_[child + 1], events_[child]))
+                ++child;
+            if (!earlier(events_[child], e))
+                break;
+            events_[i] = std::move(events_[child]);
+            i = child;
+        }
+        events_[i] = std::move(e);
+    }
+
+    std::vector<Event> events_;  //!< binary min-heap by (when, seq)
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
@@ -183,8 +228,23 @@ class PriorityTimeline
         busyTotal_ += duration;
         prune(ready);
 
-        Cycle t = ready;
+        // Start the gap search from the cached cursor instead of the
+        // front of the list.  Invariant: every booking before cursor_
+        // ends at or before cursorReady_, so for a request with
+        // ready >= cursorReady_ the search would skip all of them
+        // (their end <= ready <= t).  Ready times arrive almost
+        // monotonically in event order; the rare out-of-order request
+        // falls back to a full scan.
         std::size_t pos = 0;
+        if (ready >= cursorReady_) {
+            pos = cursor_;
+            while (pos < bookings_.size() && bookings_[pos].end <= ready)
+                ++pos;
+            cursor_ = pos;
+            cursorReady_ = ready;
+        }
+
+        Cycle t = ready;
         for (; pos < bookings_.size(); ++pos) {
             const Interval &b = bookings_[pos];
             if (b.end <= t)
@@ -209,6 +269,10 @@ class PriorityTimeline
         bookings_.insert(bookings_.begin() +
                              static_cast<std::ptrdiff_t>(at),
                          Interval{t, t + duration, high_priority});
+        // The new booking ends after its ready time, so it may violate
+        // the cursor invariant if it landed inside the skipped prefix.
+        if (at < cursor_)
+            cursor_ = at;
         return t;
     }
 
@@ -220,6 +284,8 @@ class PriorityTimeline
         bookings_.clear();
         pruneBefore_ = 0;
         busyTotal_ = 0;
+        cursor_ = 0;
+        cursorReady_ = 0;
     }
 
   private:
@@ -246,15 +312,21 @@ class PriorityTimeline
         while (keep < bookings_.size() &&
                bookings_[keep].end <= pruneBefore_)
             ++keep;
-        if (keep > 0)
+        if (keep > 0) {
             bookings_.erase(bookings_.begin(),
                             bookings_.begin() +
                                 static_cast<std::ptrdiff_t>(keep));
+            cursor_ = cursor_ > keep ? cursor_ - keep : 0;
+        }
     }
 
     std::vector<Interval> bookings_;
     Cycle pruneBefore_ = 0;
     Cycle busyTotal_ = 0;
+    /** Gap-search resume point: bookings_[0..cursor_) all end at or
+     *  before cursorReady_. */
+    std::size_t cursor_ = 0;
+    Cycle cursorReady_ = 0;
 };
 
 } // namespace sim

@@ -7,6 +7,32 @@ namespace sim {
 
 namespace {
 
+thread_local std::string *tls_log_sink = nullptr;
+
+/** Route a finished line to the thread's sink or stderr. */
+void
+emit(const char *prefix, const std::string &msg)
+{
+    if (tls_log_sink) {
+        *tls_log_sink += prefix;
+        *tls_log_sink += msg;
+        *tls_log_sink += '\n';
+    } else {
+        std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    }
+}
+
+/** Dump a captured sink to stderr before dying (panic/fatal paths). */
+void
+flushSinkForExit()
+{
+    if (tls_log_sink && !tls_log_sink->empty()) {
+        std::fputs(tls_log_sink->c_str(), stderr);
+        tls_log_sink->clear();
+    }
+    tls_log_sink = nullptr;
+}
+
 std::string
 vformat(const char *fmt, std::va_list args)
 {
@@ -40,6 +66,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
+    flushSinkForExit();
     std::fprintf(stderr, "panic: %s\n", s.c_str());
     std::abort();
 }
@@ -51,6 +78,7 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
+    flushSinkForExit();
     std::fprintf(stderr, "fatal: %s\n", s.c_str());
     std::exit(1);
 }
@@ -58,6 +86,7 @@ fatal(const char *fmt, ...)
 void
 assertFail(const char *cond, const std::string &msg)
 {
+    flushSinkForExit();
     std::fprintf(stderr, "panic: assertion '%s' failed: %s\n", cond,
                  msg.c_str());
     std::abort();
@@ -70,7 +99,7 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    emit("warn: ", s);
 }
 
 void
@@ -80,7 +109,13 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "info: %s\n", s.c_str());
+    emit("info: ", s);
+}
+
+void
+setThreadLogSink(std::string *sink)
+{
+    tls_log_sink = sink;
 }
 
 } // namespace sim

@@ -35,6 +35,15 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Report an informational message to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Redirect this thread's warn()/inform() output into @p sink (nullptr
+ * restores stderr).  The parallel experiment runner gives every job
+ * its own buffer so concurrent simulations never interleave their
+ * diagnostics; the runner replays the buffers in job order.  panic()
+ * and fatal() flush the pending sink to stderr before exiting.
+ */
+void setThreadLogSink(std::string *sink);
+
 /** Implementation detail of SIM_ASSERT. */
 [[noreturn]] void assertFail(const char *cond, const std::string &msg);
 

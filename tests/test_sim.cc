@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -67,6 +71,122 @@ TEST(ResourceTimeline, SerializesOverlappingRequests)
     EXPECT_EQ(tl.acquire(5, 10), 10u);   // busy until 10
     EXPECT_EQ(tl.acquire(50, 10), 50u);  // idle gap
     EXPECT_EQ(tl.busyTotal(), 30u);
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeap)
+{
+    // Captures bigger than the inline buffer must survive the move
+    // into the queue and run intact.
+    sim::EventQueue eq;
+    std::array<std::uint64_t, 16> payload;
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(1, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    eq.run();
+    std::uint64_t expect = 0;
+    for (std::uint64_t v : payload)
+        expect += v;
+    EXPECT_EQ(sum, expect);
+}
+
+TEST(EventQueue, MoveOnlyCapturesAreSupported)
+{
+    sim::EventQueue eq;
+    auto value = std::make_unique<int>(17);
+    int seen = 0;
+    eq.schedule(1, [v = std::move(value), &seen] { seen = *v; });
+    eq.run();
+    EXPECT_EQ(seen, 17);
+}
+
+TEST(PriorityTimeline, HighDisplacesUnstartedLowButNotInProgress)
+{
+    {
+        // The low booking has not started by the high request's ready
+        // time: the controller reorders its queues and the prefetch
+        // transfer is pushed behind.
+        sim::PriorityTimeline tl;
+        EXPECT_EQ(tl.acquire(20, 10, false), 20u);  // low, [20,30)
+        EXPECT_EQ(tl.acquire(15, 10, true), 15u);   // displaces it
+    }
+    {
+        // A low transfer already in progress is non-preemptive: the
+        // high request waits for its completion.
+        sim::PriorityTimeline tl;
+        EXPECT_EQ(tl.acquire(0, 20, false), 0u);  // low, [0,20)
+        EXPECT_EQ(tl.acquire(5, 10, true), 20u);
+    }
+}
+
+TEST(PriorityTimeline, OvercommittedBookingsStayConsistent)
+{
+    // Displacement makes the booked list non-disjoint (the displaced
+    // low booking still occupies its old slot).  Later requests of
+    // both classes must still be placed against every live booking.
+    sim::PriorityTimeline tl;
+    EXPECT_EQ(tl.acquire(0, 10, false), 0u);    // low, [0,10)
+    EXPECT_EQ(tl.acquire(20, 10, false), 20u);  // low, [20,30)
+    EXPECT_EQ(tl.acquire(15, 10, true), 15u);   // high, [15,25)
+
+    // Another high request: waits for the high booking, skips the
+    // displaced low one.
+    EXPECT_EQ(tl.acquire(15, 10, true), 25u);  // high, [25,35)
+
+    // A low request respects everything, including the overcommitted
+    // region: first idle cycle after all bookings is 35.
+    EXPECT_EQ(tl.acquire(15, 5, false), 35u);
+    EXPECT_EQ(tl.busyTotal(), 10u + 10u + 10u + 10u + 5u);
+}
+
+TEST(PriorityTimeline, OutOfOrderReadyFallsBackToFullScan)
+{
+    // Advance the gap-search cursor far ahead, then issue a request
+    // with an earlier ready time: it must still see the old bookings.
+    sim::PriorityTimeline tl;
+    EXPECT_EQ(tl.acquire(0, 10, true), 0u);       // [0,10)
+    EXPECT_EQ(tl.acquire(1000, 10, true), 1000u); // cursor past [0,10)
+    EXPECT_EQ(tl.acquire(0, 10, true), 10u);      // not 0: slot taken
+}
+
+TEST(PriorityTimeline, PruneMarginBoundary)
+{
+    // Bookings are pruned only once they end a full margin (16384
+    // cycles) behind the newest ready time; a booking ending exactly
+    // at the boundary is dropped, one cycle later it is kept.  Either
+    // way placements stay correct because pruned bookings can never
+    // overlap a request's ready window.
+    constexpr sim::Cycle margin = 16384;
+    {
+        sim::PriorityTimeline tl;
+        EXPECT_EQ(tl.acquire(0, 10, true), 0u);  // ends at 10
+        // ready - margin == 10: the booking is pruned, and the new
+        // request lands at its ready time on the now-idle resource.
+        EXPECT_EQ(tl.acquire(margin + 10, 10, true), margin + 10);
+    }
+    {
+        sim::PriorityTimeline tl;
+        // A transfer still running inside the margin window is kept
+        // and serializes same-class requests behind it.
+        const sim::Cycle start = tl.acquire(0, margin + 50, true);
+        EXPECT_EQ(start, 0u);
+        EXPECT_EQ(tl.acquire(margin + 20, 10, true), margin + 50);
+    }
+    {
+        // Prune must shift the cached cursor along with the erased
+        // prefix; otherwise later same-ready requests would be placed
+        // against the wrong bookings and overlap.
+        sim::PriorityTimeline tl;
+        for (sim::Cycle r = 0; r < 8; ++r)
+            EXPECT_EQ(tl.acquire(r * 100, 10, true), r * 100);
+        const sim::Cycle far = 10 * margin;
+        EXPECT_EQ(tl.acquire(far, 10, true), far);  // prunes prefix
+        EXPECT_EQ(tl.acquire(far, 10, true), far + 10);
+        EXPECT_EQ(tl.acquire(far, 10, true), far + 20);
+    }
 }
 
 TEST(Rng, DeterministicForSameSeed)
