@@ -14,7 +14,12 @@
  * Reported for Sparse, Tree, and the average of the other seven
  * applications, for Base, Chain, Repl, Conven4+Repl, Conven4+ReplMC.
  *
- * Usage: fig9_effectiveness [scale] [--jobs=N]
+ * Usage: fig9_effectiveness [scale] [--jobs=N] [--apps=A,B,...]
+ *
+ * --apps accepts any mix of application names and trace:<path>
+ * corpora (captured with tools/ulmt-trace or converted from external
+ * access traces), so recorded miss streams run through the same
+ * effectiveness breakdown as the synthetic kernels.
  */
 
 #include <cstdio>
@@ -85,7 +90,7 @@ main(int argc, char **argv)
     const std::vector<std::string> configs = {
         "Base", "Chain", "Repl", "Conven4+Repl", "Conven4+ReplMC"};
 
-    const auto &apps = workloads::applicationNames();
+    const auto &apps = bopt.appList();
     std::vector<driver::Job> jobs;
     for (const std::string &app : apps) {
         jobs.push_back({app, driver::noPrefConfig(opt), opt});

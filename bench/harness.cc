@@ -6,8 +6,15 @@
 
 #include "driver/runner.hh"
 #include "sim/logging.hh"
+#include "workloads/workload.hh"
 
 namespace bench {
+
+const std::vector<std::string> &
+Options::appList() const
+{
+    return apps.empty() ? workloads::applicationNames() : apps;
+}
 
 Options
 parseArgs(int argc, char **argv, double default_scale)
@@ -23,12 +30,27 @@ parseArgs(int argc, char **argv, double default_scale)
             if (*end != '\0' || v < 1 || v > 1024)
                 sim::fatal("bad --jobs value '%s'", arg + 7);
             opt.jobs = static_cast<unsigned>(v);
+        } else if (std::strncmp(arg, "--apps=", 7) == 0) {
+            std::string cur;
+            for (const char *p = arg + 7;; ++p) {
+                if (*p == ',' || *p == '\0') {
+                    if (!cur.empty())
+                        opt.apps.push_back(cur);
+                    cur.clear();
+                    if (*p == '\0')
+                        break;
+                } else {
+                    cur += *p;
+                }
+            }
+            if (opt.apps.empty())
+                sim::fatal("empty --apps list");
         } else if (!scale_seen) {
             opt.scale = std::atof(arg);
             scale_seen = true;
         } else {
-            sim::fatal("unexpected argument '%s' "
-                       "(usage: bench [scale] [--jobs=N])", arg);
+            sim::fatal("unexpected argument '%s' (usage: bench "
+                       "[scale] [--jobs=N] [--apps=A,B,...])", arg);
         }
     }
     if (opt.jobs)
@@ -45,7 +67,7 @@ Harness::Harness(std::string name, const Options &opt)
 void
 Harness::record(const driver::RunResult &r)
 {
-    runs_.push_back(Run{r.workload, r.label, r.wallSeconds,
+    runs_.push_back(Run{r.workload, r.label, r.source, r.wallSeconds,
                         r.eventsExecuted, r.cycles});
 }
 
@@ -118,6 +140,8 @@ Harness::writeJson() const
         appendEscaped(out, r.workload);
         out += ", \"config\": ";
         appendEscaped(out, r.label);
+        out += ", \"source\": ";
+        appendEscaped(out, r.source);
         out += ", \"wall_seconds\": " + jsonNumber(r.wallSeconds);
         out += sim::strformat(", \"events\": %llu",
                               (unsigned long long)r.events);

@@ -17,9 +17,9 @@
  *   "scale": 1.0,
  *   "wall_seconds_total": 12.34,
  *   "runs": [
- *     {"workload": "Mcf", "config": "NoPref", "wall_seconds": 0.51,
- *      "events": 1234567, "events_per_sec": 2.4e6,
- *      "sim_cycles": 98765432}, ...
+ *     {"workload": "Mcf", "config": "NoPref", "source": "synthetic",
+ *      "wall_seconds": 0.51, "events": 1234567,
+ *      "events_per_sec": 2.4e6, "sim_cycles": 98765432}, ...
  *   ],
  *   "metrics": {"avg_speedup_repl": 1.32, ...}
  * }
@@ -38,17 +38,25 @@
 
 namespace bench {
 
-/** Common bench CLI: `bench [scale] [--jobs=N]`. */
+/** Common bench CLI: `bench [scale] [--jobs=N] [--apps=A,B,...]`. */
 struct Options
 {
     double scale = 1.0;
     unsigned jobs = 0;  //!< 0 = resolve via driver::runnerJobs()
+    /** Workload list override (names or trace:<path>); empty = the
+     *  bench's default set (usually the nine paper applications). */
+    std::vector<std::string> apps;
+
+    /** The bench's workload list: the override, or the nine apps. */
+    const std::vector<std::string> &appList() const;
 };
 
 /**
  * Parse the common CLI.  A bare positional argument is the workload
  * scale; `--jobs=N` overrides the worker count for this process (it
- * takes precedence over ULMT_JOBS).
+ * takes precedence over ULMT_JOBS); `--apps=A,B,...` replaces the
+ * default workload set with any mix of application names and
+ * `trace:<path>` corpora.
  */
 Options parseArgs(int argc, char **argv, double default_scale);
 
@@ -76,6 +84,7 @@ class Harness
     {
         std::string workload;
         std::string label;
+        std::string source;
         double wallSeconds;
         std::uint64_t events;
         std::uint64_t simCycles;

@@ -16,6 +16,7 @@ constexpr std::uint64_t maxEvents = 4'000'000'000ULL;
 System::System(const SystemConfig &cfg, workloads::Workload &workload)
     : System(cfg, workload, workload.name())
 {
+    workloadSource_ = workload.source();
 }
 
 System::System(const SystemConfig &cfg, cpu::TraceSource &source,
@@ -69,6 +70,7 @@ System::run()
     RunResult r;
     r.workload = workloadName_;
     r.label = cfg_.label;
+    r.source = workloadSource_;
     r.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
     r.eventsExecuted = eq_.executed();

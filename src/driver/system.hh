@@ -64,6 +64,10 @@ struct RunResult
 {
     std::string workload;
     std::string label;
+    /** Where the records came from: "synthetic" or "trace:<path>".
+     *  Metadata only -- excluded from determinism fingerprints so a
+     *  replayed corpus can be diffed against its live capture. */
+    std::string source = "synthetic";
 
     sim::Cycle cycles = 0;
     sim::Cycle busyCycles = 0;
@@ -173,6 +177,7 @@ class System
     SystemConfig cfg_;
     cpu::TraceSource &source_;
     std::string workloadName_;
+    std::string workloadSource_ = "synthetic";
     sim::EventQueue eq_;
     std::unique_ptr<mem::MemorySystem> ms_;
     std::unique_ptr<cpu::Hierarchy> hier_;

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The ULMT on-disk trace format (version 1).
+ *
+ * A trace file is the serialized dynamic TraceRecord stream of one
+ * workload, with enough provenance (app name, scale, seed) to
+ * reproduce the capture.  Layout, all integers little-endian:
+ *
+ *   header    magic "ULMTTRC1" | u32 version | u32 reserved |
+ *             u64 seed | f64 scale (IEEE bits) |
+ *             u32 appNameLen | appName bytes
+ *   blocks    zero or more record blocks (below)
+ *   trailer   u32 magic "UEND" | u32 blockCount | u64 recordCount |
+ *             u64 footprintBytes | u64 chainChecksum
+ *
+ * Each block is independently decodable and checksummed:
+ *
+ *   u32 magic "UBLK" | u32 payloadBytes | u32 recordCount |
+ *   u32 reserved | u64 fnv1a64(payload) | payload
+ *
+ * Payload encoding, per record:
+ *
+ *   flags byte   bit0 hasRef, bit1 isWrite, bit2 dependsOnPrev
+ *   varint       computeOps (LEB128)
+ *   varint       zigzag(addr - prevRefAddr), only when hasRef
+ *
+ * prevRefAddr starts at 0 at every block boundary (blocks are
+ * self-contained) and is only advanced by records that carry a
+ * reference, so compute-only records never disturb the deltas.
+ *
+ * The trailer's chainChecksum folds every block checksum into one
+ * value, so a truncated, reordered or block-dropped file fails loudly
+ * at open or at the first bad block -- never as a silent short run.
+ */
+
+#ifndef TRACE_FORMAT_HH
+#define TRACE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace trace {
+
+/** Raised for any malformed, truncated or corrupted trace file. */
+class TraceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+// --- Format constants --------------------------------------------------
+
+/** File magic: "ULMTTRC1". */
+inline constexpr char fileMagic[8] = {'U', 'L', 'M', 'T',
+                                      'T', 'R', 'C', '1'};
+
+/** Current (and only) format version. */
+inline constexpr std::uint32_t formatVersion = 1;
+
+/** Block magic "UBLK" as a little-endian u32. */
+inline constexpr std::uint32_t blockMagic = 0x4B4C4255;
+
+/** Trailer magic "UEND" as a little-endian u32. */
+inline constexpr std::uint32_t trailerMagic = 0x444E4555;
+
+/** Sanity cap on one block's payload (a record is at most 21 bytes). */
+inline constexpr std::uint32_t maxBlockPayload = 4u * 1024u * 1024u;
+
+/** Sanity cap on the embedded application-name length. */
+inline constexpr std::uint32_t maxAppNameLen = 4096;
+
+/** Fixed sizes of the framing structures. */
+inline constexpr std::size_t headerFixedBytes = 8 + 4 + 4 + 8 + 8 + 4;
+inline constexpr std::size_t blockHeaderBytes = 4 + 4 + 4 + 4 + 8;
+inline constexpr std::size_t trailerBytes = 4 + 4 + 8 + 8 + 8;
+
+/** Record flag bits. */
+inline constexpr std::uint8_t flagHasRef = 1u << 0;
+inline constexpr std::uint8_t flagIsWrite = 1u << 1;
+inline constexpr std::uint8_t flagDependsOnPrev = 1u << 2;
+inline constexpr std::uint8_t flagMask =
+    flagHasRef | flagIsWrite | flagDependsOnPrev;
+
+// --- Decoded metadata --------------------------------------------------
+
+/** Provenance stored in the file header. */
+struct TraceHeader
+{
+    std::uint32_t version = formatVersion;
+    std::uint64_t seed = 0;
+    double scale = 1.0;
+    /** Captured workload's name ("Mcf", an imported trace's label...). */
+    std::string app;
+};
+
+/** Totals stored in the trailer (known only after a full capture). */
+struct TraceSummary
+{
+    std::uint64_t records = 0;
+    /** Span of referenced addresses, in bytes (0 if no references). */
+    std::uint64_t footprintBytes = 0;
+    std::uint32_t blocks = 0;
+};
+
+// --- Primitive encoding helpers ----------------------------------------
+
+/** FNV-1a 64-bit, the block/chain checksum. */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t len,
+        std::uint64_t seed = 1469598103934665603ULL)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Map a signed delta onto unsigned varint space. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** Append a LEB128 varint to @p out. */
+inline void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/**
+ * Decode a LEB128 varint from @p data at @p pos (advanced past it).
+ * @throws TraceError on overrun or overlong encoding.
+ */
+inline std::uint64_t
+getVarint(const std::string &data, std::size_t &pos)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        if (pos >= data.size())
+            throw TraceError("varint runs past end of block payload");
+        const auto byte = static_cast<unsigned char>(data[pos++]);
+        if (shift == 63 && (byte & 0x7E))
+            throw TraceError("varint overflows 64 bits");
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 63)
+            throw TraceError("varint overflows 64 bits");
+    }
+}
+
+/** Append a little-endian fixed-width integer to @p out. */
+template <typename T>
+inline void
+putLe(std::string &out, T v)
+{
+    auto u = static_cast<std::uint64_t>(v);
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<char>((u >> (8 * i)) & 0xFF));
+}
+
+/** Read a little-endian fixed-width integer from a raw buffer. */
+template <typename T>
+inline T
+getLe(const unsigned char *p)
+{
+    std::uint64_t u = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        u |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return static_cast<T>(u);
+}
+
+} // namespace trace
+
+#endif // TRACE_FORMAT_HH

@@ -1,0 +1,149 @@
+#include "trace/import.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace trace {
+
+namespace {
+
+/** Split on any run of whitespace and/or commas. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty())
+                out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(std::move(cur));
+    return out;
+}
+
+bool
+parseNumber(const std::string &tok, std::uint64_t &value)
+{
+    if (tok.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    // Base 0: accepts 0x-prefixed hex and plain decimal.
+    value = std::strtoull(tok.c_str(), &end, 0);
+    return errno == 0 && end && *end == '\0';
+}
+
+/** R/r/L/l/0 = load; W/w/S/s/1 = store. */
+bool
+parseRw(const std::string &tok, bool &is_write)
+{
+    if (tok.size() != 1)
+        return false;
+    switch (tok[0]) {
+      case 'R': case 'r': case 'L': case 'l': case '0':
+        is_write = false;
+        return true;
+      case 'W': case 'w': case 'S': case 's': case '1':
+        is_write = true;
+        return true;
+      default:
+        return false;
+    }
+}
+
+[[noreturn]] void
+badLine(const std::string &path, std::uint64_t line_no,
+        const std::string &why)
+{
+    throw TraceError("import '" + path + "' line " +
+                     std::to_string(line_no) + ": " + why);
+}
+
+} // namespace
+
+std::uint64_t
+importText(const std::string &in_path, TraceWriter &writer,
+           const ImportOptions &opt)
+{
+    std::ifstream in(in_path);
+    if (!in)
+        throw TraceError("cannot open access trace '" + in_path +
+                         "': " + std::strerror(errno));
+
+    std::uint64_t imported = 0;
+    std::uint64_t line_no = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty() || toks[0][0] == '#')
+            continue;
+
+        std::uint64_t addr = 0;
+        bool is_write = false;
+        switch (toks.size()) {
+          case 1:
+            // <addr>
+            if (!parseNumber(toks[0], addr))
+                badLine(in_path, line_no,
+                        "'" + toks[0] + "' is not an address");
+            break;
+          case 2:
+            // <addr> <R|W>
+            if (!parseNumber(toks[0], addr))
+                badLine(in_path, line_no,
+                        "'" + toks[0] + "' is not an address");
+            if (!parseRw(toks[1], is_write))
+                badLine(in_path, line_no,
+                        "'" + toks[1] + "' is not an R/W marker");
+            break;
+          case 3: {
+            // <pc> <addr> <R|W>; the PC is provenance we drop.
+            std::uint64_t pc = 0;
+            if (!parseNumber(toks[0], pc))
+                badLine(in_path, line_no,
+                        "'" + toks[0] + "' is not a PC");
+            if (!parseNumber(toks[1], addr))
+                badLine(in_path, line_no,
+                        "'" + toks[1] + "' is not an address");
+            if (!parseRw(toks[2], is_write))
+                badLine(in_path, line_no,
+                        "'" + toks[2] + "' is not an R/W marker");
+            break;
+          }
+          default:
+            badLine(in_path, line_no,
+                    "expected 1-3 fields (pc, addr, r/w), got " +
+                        std::to_string(toks.size()));
+        }
+
+        if (addr == sim::invalidAddr)
+            badLine(in_path, line_no,
+                    "address collides with the reserved sentinel");
+
+        cpu::TraceRecord rec;
+        rec.computeOps = opt.computeOps;
+        rec.addr = addr;
+        rec.isWrite = is_write;
+        rec.dependsOnPrev = false;
+        writer.append(rec);
+        ++imported;
+    }
+    if (in.bad())
+        throw TraceError("I/O error reading '" + in_path + "'");
+    return imported;
+}
+
+} // namespace trace

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Importer for external text access traces.
+ *
+ * Accepts the simple line-oriented formats used by ChampSim-style
+ * public traces and most academic trace dumps: one access per line,
+ * fields separated by whitespace or commas, addresses in hex (0x...)
+ * or decimal, with an optional leading PC column and an optional
+ * trailing R/W marker:
+ *
+ *     <pc> <addr> <R|W>        # 3 columns (ChampSim text dump)
+ *     <addr> <R|W>             # 2 columns
+ *     <addr>                   # 1 column (all loads)
+ *
+ * Blank lines and lines starting with '#' are ignored.  Every parsed
+ * access becomes one TraceRecord with a fixed computeOps gap (the
+ * external formats carry no timing), written through a TraceWriter
+ * into the native format so the result replays like any captured
+ * corpus (`trace:<path>`).
+ */
+
+#ifndef TRACE_IMPORT_HH
+#define TRACE_IMPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/writer.hh"
+
+namespace trace {
+
+/** Knobs for importText(). */
+struct ImportOptions
+{
+    /** Workload name recorded as provenance in the output header. */
+    std::string app = "imported";
+    /** computeOps attached to every access (external traces have no
+     *  compute information); paper-scale irregular kernels average a
+     *  handful of ops between references. */
+    std::uint32_t computeOps = 4;
+};
+
+/**
+ * Parse @p in_path and write the accesses through @p writer (the
+ * caller finalizes the writer).
+ *
+ * @return number of accesses imported.
+ * @throws TraceError on an unreadable file or a malformed line
+ *         (message includes the line number).
+ */
+std::uint64_t importText(const std::string &in_path,
+                         TraceWriter &writer,
+                         const ImportOptions &opt = {});
+
+} // namespace trace
+
+#endif // TRACE_IMPORT_HH

@@ -1,0 +1,198 @@
+#include "trace/reader.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace trace {
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        throw TraceError("cannot open trace file '" + path +
+                         "': " + std::strerror(errno));
+
+    // --- Header ---------------------------------------------------
+    unsigned char fixed[headerFixedBytes];
+    readExact(fixed, sizeof(fixed), "file header");
+    if (std::memcmp(fixed, fileMagic, sizeof(fileMagic)) != 0)
+        fail("bad magic (not a ULMT trace file)");
+    header_.version = getLe<std::uint32_t>(fixed + 8);
+    if (header_.version != formatVersion)
+        fail("unsupported format version " +
+             std::to_string(header_.version) + " (reader supports " +
+             std::to_string(formatVersion) + ")");
+    header_.seed = getLe<std::uint64_t>(fixed + 16);
+    const std::uint64_t scale_bits = getLe<std::uint64_t>(fixed + 24);
+    std::memcpy(&header_.scale, &scale_bits, sizeof(header_.scale));
+    const std::uint32_t name_len = getLe<std::uint32_t>(fixed + 32);
+    if (name_len > maxAppNameLen)
+        fail("app name length " + std::to_string(name_len) +
+             " exceeds limit");
+    std::vector<char> name(name_len);
+    readExact(name.data(), name_len, "app name");
+    header_.app.assign(name.data(), name_len);
+
+    dataStart_ = std::ftell(file_);
+    if (dataStart_ < 0)
+        fail("cannot determine data offset");
+
+    // --- Trailer (validated up front: catches truncation) ---------
+    if (std::fseek(file_, 0, SEEK_END) != 0)
+        fail("cannot seek to end");
+    const long file_size = std::ftell(file_);
+    if (file_size < 0 ||
+        static_cast<std::size_t>(file_size - dataStart_) < trailerBytes)
+        fail("truncated: missing trailer");
+    trailerOff_ = file_size - static_cast<long>(trailerBytes);
+    if (std::fseek(file_, trailerOff_, SEEK_SET) != 0)
+        fail("cannot seek to trailer");
+    unsigned char trailer[trailerBytes];
+    readExact(trailer, sizeof(trailer), "trailer");
+    if (getLe<std::uint32_t>(trailer) != trailerMagic)
+        fail("truncated or corrupt: trailer magic missing "
+             "(capture incomplete?)");
+    summary_.blocks = getLe<std::uint32_t>(trailer + 4);
+    summary_.records = getLe<std::uint64_t>(trailer + 8);
+    summary_.footprintBytes = getLe<std::uint64_t>(trailer + 16);
+
+    rewind();
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceReader::rewind()
+{
+    if (std::fseek(file_, dataStart_, SEEK_SET) != 0)
+        fail("cannot seek to first block");
+    payload_.clear();
+    pos_ = 0;
+    blockLeft_ = 0;
+    prevRefAddr_ = 0;
+    recordsServed_ = 0;
+    blocksLoaded_ = 0;
+    chain_ = 1469598103934665603ULL;
+    endVerified_ = false;
+}
+
+bool
+TraceReader::next(cpu::TraceRecord &rec)
+{
+    if (blockLeft_ == 0) {
+        if (endVerified_)
+            return false;
+        loadNextBlock();
+        if (blockLeft_ == 0)
+            return false;  // verified end of trace
+    }
+
+    try {
+        const auto flags =
+            static_cast<std::uint8_t>(payload_.at(pos_));
+        ++pos_;
+        if (flags & ~flagMask)
+            throw TraceError("unknown record flag bits");
+        rec.computeOps =
+            static_cast<std::uint32_t>(getVarint(payload_, pos_));
+        rec.isWrite = flags & flagIsWrite;
+        rec.dependsOnPrev = flags & flagDependsOnPrev;
+        if (flags & flagHasRef) {
+            const std::int64_t delta =
+                zigzagDecode(getVarint(payload_, pos_));
+            rec.addr = prevRefAddr_ + static_cast<sim::Addr>(delta);
+            prevRefAddr_ = rec.addr;
+        } else {
+            rec.addr = sim::invalidAddr;
+        }
+    } catch (const std::out_of_range &) {
+        fail("block payload ends mid-record");
+    } catch (const TraceError &e) {
+        fail(std::string("corrupt record: ") + e.what());
+    }
+
+    --blockLeft_;
+    ++recordsServed_;
+    if (blockLeft_ == 0 && pos_ != payload_.size())
+        fail("block decodes to fewer bytes than its payload length");
+    return true;
+}
+
+void
+TraceReader::loadNextBlock()
+{
+    const long at = std::ftell(file_);
+    if (at < 0)
+        fail("cannot determine block offset");
+    if (at == trailerOff_) {
+        // Clean end of data: verify the trailer's totals.
+        if (blocksLoaded_ != summary_.blocks)
+            fail("block count mismatch: trailer says " +
+                 std::to_string(summary_.blocks) + ", file has " +
+                 std::to_string(blocksLoaded_));
+        if (recordsServed_ != summary_.records)
+            fail("record count mismatch: trailer says " +
+                 std::to_string(summary_.records) + ", decoded " +
+                 std::to_string(recordsServed_));
+        unsigned char trailer[trailerBytes];
+        readExact(trailer, sizeof(trailer), "trailer");
+        if (getLe<std::uint64_t>(trailer + 24) != chain_)
+            fail("checksum chain mismatch "
+                 "(blocks altered, dropped or reordered)");
+        endVerified_ = true;
+        return;
+    }
+    if (at > trailerOff_)
+        fail("block framing overruns the trailer");
+
+    unsigned char head[blockHeaderBytes];
+    readExact(head, sizeof(head), "block header");
+    if (getLe<std::uint32_t>(head) != blockMagic)
+        fail("bad block magic at offset " + std::to_string(at));
+    const std::uint32_t payload_bytes = getLe<std::uint32_t>(head + 4);
+    const std::uint32_t n_records = getLe<std::uint32_t>(head + 8);
+    const std::uint64_t checksum = getLe<std::uint64_t>(head + 16);
+    if (payload_bytes == 0 || payload_bytes > maxBlockPayload)
+        fail("implausible block payload length " +
+             std::to_string(payload_bytes));
+    if (n_records == 0 || n_records > payload_bytes)
+        fail("implausible block record count " +
+             std::to_string(n_records));
+    if (static_cast<long>(payload_bytes) >
+        trailerOff_ - at - static_cast<long>(blockHeaderBytes))
+        fail("block payload overruns the trailer (truncated file?)");
+
+    payload_.resize(payload_bytes);
+    readExact(payload_.data(), payload_bytes, "block payload");
+    if (fnv1a64(payload_.data(), payload_.size()) != checksum)
+        fail("block checksum mismatch at offset " +
+             std::to_string(at) + " (corrupted data)");
+
+    chain_ = fnv1a64(&checksum, sizeof(checksum), chain_);
+    ++blocksLoaded_;
+    pos_ = 0;
+    blockLeft_ = n_records;
+    prevRefAddr_ = 0;  // blocks are self-contained
+}
+
+void
+TraceReader::readExact(void *dst, std::size_t len, const char *what)
+{
+    if (len == 0)
+        return;
+    if (std::fread(dst, 1, len, file_) != len)
+        fail(std::string("unexpected end of file reading ") + what);
+}
+
+void
+TraceReader::fail(const std::string &why) const
+{
+    throw TraceError("trace file '" + path_ + "': " + why);
+}
+
+} // namespace trace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TraceReader: streaming, validating reader for the on-disk trace
+ * format.  Holds at most one decoded block's payload in memory, so a
+ * multi-gigabyte trace replays in constant space.
+ *
+ * Validation is strict and loud: the header and trailer are checked at
+ * open (so a truncated file is rejected before any record is served),
+ * every block checksum is verified when the block is loaded, and the
+ * trailer's record/block totals and checksum chain are re-verified at
+ * end of stream.  Any mismatch throws TraceError with the file path
+ * and the reason -- never a silent short trace.
+ */
+
+#ifndef TRACE_READER_HH
+#define TRACE_READER_HH
+
+#include <cstdio>
+#include <string>
+
+#include "cpu/trace.hh"
+#include "trace/format.hh"
+
+namespace trace {
+
+/** Reads a trace file as a cpu::TraceSource. */
+class TraceReader : public cpu::TraceSource
+{
+  public:
+    /**
+     * Open @p path, validate header and trailer.
+     * @throws TraceError on any malformed, truncated or corrupt file.
+     */
+    explicit TraceReader(const std::string &path);
+
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    const TraceHeader &header() const { return header_; }
+    const TraceSummary &summary() const { return summary_; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Produce the next record; false at a (verified) end of trace.
+     * @throws TraceError on a corrupt block.
+     */
+    bool next(cpu::TraceRecord &rec) override;
+
+    /** Seek back to the first block; the stream replays identically. */
+    void rewind();
+
+  private:
+    void loadNextBlock();
+    [[noreturn]] void fail(const std::string &why) const;
+    void readExact(void *dst, std::size_t len, const char *what);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    TraceHeader header_;
+    TraceSummary summary_;
+
+    long dataStart_ = 0;   //!< file offset of the first block
+    long trailerOff_ = 0;  //!< file offset of the trailer
+
+    std::string payload_;        //!< current block, verified
+    std::size_t pos_ = 0;        //!< decode cursor into payload_
+    std::uint32_t blockLeft_ = 0;  //!< records left in current block
+    sim::Addr prevRefAddr_ = 0;
+
+    std::uint64_t recordsServed_ = 0;
+    std::uint32_t blocksLoaded_ = 0;
+    std::uint64_t chain_ = 1469598103934665603ULL;
+    bool endVerified_ = false;
+};
+
+} // namespace trace
+
+#endif // TRACE_READER_HH

@@ -1,0 +1,140 @@
+#include "trace/writer.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace trace {
+
+TraceWriter::TraceWriter(const std::string &path, const Options &opt)
+    : path_(path), opt_(opt)
+{
+    if (opt_.recordsPerBlock == 0)
+        opt_.recordsPerBlock = 1;
+    if (opt_.app.size() > maxAppNameLen)
+        throw TraceError("trace app name longer than " +
+                         std::to_string(maxAppNameLen) + " bytes");
+
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        throw TraceError("cannot create trace file '" + path +
+                         "': " + std::strerror(errno));
+
+    std::string header;
+    header.append(fileMagic, sizeof(fileMagic));
+    putLe<std::uint32_t>(header, formatVersion);
+    putLe<std::uint32_t>(header, 0);  // reserved
+    putLe<std::uint64_t>(header, opt_.seed);
+    std::uint64_t scale_bits = 0;
+    static_assert(sizeof(scale_bits) == sizeof(opt_.scale));
+    std::memcpy(&scale_bits, &opt_.scale, sizeof(scale_bits));
+    putLe<std::uint64_t>(header, scale_bits);
+    putLe<std::uint32_t>(header,
+                         static_cast<std::uint32_t>(opt_.app.size()));
+    header += opt_.app;
+    write(header.data(), header.size());
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished_) {
+        try {
+            finish();
+        } catch (const TraceError &e) {
+            sim::warn("trace writer: %s", e.what());
+        }
+    }
+}
+
+void
+TraceWriter::append(const cpu::TraceRecord &rec)
+{
+    if (finished_)
+        throw TraceError("append to finished trace '" + path_ + "'");
+
+    std::uint8_t flags = 0;
+    if (rec.hasRef())
+        flags |= flagHasRef;
+    if (rec.isWrite)
+        flags |= flagIsWrite;
+    if (rec.dependsOnPrev)
+        flags |= flagDependsOnPrev;
+    payload_.push_back(static_cast<char>(flags));
+    putVarint(payload_, rec.computeOps);
+    if (rec.hasRef()) {
+        const auto delta =
+            static_cast<std::int64_t>(rec.addr - prevRefAddr_);
+        putVarint(payload_, zigzagEncode(delta));
+        prevRefAddr_ = rec.addr;
+        minRef_ = std::min(minRef_, rec.addr);
+        maxRef_ = std::max(maxRef_, rec.addr);
+        anyRef_ = true;
+    }
+    ++blockRecords_;
+    ++totalRecords_;
+    if (blockRecords_ >= opt_.recordsPerBlock ||
+        payload_.size() >= maxBlockPayload - 32) {
+        flushBlock();
+    }
+}
+
+void
+TraceWriter::flushBlock()
+{
+    if (payload_.empty())
+        return;
+    const std::uint64_t checksum =
+        fnv1a64(payload_.data(), payload_.size());
+
+    std::string head;
+    putLe<std::uint32_t>(head, blockMagic);
+    putLe<std::uint32_t>(head,
+                         static_cast<std::uint32_t>(payload_.size()));
+    putLe<std::uint32_t>(head, blockRecords_);
+    putLe<std::uint32_t>(head, 0);  // reserved
+    putLe<std::uint64_t>(head, checksum);
+    write(head.data(), head.size());
+    write(payload_.data(), payload_.size());
+
+    chain_ = fnv1a64(&checksum, sizeof(checksum), chain_);
+    ++totalBlocks_;
+    payload_.clear();
+    blockRecords_ = 0;
+    prevRefAddr_ = 0;  // blocks are self-contained
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    flushBlock();
+
+    const std::uint64_t footprint =
+        anyRef_ ? (maxRef_ - minRef_ + 64) : 0;
+    std::string trailer;
+    putLe<std::uint32_t>(trailer, trailerMagic);
+    putLe<std::uint32_t>(trailer, totalBlocks_);
+    putLe<std::uint64_t>(trailer, totalRecords_);
+    putLe<std::uint64_t>(trailer, footprint);
+    putLe<std::uint64_t>(trailer, chain_);
+    write(trailer.data(), trailer.size());
+
+    finished_ = true;
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0)
+        throw TraceError("error closing trace file '" + path_ + "'");
+}
+
+void
+TraceWriter::write(const void *data, std::size_t len)
+{
+    if (std::fwrite(data, 1, len, file_) != len)
+        throw TraceError("short write to trace file '" + path_ +
+                         "': " + std::strerror(errno));
+}
+
+} // namespace trace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * TraceWriter: captures a dynamic TraceRecord stream into the on-disk
+ * format of format.hh, and TeeTraceSource, a decorator that records
+ * any TraceSource transparently while the simulation consumes it --
+ * no workload kernel needs to know it is being captured.
+ */
+
+#ifndef TRACE_WRITER_HH
+#define TRACE_WRITER_HH
+
+#include <cstdio>
+#include <string>
+
+#include "cpu/trace.hh"
+#include "trace/format.hh"
+
+namespace trace {
+
+/** Streams TraceRecords into a trace file, block by block. */
+class TraceWriter
+{
+  public:
+    struct Options
+    {
+        /** Provenance recorded in the header. */
+        std::string app = "unknown";
+        std::uint64_t seed = 0;
+        double scale = 1.0;
+        /** Block granularity; small values exercise block framing. */
+        std::uint32_t recordsPerBlock = 8192;
+    };
+
+    /**
+     * Create @p path and write the header.
+     * @throws TraceError if the file cannot be created.
+     */
+    TraceWriter(const std::string &path, const Options &opt);
+
+    /** Writes the trailer via finish() if not already done. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record (buffered; flushed in blocks). */
+    void append(const cpu::TraceRecord &rec);
+
+    /**
+     * Flush the last partial block and write the trailer.  Idempotent.
+     * @throws TraceError on I/O failure.
+     */
+    void finish();
+
+    std::uint64_t recordsWritten() const { return totalRecords_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    void flushBlock();
+    void write(const void *data, std::size_t len);
+
+    std::string path_;
+    Options opt_;
+    std::FILE *file_ = nullptr;
+
+    std::string payload_;
+    std::uint32_t blockRecords_ = 0;
+    sim::Addr prevRefAddr_ = 0;
+
+    std::uint64_t totalRecords_ = 0;
+    std::uint32_t totalBlocks_ = 0;
+    std::uint64_t chain_ = 1469598103934665603ULL;
+    sim::Addr minRef_ = sim::invalidAddr;
+    sim::Addr maxRef_ = 0;
+    bool anyRef_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * Pass-through TraceSource that appends every record it yields to a
+ * TraceWriter.  Wrap any workload (or interleaving, or other source)
+ * to capture it:
+ *
+ *     trace::TraceWriter w(path, opts);
+ *     trace::TeeTraceSource tee(*workload, w);
+ *     driver::System sys(cfg, tee, workload->name());
+ *     sys.run();
+ *     w.finish();
+ */
+class TeeTraceSource : public cpu::TraceSource
+{
+  public:
+    TeeTraceSource(cpu::TraceSource &inner, TraceWriter &writer)
+        : inner_(inner), writer_(writer)
+    {
+    }
+
+    bool
+    next(cpu::TraceRecord &rec) override
+    {
+        if (!inner_.next(rec))
+            return false;
+        writer_.append(rec);
+        return true;
+    }
+
+  private:
+    cpu::TraceSource &inner_;
+    TraceWriter &writer_;
+};
+
+} // namespace trace
+
+#endif // TRACE_WRITER_HH

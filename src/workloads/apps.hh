@@ -27,10 +27,10 @@
 namespace workloads {
 
 /** NAS CG: sequential multi-stream behaviour dominates. */
-class CgWorkload : public Workload
+class CgWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "CG"; }
 
   protected:
@@ -38,10 +38,10 @@ class CgWorkload : public Workload
 };
 
 /** Equake: repeating irregular gathers over a fixed mesh. */
-class EquakeWorkload : public Workload
+class EquakeWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "Equake"; }
 
   protected:
@@ -49,10 +49,10 @@ class EquakeWorkload : public Workload
 };
 
 /** NAS FT: strided transpose passes of a 3-D FFT. */
-class FtWorkload : public Workload
+class FtWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "FT"; }
 
   protected:
@@ -60,10 +60,10 @@ class FtWorkload : public Workload
 };
 
 /** Gap: heap-object traversals in a fixed irregular order. */
-class GapWorkload : public Workload
+class GapWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "Gap"; }
 
   protected:
@@ -71,10 +71,10 @@ class GapWorkload : public Workload
 };
 
 /** Mcf: dependent arc-list chasing, the same cycle every iteration. */
-class McfWorkload : public Workload
+class McfWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "Mcf"; }
 
   protected:
@@ -82,10 +82,10 @@ class McfWorkload : public Workload
 };
 
 /** Olden MST: repeated linked-list walks with hash probes. */
-class MstWorkload : public Workload
+class MstWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "MST"; }
 
   protected:
@@ -93,10 +93,10 @@ class MstWorkload : public Workload
 };
 
 /** Parser: dictionary lookups driven by phrase-structured text. */
-class ParserWorkload : public Workload
+class ParserWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "Parser"; }
 
   protected:
@@ -104,10 +104,10 @@ class ParserWorkload : public Workload
 };
 
 /** SparseBench GMRES: SpMV plus conflict-prone Krylov vectors. */
-class SparseWorkload : public Workload
+class SparseWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "Sparse"; }
 
   protected:
@@ -115,10 +115,10 @@ class SparseWorkload : public Workload
 };
 
 /** Barnes-Hut treecode, 2048 bodies. */
-class TreeWorkload : public Workload
+class TreeWorkload : public SyntheticWorkload
 {
   public:
-    using Workload::Workload;
+    using SyntheticWorkload::SyntheticWorkload;
     std::string name() const override { return "Tree"; }
 
   protected:

@@ -1,13 +1,39 @@
 /**
  * @file
- * Workload registry: construction by name and Table 2 metadata.
+ * Workload registry: construction by name or trace:<path> scheme, and
+ * Table 2 metadata.
  */
 
-#include "workloads/apps.hh"
+#include <cstring>
+#include <stdexcept>
 
-#include "sim/logging.hh"
+#include "workloads/apps.hh"
+#include "workloads/trace_replay.hh"
 
 namespace workloads {
+
+namespace {
+
+constexpr const char *traceScheme = "trace:";
+
+bool
+isTraceName(const std::string &name)
+{
+    return name.rfind(traceScheme, 0) == 0;
+}
+
+/** "CG, Equake, ..., Tree, or trace:<path>" for error messages. */
+std::string
+validWorkloadNames()
+{
+    std::string out;
+    for (const std::string &n : applicationNames())
+        out += n + ", ";
+    out += "or trace:<path>";
+    return out;
+}
+
+} // namespace
 
 const std::vector<std::string> &
 applicationNames()
@@ -22,6 +48,17 @@ applicationNames()
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const WorkloadParams &p)
 {
+    if (isTraceName(name)) {
+        const std::string path = name.substr(std::strlen(traceScheme));
+        if (path.empty()) {
+            throw std::invalid_argument(
+                "malformed workload name '" + name +
+                "': the trace: scheme needs a file path "
+                "(trace:<path>); valid workloads are " +
+                validWorkloadNames());
+        }
+        return std::make_unique<TraceReplayWorkload>(path);
+    }
     if (name == "CG")
         return std::make_unique<CgWorkload>(p);
     if (name == "Equake")
@@ -40,12 +77,27 @@ makeWorkload(const std::string &name, const WorkloadParams &p)
         return std::make_unique<SparseWorkload>(p);
     if (name == "Tree")
         return std::make_unique<TreeWorkload>(p);
-    sim::fatal("unknown workload '%s'", name.c_str());
+    throw std::invalid_argument("unknown workload '" + name +
+                                "'; valid workloads are " +
+                                validWorkloadNames());
 }
 
 std::uint32_t
 tableNumRows(const std::string &app_name)
 {
+    if (isTraceName(app_name)) {
+        // Resolve through the trace's recorded provenance.
+        trace::TraceReader reader(
+            app_name.substr(std::strlen(traceScheme)));
+        const std::string &app = reader.header().app;
+        for (const std::string &known : applicationNames()) {
+            if (app == known)
+                return tableNumRows(app);
+        }
+        // Imported / externally captured trace: mid-range default.
+        return 128 * 1024;
+    }
+
     // Table 2: NumRows (K) per application.
     if (app_name == "CG")
         return 64 * 1024;
@@ -65,7 +117,9 @@ tableNumRows(const std::string &app_name)
         return 256 * 1024;
     if (app_name == "Tree")
         return 8 * 1024;
-    sim::fatal("unknown application '%s'", app_name.c_str());
+    throw std::invalid_argument("unknown application '" + app_name +
+                                "'; valid applications are " +
+                                validWorkloadNames());
 }
 
 } // namespace workloads

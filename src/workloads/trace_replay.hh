@@ -1,0 +1,75 @@
+/**
+ * @file
+ * TraceReplayWorkload: a captured (or imported) on-disk trace corpus
+ * as a first-class workload.
+ *
+ * The workload streams records straight from the trace file through
+ * trace::TraceReader -- one block buffer in memory, never the whole
+ * trace -- so arbitrarily large corpora replay in constant space.
+ * name() reports the *captured* application's name (the header
+ * provenance), which makes a replayed run's statistics directly
+ * comparable (and, for an unmodified simulator, bit-identical) to the
+ * live synthetic run it was captured from; source() distinguishes the
+ * two in bench metadata.
+ */
+
+#ifndef WORKLOADS_TRACE_REPLAY_HH
+#define WORKLOADS_TRACE_REPLAY_HH
+
+#include "trace/reader.hh"
+#include "workloads/workload.hh"
+
+namespace workloads {
+
+/** Replays a trace file recorded by trace::TraceWriter. */
+class TraceReplayWorkload : public Workload
+{
+  public:
+    /**
+     * Open and validate @p path.
+     * @throws trace::TraceError on a missing/truncated/corrupt file.
+     */
+    explicit TraceReplayWorkload(std::string path)
+        : path_(std::move(path)), reader_(path_)
+    {
+    }
+
+    std::string name() const override { return reader_.header().app; }
+    std::string source() const override { return "trace:" + path_; }
+
+    bool
+    next(cpu::TraceRecord &rec) override
+    {
+        return reader_.next(rec);
+    }
+
+    void reset() override { reader_.rewind(); }
+
+    std::size_t
+    footprintBytes() override
+    {
+        return reader_.summary().footprintBytes;
+    }
+
+    std::size_t
+    traceLength() override
+    {
+        return reader_.summary().records;
+    }
+
+    /** Provenance recorded at capture time. */
+    const trace::TraceHeader &traceHeader() const
+    {
+        return reader_.header();
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    trace::TraceReader reader_;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_TRACE_REPLAY_HH

@@ -115,13 +115,37 @@ class TraceBuilder
     std::vector<cpu::TraceRecord> recs_;
 };
 
-/** A named, resettable workload. */
+/**
+ * A named, resettable workload: the interface every trace consumer
+ * (System, benches, the interleaver) programs against.  Two families
+ * implement it: SyntheticWorkload (the nine generated kernels below)
+ * and trace-replay workloads streaming a captured corpus from disk
+ * (workloads/trace_replay.hh, `makeWorkload("trace:<path>")`).
+ */
 class Workload : public cpu::TraceSource
 {
   public:
-    explicit Workload(const WorkloadParams &p) : params_(p) {}
-
     virtual std::string name() const = 0;
+
+    /** Where the records come from: "synthetic" or "trace:<path>".
+     *  Recorded in bench metadata to tell corpora runs apart. */
+    virtual std::string source() const { return "synthetic"; }
+
+    /** Rewind so the identical trace replays. */
+    virtual void reset() = 0;
+
+    /** Bytes of simulated address space the trace touches. */
+    virtual std::size_t footprintBytes() = 0;
+
+    /** Total number of records in the trace. */
+    virtual std::size_t traceLength() = 0;
+};
+
+/** A workload whose trace is generated in memory by a kernel. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(const WorkloadParams &p) : params_(p) {}
 
     bool
     next(cpu::TraceRecord &rec) override
@@ -141,18 +165,17 @@ class Workload : public cpu::TraceSource
         return true;
     }
 
-    /** Rewind so the identical trace replays. */
-    void reset() { pos_ = 0; }
+    void reset() override { pos_ = 0; }
 
     std::size_t
-    footprintBytes()
+    footprintBytes() override
     {
         ensureGenerated();
         return footprint_;
     }
 
     std::size_t
-    traceLength()
+    traceLength() override
     {
         ensureGenerated();
         return records_.size();
@@ -195,11 +218,25 @@ class Workload : public cpu::TraceSource
 /** The nine applications of Table 2, in the paper's order. */
 const std::vector<std::string> &applicationNames();
 
-/** Construct a workload by name ("CG", "Equake", ..., "Tree"). */
+/**
+ * Construct a workload by name ("CG", "Equake", ..., "Tree"), or
+ * replay a captured trace corpus via the "trace:<path>" scheme (the
+ * WorkloadParams are ignored for replay: the trace carries its own
+ * provenance).
+ *
+ * @throws std::invalid_argument for an unknown name or an empty
+ *         trace: path, listing the valid names and schemes.
+ * @throws trace::TraceError for an unreadable or corrupt trace file.
+ */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        const WorkloadParams &p);
 
-/** The paper's per-application correlation-table rows (Table 2). */
+/**
+ * The paper's per-application correlation-table rows (Table 2).
+ * "trace:<path>" names resolve through the trace's recorded app
+ * provenance; traces of unknown provenance (e.g. imported external
+ * traces) get a mid-range 128K-row default.
+ */
 std::uint32_t tableNumRows(const std::string &app_name);
 
 } // namespace workloads

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Tests for the trace capture & replay subsystem: format round-trips
+ * (including the empty, compute-only and cross-block dependence edge
+ * cases), loud rejection of corrupted/truncated files, the external
+ * text-trace importer, and the headline determinism guarantee --
+ * replaying a captured corpus produces bit-identical hierarchy stats
+ * to the live synthetic run it was captured from, both for freshly
+ * recorded traces and for the committed golden corpus (which guards
+ * against on-disk format drift).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+#include "trace/import.hh"
+#include "trace/reader.hh"
+#include "trace/writer.hh"
+#include "workloads/trace_replay.hh"
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::vector<cpu::TraceRecord>
+readAll(const std::string &path)
+{
+    trace::TraceReader reader(path);
+    std::vector<cpu::TraceRecord> out;
+    cpu::TraceRecord rec;
+    while (reader.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+void
+expectSameRecords(const std::vector<cpu::TraceRecord> &a,
+                  const std::vector<cpu::TraceRecord> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].addr, b[i].addr) << "record " << i;
+        ASSERT_EQ(a[i].computeOps, b[i].computeOps) << "record " << i;
+        ASSERT_EQ(a[i].isWrite, b[i].isWrite) << "record " << i;
+        ASSERT_EQ(a[i].dependsOnPrev, b[i].dependsOnPrev)
+            << "record " << i;
+    }
+}
+
+/** Flip one byte in the middle of a file. */
+void
+corruptByte(const std::string &path, long offset_from_start)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset_from_start, SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset_from_start, SEEK_SET), 0);
+    std::fputc(c ^ 0x5A, f);
+    std::fclose(f);
+}
+
+void
+truncateBy(const std::string &path, long bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, bytes);
+    std::vector<char> data(static_cast<std::size_t>(size - bytes));
+    ASSERT_EQ(std::fseek(f, 0, SEEK_SET), 0);
+    ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f),
+              data.size());
+    std::fclose(f);
+}
+
+TEST(TraceRoundTrip, PreservesAMixedRecordStream)
+{
+    const std::string path = tmpPath("mixed.ulmttrace");
+    std::vector<cpu::TraceRecord> recs;
+    sim::Addr addr = 0x1000'0000;
+    for (int i = 0; i < 10000; ++i) {
+        cpu::TraceRecord r;
+        r.computeOps = static_cast<std::uint32_t>(i * 7 % 900);
+        if (i % 5 == 4) {
+            r.addr = sim::invalidAddr;  // compute-only
+        } else {
+            // Mix forward and backward deltas, small and huge.
+            addr += (i % 3 == 0) ? 64 : (i % 3 == 1 ? -4096 : 1 << 20);
+            r.addr = addr;
+            r.isWrite = (i % 4 == 0);
+            r.dependsOnPrev = (i % 2 == 0);
+        }
+        recs.push_back(r);
+    }
+
+    trace::TraceWriter::Options wo;
+    wo.app = "Mixed";
+    wo.seed = 0xDEAD;
+    wo.scale = 0.25;
+    wo.recordsPerBlock = 512;
+    {
+        trace::TraceWriter w(path, wo);
+        for (const auto &r : recs)
+            w.append(r);
+        w.finish();
+        EXPECT_EQ(w.recordsWritten(), recs.size());
+    }
+
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.header().app, "Mixed");
+    EXPECT_EQ(reader.header().seed, 0xDEADu);
+    EXPECT_DOUBLE_EQ(reader.header().scale, 0.25);
+    EXPECT_EQ(reader.summary().records, recs.size());
+    EXPECT_GT(reader.summary().blocks, 1u);
+
+    expectSameRecords(readAll(path), recs);
+}
+
+TEST(TraceRoundTrip, EmptyTrace)
+{
+    const std::string path = tmpPath("empty.ulmttrace");
+    {
+        trace::TraceWriter w(path, {});
+        w.finish();
+    }
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.summary().records, 0u);
+    EXPECT_EQ(reader.summary().blocks, 0u);
+    EXPECT_EQ(reader.summary().footprintBytes, 0u);
+    cpu::TraceRecord rec;
+    EXPECT_FALSE(reader.next(rec));
+    EXPECT_FALSE(reader.next(rec));  // stays at a verified end
+    reader.rewind();
+    EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(TraceRoundTrip, ComputeOnlyRecords)
+{
+    const std::string path = tmpPath("compute.ulmttrace");
+    std::vector<cpu::TraceRecord> recs;
+    for (int i = 0; i < 500; ++i) {
+        cpu::TraceRecord r;
+        r.computeOps = static_cast<std::uint32_t>(1 + i);
+        r.addr = sim::invalidAddr;
+        recs.push_back(r);
+    }
+    {
+        trace::TraceWriter::Options wo;
+        wo.recordsPerBlock = 64;
+        trace::TraceWriter w(path, wo);
+        for (const auto &r : recs)
+            w.append(r);
+        w.finish();
+    }
+    trace::TraceReader reader(path);
+    EXPECT_EQ(reader.summary().footprintBytes, 0u);
+    expectSameRecords(readAll(path), recs);
+}
+
+TEST(TraceRoundTrip, DependChainsSpanBlockBoundaries)
+{
+    const std::string path = tmpPath("chain.ulmttrace");
+    // One long pointer chain with a tiny block size, so nearly every
+    // block boundary falls inside the chain.
+    std::vector<cpu::TraceRecord> recs;
+    sim::Addr addr = 0x2000'0000;
+    for (int i = 0; i < 1000; ++i) {
+        cpu::TraceRecord r;
+        r.computeOps = 12;
+        addr += 320;
+        r.addr = addr;
+        r.dependsOnPrev = (i != 0);
+        recs.push_back(r);
+    }
+    {
+        trace::TraceWriter::Options wo;
+        wo.recordsPerBlock = 3;
+        trace::TraceWriter w(path, wo);
+        for (const auto &r : recs)
+            w.append(r);
+        w.finish();
+    }
+    trace::TraceReader reader(path);
+    ASSERT_GT(reader.summary().blocks, 300u);
+    expectSameRecords(readAll(path), recs);
+}
+
+TEST(TraceRoundTrip, RewindReplaysIdentically)
+{
+    const std::string path = tmpPath("rewind.ulmttrace");
+    {
+        trace::TraceWriter::Options wo;
+        wo.recordsPerBlock = 10;
+        trace::TraceWriter w(path, wo);
+        for (int i = 0; i < 100; ++i) {
+            cpu::TraceRecord r;
+            r.computeOps = static_cast<std::uint32_t>(i);
+            r.addr = 0x1000u + static_cast<sim::Addr>(i) * 64;
+            w.append(r);
+        }
+        w.finish();
+    }
+    trace::TraceReader reader(path);
+    cpu::TraceRecord rec;
+    std::vector<sim::Addr> first;
+    while (reader.next(rec))
+        first.push_back(rec.addr);
+    reader.rewind();
+    std::vector<sim::Addr> second;
+    while (reader.next(rec))
+        second.push_back(rec.addr);
+    EXPECT_EQ(first, second);
+}
+
+class TraceCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = tmpPath("victim.ulmttrace");
+        trace::TraceWriter::Options wo;
+        wo.app = "Victim";
+        wo.recordsPerBlock = 100;
+        trace::TraceWriter w(path_, wo);
+        for (int i = 0; i < 1000; ++i) {
+            cpu::TraceRecord r;
+            r.computeOps = 3;
+            r.addr = 0x4000u + static_cast<sim::Addr>(i) * 64;
+            w.append(r);
+        }
+        w.finish();
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceCorruption, MissingFileRejected)
+{
+    EXPECT_THROW(trace::TraceReader("/nonexistent/nope.trace"),
+                 trace::TraceError);
+}
+
+TEST_F(TraceCorruption, BadMagicRejected)
+{
+    corruptByte(path_, 0);
+    EXPECT_THROW(trace::TraceReader reader(path_), trace::TraceError);
+}
+
+TEST_F(TraceCorruption, UnsupportedVersionRejected)
+{
+    corruptByte(path_, 8);  // version field
+    try {
+        trace::TraceReader reader(path_);
+        FAIL() << "corrupt version accepted";
+    } catch (const trace::TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceCorruption, TruncatedFileRejectedAtOpen)
+{
+    // Cut into the last block + trailer: the trailer magic is gone.
+    truncateBy(path_, 100);
+    try {
+        trace::TraceReader reader(path_);
+        FAIL() << "truncated trace accepted";
+    } catch (const trace::TraceError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(path_), std::string::npos)
+            << "diagnostic must name the file: " << what;
+    }
+}
+
+TEST_F(TraceCorruption, SeverelyTruncatedFileRejected)
+{
+    // Keep only the first few hundred bytes: header plus a partial
+    // first block, no trailer anywhere.
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    truncateBy(path_, size - 300);
+    EXPECT_THROW(trace::TraceReader reader(path_), trace::TraceError);
+}
+
+TEST_F(TraceCorruption, FlippedPayloadByteFailsChecksum)
+{
+    // Past the header and first block header: inside payload bytes.
+    corruptByte(path_, 200);
+    trace::TraceReader reader(path_);  // header/trailer still intact
+    cpu::TraceRecord rec;
+    EXPECT_THROW(
+        {
+            while (reader.next(rec)) {
+            }
+        },
+        trace::TraceError);
+}
+
+TEST_F(TraceCorruption, NeverASilentShortRead)
+{
+    // Whatever single byte is flipped anywhere in the file, reading
+    // must either produce the full record stream or throw -- sample
+    // offsets across header, block framing, payload and trailer.
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+
+    for (long off = 0; off < size; off += 997) {
+        corruptByte(path_, off);
+        std::size_t served = 0;
+        bool threw = false;
+        try {
+            trace::TraceReader reader(path_);
+            cpu::TraceRecord rec;
+            while (reader.next(rec))
+                ++served;
+        } catch (const trace::TraceError &) {
+            threw = true;
+        }
+        if (!threw) {
+            // Flip decoded cleanly (e.g. hit an address byte whose
+            // change stays within the block checksum?) -- impossible:
+            // the checksum covers every payload byte, so a clean read
+            // must have served every record.
+            EXPECT_EQ(served, 1000u) << "silent short read at offset "
+                                     << off;
+        }
+        corruptByte(path_, off);  // restore (XOR is an involution)
+    }
+}
+
+TEST(TraceImport, ChampSimStyleTextRoundTrip)
+{
+    const std::string in = tmpPath("sample.txt");
+    {
+        std::ofstream out(in);
+        out << "# pc addr rw\n";
+        out << "0x400000 0x10000040 R\n";
+        out << "0x400004 0x10000080 W\n";
+        out << "0x7f001234,0x20000000,r\n";  // CSV also accepted
+        out << "\n";
+        out << "0x30000000 W\n";  // 2-column
+        out << "1073741824\n";    // 1-column decimal, load
+    }
+    const std::string out_path = tmpPath("imported.ulmttrace");
+    trace::ImportOptions io;
+    io.app = "sample";
+    io.computeOps = 7;
+    {
+        trace::TraceWriter::Options wo;
+        wo.app = io.app;
+        trace::TraceWriter w(out_path, wo);
+        EXPECT_EQ(trace::importText(in, w, io), 5u);
+        w.finish();
+    }
+
+    const std::vector<cpu::TraceRecord> recs = readAll(out_path);
+    ASSERT_EQ(recs.size(), 5u);
+    EXPECT_EQ(recs[0].addr, 0x10000040u);
+    EXPECT_FALSE(recs[0].isWrite);
+    EXPECT_EQ(recs[0].computeOps, 7u);
+    EXPECT_EQ(recs[1].addr, 0x10000080u);
+    EXPECT_TRUE(recs[1].isWrite);
+    EXPECT_EQ(recs[2].addr, 0x20000000u);
+    EXPECT_FALSE(recs[2].isWrite);
+    EXPECT_EQ(recs[3].addr, 0x30000000u);
+    EXPECT_TRUE(recs[3].isWrite);
+    EXPECT_EQ(recs[4].addr, 1073741824u);
+    EXPECT_FALSE(recs[4].isWrite);
+
+    trace::TraceReader reader(out_path);
+    EXPECT_EQ(reader.header().app, "sample");
+}
+
+TEST(TraceImport, MalformedLineNamesTheLineNumber)
+{
+    const std::string in = tmpPath("bad.txt");
+    {
+        std::ofstream out(in);
+        out << "0x1000 R\n";
+        out << "0x2000 X\n";  // bad r/w marker
+    }
+    trace::TraceWriter w(tmpPath("bad.ulmttrace"), {});
+    try {
+        trace::importText(in, w);
+        FAIL() << "malformed line accepted";
+    } catch (const trace::TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceReplayWorkload, TeeCaptureDoesNotPerturbTheStream)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = 0.02;
+    auto direct = workloads::makeWorkload("MST", wp);
+    auto captured = workloads::makeWorkload("MST", wp);
+
+    const std::string path = tmpPath("mst_tee.ulmttrace");
+    trace::TraceWriter::Options wo;
+    wo.app = captured->name();
+    wo.seed = wp.seed;
+    wo.scale = wp.scale;
+    trace::TraceWriter w(path, wo);
+    trace::TeeTraceSource tee(*captured, w);
+
+    cpu::TraceRecord rd, rt;
+    while (true) {
+        const bool hd = direct->next(rd);
+        const bool ht = tee.next(rt);
+        ASSERT_EQ(hd, ht);
+        if (!hd)
+            break;
+        ASSERT_EQ(rd.addr, rt.addr);
+        ASSERT_EQ(rd.computeOps, rt.computeOps);
+        ASSERT_EQ(rd.isWrite, rt.isWrite);
+        ASSERT_EQ(rd.dependsOnPrev, rt.dependsOnPrev);
+    }
+    w.finish();
+
+    // The captured file replays the same stream, as a Workload.
+    auto replay = workloads::makeWorkload("trace:" + path, wp);
+    EXPECT_EQ(replay->name(), "MST");
+    EXPECT_EQ(replay->source(), "trace:" + path);
+    EXPECT_EQ(replay->traceLength(), direct->traceLength());
+    direct->reset();
+    cpu::TraceRecord rr;
+    while (direct->next(rd)) {
+        ASSERT_TRUE(replay->next(rr));
+        ASSERT_EQ(rd.addr, rr.addr);
+    }
+    EXPECT_FALSE(replay->next(rr));
+
+    // reset() rewinds the file-backed stream too.
+    replay->reset();
+    ASSERT_TRUE(replay->next(rr));
+    direct->reset();
+    ASSERT_TRUE(direct->next(rd));
+    EXPECT_EQ(rd.addr, rr.addr);
+}
+
+/** Record a workload to @p path exactly as `ulmt-trace record` does. */
+void
+recordWorkload(const std::string &app,
+               const workloads::WorkloadParams &wp,
+               const std::string &path)
+{
+    auto wl = workloads::makeWorkload(app, wp);
+    trace::TraceWriter::Options wo;
+    wo.app = wl->name();
+    wo.seed = wp.seed;
+    wo.scale = wp.scale;
+    trace::TraceWriter w(path, wo);
+    trace::TeeTraceSource tee(*wl, w);
+    cpu::TraceRecord rec;
+    while (tee.next(rec)) {
+    }
+    w.finish();
+}
+
+class TraceDeterminism : public ::testing::TestWithParam<const char *>
+{
+};
+
+/**
+ * The acceptance-criteria test: replaying a captured trace yields a
+ * bit-identical RunResult fingerprint (all hierarchy/ULMT/memory
+ * counters) to the live synthetic run, under a full Conven4+Repl
+ * configuration.
+ */
+TEST_P(TraceDeterminism, ReplayFingerprintMatchesLiveRun)
+{
+    const std::string app = GetParam();
+    driver::ExperimentOptions opt;
+    opt.scale = 0.02;
+
+    workloads::WorkloadParams wp;
+    wp.seed = opt.seed;
+    wp.scale = opt.scale;
+    const std::string path = tmpPath(app + "_det.ulmttrace");
+    recordWorkload(app, wp, path);
+
+    const std::string trace_name = "trace:" + path;
+    const driver::SystemConfig cfg = driver::conven4PlusUlmtConfig(
+        opt, core::UlmtAlgo::Repl, app);
+
+    const driver::RunResult live = driver::runOne(app, cfg, opt);
+    const driver::RunResult replay =
+        driver::runOne(trace_name, cfg, opt);
+
+    EXPECT_EQ(replay.source, trace_name);
+    EXPECT_EQ(live.source, "synthetic");
+    EXPECT_EQ(driver::resultFingerprint(live),
+              driver::resultFingerprint(replay));
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, TraceDeterminism,
+                         ::testing::Values("MST", "Tree"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+/**
+ * The committed golden corpus still decodes to the exact stream the
+ * live kernels generate: this is the on-disk format-drift guard.  The
+ * trace's own header provenance (app/scale/seed) configures the live
+ * run, so the corpus is self-describing.
+ */
+class GoldenCorpus : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GoldenCorpus, ReplayFingerprintMatchesLiveRun)
+{
+    const std::string path =
+        std::string(ULMT_SOURCE_DIR) + "/corpus/" + GetParam();
+    const std::string trace_name = "trace:" + path;
+
+    auto replay_wl = workloads::makeWorkload(trace_name, {});
+    const auto &hdr =
+        dynamic_cast<workloads::TraceReplayWorkload &>(*replay_wl)
+            .traceHeader();
+
+    driver::ExperimentOptions opt;
+    opt.scale = hdr.scale;
+    opt.seed = hdr.seed;
+    const driver::SystemConfig cfg =
+        driver::ulmtConfig(opt, core::UlmtAlgo::Repl, hdr.app);
+
+    const driver::RunResult live = driver::runOne(hdr.app, cfg, opt);
+    const driver::RunResult replay =
+        driver::runOne(trace_name, cfg, opt);
+    EXPECT_EQ(driver::resultFingerprint(live),
+              driver::resultFingerprint(replay));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenCorpus,
+                         ::testing::Values("mst_tiny.ulmttrace",
+                                           "tree_tiny.ulmttrace",
+                                           "cg_tiny.ulmttrace"),
+                         [](const auto &info) {
+                             std::string n(info.param);
+                             for (char &c : n)
+                                 if (c == '.')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(TraceTableRows, TraceSchemeResolvesThroughProvenance)
+{
+    const std::string path = tmpPath("rows.ulmttrace");
+    workloads::WorkloadParams wp;
+    wp.scale = 0.02;
+    recordWorkload("MST", wp, path);
+    EXPECT_EQ(workloads::tableNumRows("trace:" + path),
+              workloads::tableNumRows("MST"));
+}
+
+} // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "workloads/workload.hh"
 
 namespace {
@@ -173,11 +175,46 @@ TEST(Workloads, ScaleShrinksTheTrace)
     }
 }
 
-TEST(Workloads, UnknownNameIsFatal)
+TEST(Workloads, UnknownNameThrowsListingValidNames)
 {
-    EXPECT_EXIT(
-        { workloads::makeWorkload("NoSuchApp", smallParams()); },
-        ::testing::ExitedWithCode(1), "unknown workload");
+    try {
+        workloads::makeWorkload("NoSuchApp", smallParams());
+        FAIL() << "unknown workload accepted";
+    } catch (const std::invalid_argument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("NoSuchApp"), std::string::npos) << what;
+        // The message must list every valid name and the trace scheme.
+        for (const std::string &app : workloads::applicationNames())
+            EXPECT_NE(what.find(app), std::string::npos) << what;
+        EXPECT_NE(what.find("trace:<path>"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(Workloads, MalformedTraceSchemeThrows)
+{
+    // Empty path after the scheme: a usage error, not a file error.
+    EXPECT_THROW(workloads::makeWorkload("trace:", smallParams()),
+                 std::invalid_argument);
+}
+
+TEST(Workloads, MissingTraceFileThrowsWithDiagnostic)
+{
+    try {
+        workloads::makeWorkload("trace:/no/such/file.ulmttrace",
+                                smallParams());
+        FAIL() << "missing trace file accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("/no/such/file"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Workloads, UnknownTableRowsAppThrows)
+{
+    EXPECT_THROW(workloads::tableNumRows("NoSuchApp"),
+                 std::invalid_argument);
 }
 
 } // namespace
