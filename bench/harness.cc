@@ -3,7 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include "driver/experiment.hh"
 #include "driver/runner.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
@@ -45,16 +50,34 @@ parseArgs(int argc, char **argv, double default_scale)
             }
             if (opt.apps.empty())
                 sim::fatal("empty --apps list");
+        } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
+            if (arg[15] == '\0')
+                sim::fatal("empty --trace-events path");
+            opt.traceEvents = arg + 15;
+        } else if (std::strncmp(arg, "--metrics-interval=", 19) == 0) {
+            char *end = nullptr;
+            const long long v = std::strtoll(arg + 19, &end, 10);
+            if (*end != '\0' || v < 0)
+                sim::fatal("bad --metrics-interval value '%s'",
+                           arg + 19);
+            opt.metricsInterval = v;
         } else if (!scale_seen) {
             opt.scale = std::atof(arg);
             scale_seen = true;
         } else {
             sim::fatal("unexpected argument '%s' (usage: bench "
-                       "[scale] [--jobs=N] [--apps=A,B,...])", arg);
+                       "[scale] [--jobs=N] [--apps=A,B,...] "
+                       "[--trace-events=PATH] [--metrics-interval=N])",
+                       arg);
         }
     }
     if (opt.jobs)
         driver::setRunnerJobs(opt.jobs);
+    if (!opt.traceEvents.empty())
+        driver::setTraceEventsPath(opt.traceEvents);
+    if (opt.metricsInterval >= 0)
+        driver::setMetricsIntervalOverride(
+            static_cast<sim::Cycle>(opt.metricsInterval));
     return opt;
 }
 
@@ -68,7 +91,7 @@ void
 Harness::record(const driver::RunResult &r)
 {
     runs_.push_back(Run{r.workload, r.label, r.source, r.wallSeconds,
-                        r.eventsExecuted, r.cycles});
+                        r.eventsExecuted, r.cycles, r.metrics});
 }
 
 void
@@ -115,6 +138,75 @@ jsonNumber(double v)
     return sim::strformat("%.17g", v);
 }
 
+/** Series samples need far less precision than headline metrics. */
+std::string
+seriesNumber(double v)
+{
+    if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0)
+        return "null";
+    return sim::strformat("%.6g", v);
+}
+
+/** The commit being benchmarked: CI env var, else git, else unknown. */
+std::string
+gitSha()
+{
+    if (const char *sha = std::getenv("GITHUB_SHA")) {
+        if (*sha)
+            return sha;
+    }
+    std::string out;
+    if (std::FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[128];
+        while (std::fgets(buf, sizeof(buf), p))
+            out += buf;
+        ::pclose(p);
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    if (out.size() != 40)
+        return "unknown";
+    return out;
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/** The {"git_sha", "timestamp_utc", "host"} provenance stamp. */
+std::string
+provenanceJson()
+{
+    std::string out = "  \"provenance\": {\n";
+    out += "    \"git_sha\": ";
+    appendEscaped(out, gitSha());
+    out += ",\n    \"timestamp_utc\": ";
+    appendEscaped(out, utcTimestamp());
+    out += ",\n    \"host\": {";
+    struct utsname un{};
+    if (::uname(&un) == 0) {
+        out += "\"hostname\": ";
+        appendEscaped(out, un.nodename);
+        out += ", \"sysname\": ";
+        appendEscaped(out, un.sysname);
+        out += ", \"release\": ";
+        appendEscaped(out, un.release);
+        out += ", \"machine\": ";
+        appendEscaped(out, un.machine);
+        out += sim::strformat(", \"nproc\": %ld",
+                              ::sysconf(_SC_NPROCESSORS_ONLN));
+    }
+    out += "}\n  },\n";
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -131,6 +223,7 @@ Harness::writeJson() const
     out += sim::strformat("  \"jobs\": %u,\n", driver::runnerJobs());
     out += "  \"scale\": " + jsonNumber(opt_.scale) + ",\n";
     out += "  \"wall_seconds_total\": " + jsonNumber(total) + ",\n";
+    out += provenanceJson();
 
     out += "  \"runs\": [";
     for (std::size_t i = 0; i < runs_.size(); ++i) {
@@ -156,13 +249,64 @@ Harness::writeJson() const
     out += runs_.empty() ? "],\n" : "\n  ],\n";
 
     out += "  \"metrics\": {";
+    bool first_metric = true;
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
-        out += i ? ",\n    " : "\n    ";
+        out += first_metric ? "\n    " : ",\n    ";
+        first_metric = false;
         appendEscaped(out, metrics_[i].first);
         out += ": " + jsonNumber(metrics_[i].second);
     }
-    out += metrics_.empty() ? "}\n" : "\n  }\n";
+    // Per-run sampled time series (runs with sampling off are
+    // skipped).
+    bool any_series = false;
+    for (const Run &r : runs_)
+        any_series = any_series || !r.metrics.empty();
+    if (any_series) {
+        out += first_metric ? "\n    " : ",\n    ";
+        first_metric = false;
+        out += "\"series\": [";
+        bool first_run = true;
+        for (const Run &r : runs_) {
+            if (r.metrics.empty())
+                continue;
+            out += first_run ? "\n      " : ",\n      ";
+            first_run = false;
+            out += "{\"workload\": ";
+            appendEscaped(out, r.workload);
+            out += ", \"config\": ";
+            appendEscaped(out, r.label);
+            out += sim::strformat(
+                ", \"interval_cycles\": %llu",
+                (unsigned long long)r.metrics.interval);
+            out += ",\n       \"cycle\": [";
+            for (std::size_t s = 0; s < r.metrics.cycles.size(); ++s)
+                out += sim::strformat(
+                    "%s%llu", s ? ", " : "",
+                    (unsigned long long)r.metrics.cycles[s]);
+            out += "],\n       \"channels\": {";
+            for (std::size_t c = 0; c < r.metrics.channels.size();
+                 ++c) {
+                out += c ? ",\n         " : "\n         ";
+                appendEscaped(out, r.metrics.channels[c]);
+                out += ": [";
+                const auto &vals = r.metrics.values[c];
+                for (std::size_t s = 0; s < vals.size(); ++s) {
+                    if (s)
+                        out += ", ";
+                    out += seriesNumber(vals[s]);
+                }
+                out += "]";
+            }
+            out += "}}";
+        }
+        out += "\n    ]";
+    }
+    out += first_metric ? "}\n" : "\n  }\n";
     out += "}\n";
+
+    // A bench owns the process-wide trace file: close it here so the
+    // JSON epilogue lands even when main never returns normally.
+    driver::finishTraceEvents();
 
     std::string path = "BENCH_" + name_ + ".json";
     if (const char *dir = std::getenv("ULMT_BENCH_DIR")) {

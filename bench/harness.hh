@@ -16,13 +16,21 @@
  *   "jobs": 8,
  *   "scale": 1.0,
  *   "wall_seconds_total": 12.34,
+ *   "provenance": {"git_sha": "...", "timestamp_utc": "...",
+ *                  "host": {...}},
  *   "runs": [
  *     {"workload": "Mcf", "config": "NoPref", "source": "synthetic",
  *      "wall_seconds": 0.51, "events": 1234567,
  *      "events_per_sec": 2.4e6, "sim_cycles": 98765432}, ...
  *   ],
- *   "metrics": {"avg_speedup_repl": 1.32, ...}
+ *   "metrics": {"avg_speedup_repl": 1.32, ...,
+ *     "series": [{"workload": "Mcf", "config": "NoPref",
+ *                 "interval_cycles": 16384, "cycle": [...],
+ *                 "channels": {"l2.mshr_occupancy": [...], ...}}]}
  * }
+ *
+ * "provenance" and the host-performance fields are volatile across
+ * machines and commits; determinism comparisons must ignore them.
  */
 
 #ifndef BENCH_HARNESS_HH
@@ -38,7 +46,10 @@
 
 namespace bench {
 
-/** Common bench CLI: `bench [scale] [--jobs=N] [--apps=A,B,...]`. */
+/**
+ * Common bench CLI: `bench [scale] [--jobs=N] [--apps=A,B,...]
+ * [--trace-events=PATH] [--metrics-interval=N]`.
+ */
 struct Options
 {
     double scale = 1.0;
@@ -46,6 +57,11 @@ struct Options
     /** Workload list override (names or trace:<path>); empty = the
      *  bench's default set (usually the nine paper applications). */
     std::vector<std::string> apps;
+    /** Chrome trace-event output path; empty = tracing off. */
+    std::string traceEvents;
+    /** Sampling-interval override in cycles (-1 = config default,
+     *  0 = sampling off). */
+    long long metricsInterval = -1;
 
     /** The bench's workload list: the override, or the nine apps. */
     const std::vector<std::string> &appList() const;
@@ -56,7 +72,9 @@ struct Options
  * scale; `--jobs=N` overrides the worker count for this process (it
  * takes precedence over ULMT_JOBS); `--apps=A,B,...` replaces the
  * default workload set with any mix of application names and
- * `trace:<path>` corpora.
+ * `trace:<path>` corpora; `--trace-events=PATH` streams Chrome trace
+ * events from every run into PATH; `--metrics-interval=N` overrides
+ * the time-series sampling interval (0 disables sampling).
  */
 Options parseArgs(int argc, char **argv, double default_scale);
 
@@ -88,6 +106,7 @@ class Harness
         double wallSeconds;
         std::uint64_t events;
         std::uint64_t simCycles;
+        sim::TimeSeriesData metrics;
     };
 
     std::string name_;

@@ -11,12 +11,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/base_chain.hh"
 #include "core/replicated.hh"
 #include "core/seq_prefetcher.hh"
+#include "sim/trace_event.hh"
 
 namespace {
 
@@ -103,20 +105,74 @@ BENCHMARK(BM_ReplStep);
 BENCHMARK(BM_SeqStep);
 BENCHMARK(BM_ReplLookupOnly);
 
+/**
+ * Console reporter that additionally records each completed benchmark
+ * as a trace-event span (--trace-events=PATH).  This bench has no
+ * simulated clock, so spans are laid out on a synthetic host-time
+ * axis: each benchmark occupies [cursor, cursor + cpu_time_ns).
+ */
+class TracingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit TracingReporter(const std::string &path)
+        : writer_(path)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            const auto ns = static_cast<sim::Cycle>(
+                run.GetAdjustedCPUTime() *
+                static_cast<double>(run.iterations));
+            buf_.complete(run.benchmark_name(), "microbench", cursor_,
+                          ns > 0 ? ns : 1, sim::traceTidSampler);
+            buf_.counter(run.benchmark_name() + "/ns_per_op", cursor_,
+                         run.GetAdjustedCPUTime(),
+                         sim::traceTidSampler);
+            cursor_ += ns > 0 ? ns : 1;
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    void
+    Finalize() override
+    {
+        writer_.writeProcess("micro_tables", buf_);
+        writer_.finish();
+        ConsoleReporter::Finalize();
+    }
+
+  private:
+    sim::TraceEventWriter writer_;
+    sim::TraceEventBuffer buf_;
+    sim::Cycle cursor_ = 0;
+};
+
 } // namespace
 
 // Like BENCHMARK_MAIN(), but defaults the JSON output file so this
 // bench emits BENCH_micro_tables.json like the simulation benches
 // (into $ULMT_BENCH_DIR when set).  Explicit --benchmark_out= flags
-// still win.
+// still win.  --trace-events=PATH additionally exports each benchmark
+// run as a Chrome trace-event span.
 int
 main(int argc, char **argv)
 {
-    std::vector<char *> args(argv, argv + argc);
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    std::string trace_path;
     bool has_out = false;
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
+            trace_path = argv[i] + 15;
+            continue;  // ours, not google-benchmark's
+        }
         if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
             has_out = true;
+        args.push_back(argv[i]);
+    }
 
     std::string out_flag, fmt_flag;
     if (!has_out) {
@@ -134,7 +190,13 @@ main(int argc, char **argv)
     benchmark::Initialize(&args_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(args_argc, args.data()))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    if (trace_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        // Passing a display reporter still honours --benchmark_out.
+        TracingReporter reporter(trace_path);
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+    }
     benchmark::Shutdown();
     return 0;
 }

@@ -89,7 +89,7 @@ UlmtEngine::observeMiss(sim::Cycle when, sim::Addr line_addr,
         ++stats_.missesDroppedQueueFull;
         return;
     }
-    queue2_.push_back({when, line_addr});
+    queue2_.push_back({when, line_addr, ms_.observedFlowId()});
     kick(when);
 }
 
@@ -142,7 +142,7 @@ UlmtEngine::processNext()
             continue;
         scratch_[emitted++] = line;
         ++stats_.prefetchesGenerated;
-        ms_.ulmtPrefetch(issue_at, line);
+        ms_.ulmtPrefetch(issue_at, line, obs.flow);
     }
 
     // ---- Learning step.
@@ -155,6 +155,21 @@ UlmtEngine::processNext()
     stats_.memStallCycles += cost.memStall();
     stats_.instructions += cost.instructions();
     ++stats_.missesProcessed;
+
+    if (trace_) {
+        // One episode span per observed miss, with the response-time
+        // (prefetch) and learning portions nested inside it.
+        trace_->complete("miss_episode", "ulmt", start, occupancy,
+                         sim::traceTidUlmt);
+        trace_->complete("prefetch_step", "ulmt", start, response,
+                         sim::traceTidUlmt);
+        if (occupancy > response)
+            trace_->complete("learn_step", "ulmt", start + response,
+                             occupancy - response, sim::traceTidUlmt);
+        if (obs.flow)
+            trace_->flow(sim::TracePhase::FlowStep, obs.flow, start,
+                         sim::traceTidUlmt);
+    }
 
     busyUntil_ = start + occupancy;
     if (!queue2_.empty())
@@ -172,6 +187,36 @@ UlmtEngine::pageRemap(sim::Addr old_page, sim::Addr new_page,
     stats_.memStallCycles += cost.memStall();
     stats_.instructions += cost.instructions();
     busyUntil_ = start + cost.elapsed();
+    if (trace_ && cost.elapsed() > 0)
+        trace_->complete("page_remap", "ulmt", start, cost.elapsed(),
+                         sim::traceTidUlmt);
+}
+
+void
+UlmtEngine::registerStats(sim::StatRegistry &reg) const
+{
+    reg.addCounter("ulmt.misses_observed", &stats_.missesObserved);
+    reg.addCounter("ulmt.misses_processed", &stats_.missesProcessed);
+    reg.addCounter("ulmt.queue2.drops",
+                   &stats_.missesDroppedQueueFull);
+    reg.addCounter("ulmt.prefetches_generated",
+                   &stats_.prefetchesGenerated);
+    reg.addCounter("ulmt.busy_cycles", &stats_.busyCycles);
+    reg.addCounter("ulmt.mem_stall_cycles", &stats_.memStallCycles);
+    reg.addCounter("ulmt.instructions", &stats_.instructions);
+    reg.addSample("ulmt.response_cycles", &stats_.responseTime);
+    reg.addSample("ulmt.occupancy_cycles", &stats_.occupancyTime);
+    reg.addSample("ulmt.response_busy", &stats_.responseBusy);
+    reg.addSample("ulmt.response_mem", &stats_.responseMem);
+    reg.addSample("ulmt.occupancy_busy", &stats_.occupancyBusy);
+    reg.addSample("ulmt.occupancy_mem", &stats_.occupancyMem);
+    reg.addGauge("ulmt.ipc", [this] { return stats_.ipc(); });
+    reg.addGauge("ulmt.table.bytes",
+                 [this] { return double(algo_->tableBytes()); });
+    reg.addGauge("ulmt.table.insertions",
+                 [this] { return double(algo_->insertions()); });
+    reg.addGauge("ulmt.table.replacements",
+                 [this] { return double(algo_->replacements()); });
 }
 
 } // namespace core

@@ -92,6 +92,15 @@ class UlmtEngine : public mem::MissObserver
     CorrelationPrefetcher &algorithm() { return *algo_; }
     const CorrelationPrefetcher &algorithm() const { return *algo_; }
 
+    /** Misses currently waiting in queue 2 (sampling only). */
+    std::size_t queue2Depth() const { return queue2_.size(); }
+
+    /** Register thread/table stats under "ulmt.*". */
+    void registerStats(sim::StatRegistry &reg) const;
+
+    /** Emit prefetch/learn-step spans into @p t (nullptr disables). */
+    void setTrace(sim::TraceEventBuffer *t) { trace_ = t; }
+
   private:
     /**
      * Cost tracker that models execution on the memory processor:
@@ -141,6 +150,7 @@ class UlmtEngine : public mem::MissObserver
     {
         sim::Cycle when;
         sim::Addr line;
+        std::uint64_t flow;  //!< trace flow id of the miss (0 = none)
     };
     std::deque<Observation> queue2_;
 
@@ -151,6 +161,7 @@ class UlmtEngine : public mem::MissObserver
     bool processingScheduled_ = false;
     std::vector<sim::Addr> scratch_;
     UlmtStats stats_;
+    sim::TraceEventBuffer *trace_ = nullptr;
 };
 
 } // namespace core

@@ -283,4 +283,36 @@ Hierarchy::acceptPush(sim::Cycle when, sim::Addr line_addr)
     ++stats_.pushInstalled;
 }
 
+void
+Hierarchy::registerStats(sim::StatRegistry &reg) const
+{
+    reg.addCounter("proc.loads", &stats_.loads);
+    reg.addCounter("proc.stores", &stats_.stores);
+    reg.addCounter("l1.hits", &stats_.l1Hits);
+    reg.addCounter("l1.misses", &stats_.l1Misses);
+    reg.addCounter("l2.hits", &stats_.l2Hits);
+    reg.addCounter("l2.misses", &stats_.l2Misses);
+    reg.addCounter("l2.mshr.merges", &stats_.l2MshrMerges);
+    reg.addCounter("l2.push.hits", &stats_.ulmtHits);
+    reg.addCounter("l2.push.delayed_hits", &stats_.ulmtDelayedHits);
+    reg.addCounter("l2.push.non_pref_misses", &stats_.nonPrefMisses);
+    reg.addCounter("l2.push.replaced", &stats_.ulmtReplaced);
+    reg.addCounter("l2.push.redundant_present",
+                   &stats_.pushRedundantPresent);
+    reg.addCounter("l2.push.redundant_wb", &stats_.pushRedundantWb);
+    reg.addCounter("l2.push.dropped_mshr_full",
+                   &stats_.pushDroppedMshrFull);
+    reg.addCounter("l2.push.dropped_set_pending",
+                   &stats_.pushDroppedSetPending);
+    reg.addCounter("l2.push.installed", &stats_.pushInstalled);
+    reg.addCounter("l2.push.delayed_hit_saved_cycles",
+                   &stats_.delayedHitSavedCycles);
+    reg.addCounter("cpu_pf.issued", &stats_.cpuPfIssued);
+    reg.addCounter("cpu_pf.to_memory", &stats_.cpuPfToMemory);
+    reg.addCounter("cpu_pf.useful", &stats_.cpuPfUseful);
+    reg.addCounter("cpu_pf.timely", &stats_.cpuPfTimely);
+    reg.addCounter("cpu_pf.replaced", &stats_.cpuPfReplaced);
+    reg.addHistogram("l2.miss_gap_cycles", &missGaps_);
+}
+
 } // namespace cpu

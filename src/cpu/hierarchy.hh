@@ -27,6 +27,7 @@
 #include "mem/memory_system.hh"
 #include "mem/timing_params.hh"
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -98,6 +99,17 @@ class MshrFile
 
     bool full() const { return busyUntil_.size() >= capacity_; }
 
+    /** Entries still busy strictly after @p now (sampling only). */
+    std::size_t
+    inUse(sim::Cycle now) const
+    {
+        std::size_t n = 0;
+        for (auto it = busyUntil_.rbegin();
+             it != busyUntil_.rend() && *it > now; ++it)
+            ++n;
+        return n;
+    }
+
     /**
      * Reserve an MSHR at @p ready; if all are busy, wait for the
      * earliest outstanding fill.
@@ -167,6 +179,15 @@ class Hierarchy
     {
         return missGaps_;
     }
+
+    /** L2 MSHRs busy strictly after @p now (sampling only). */
+    std::size_t mshrInUse(sim::Cycle now) const
+    {
+        return l2Mshrs_.inUse(now);
+    }
+
+    /** Register cache/push/prefetcher stats under "l1.*"/"l2.*". */
+    void registerStats(sim::StatRegistry &reg) const;
 
     /**
      * Optional observer of demand L2 misses (issue cycle, line addr),

@@ -82,6 +82,26 @@ class MainProcessor
     bool finished() const { return finished_; }
     const ProcessorStats &stats() const { return stats_; }
 
+    /** Register core cycle/stall stats under "proc.*". */
+    void
+    registerStats(sim::StatRegistry &reg) const
+    {
+        reg.addCounter("proc.total_cycles", &stats_.totalCycles);
+        reg.addCounter("proc.busy_cycles", &stats_.busyCycles);
+        reg.addCounter("proc.stall.upto_l2", &stats_.uptoL2Stall);
+        reg.addCounter("proc.stall.beyond_l2", &stats_.beyondL2Stall);
+        reg.addCounter("proc.stall.dependence", &stats_.stallDependence);
+        reg.addCounter("proc.stall.load_window",
+                       &stats_.stallLoadWindow);
+        reg.addCounter("proc.stall.store_window",
+                       &stats_.stallStoreWindow);
+        reg.addCounter("proc.stall.drain", &stats_.stallDrain);
+        reg.addCounter("proc.records", &stats_.records);
+        reg.addCounter("proc.ops", &stats_.ops);
+        reg.addSample("proc.wait.beyond_l2", &stats_.beyondWaits);
+        reg.addSample("proc.wait.upto_l2", &stats_.uptoWaits);
+    }
+
     /** Invoked once when the trace drains and all loads complete. */
     std::function<void(sim::Cycle)> onFinish;
 

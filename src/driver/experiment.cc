@@ -1,5 +1,9 @@
 #include "driver/experiment.hh"
 
+#include <memory>
+#include <mutex>
+#include <optional>
+
 namespace driver {
 
 namespace {
@@ -12,7 +16,51 @@ baseConfig(const ExperimentOptions &opt)
     return cfg;
 }
 
+// Shared trace writer + sampling override.  Guarded by a mutex only
+// for pointer swaps; writeProcess serializes internally.
+std::mutex obsMutex;
+std::unique_ptr<sim::TraceEventWriter> traceWriter;
+std::optional<sim::Cycle> metricsOverride;
+
 } // namespace
+
+void
+setTraceEventsPath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    traceWriter.reset();
+    if (!path.empty())
+        traceWriter = std::make_unique<sim::TraceEventWriter>(path);
+}
+
+sim::TraceEventWriter *
+traceEventWriter()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    return traceWriter.get();
+}
+
+void
+finishTraceEvents()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    if (traceWriter)
+        traceWriter->finish();
+}
+
+void
+setMetricsIntervalOverride(sim::Cycle interval)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    metricsOverride = interval;
+}
+
+void
+clearMetricsIntervalOverride()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    metricsOverride.reset();
+}
 
 SystemConfig
 noPrefConfig(const ExperimentOptions &opt)
@@ -88,8 +136,27 @@ runOne(const std::string &app, const SystemConfig &cfg,
     wp.seed = opt.seed;
     wp.scale = opt.scale;
     auto workload = workloads::makeWorkload(app, wp);
-    System sys(cfg, *workload);
-    return sys.run();
+
+    SystemConfig effective = cfg;
+    sim::TraceEventWriter *writer = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(obsMutex);
+        if (metricsOverride)
+            effective.metricsInterval = *metricsOverride;
+        writer = traceWriter.get();
+    }
+
+    System sys(effective, *workload);
+    if (!writer)
+        return sys.run();
+
+    // Per-run buffer, flushed as its own trace process so a parallel
+    // sweep lands in one file with one row group per experiment.
+    sim::TraceEventBuffer buf;
+    sys.setTraceEvents(&buf);
+    RunResult r = sys.run();
+    writer->writeProcess(app + "/" + effective.label, buf);
+    return r;
 }
 
 std::vector<sim::Addr>

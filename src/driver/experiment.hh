@@ -54,6 +54,37 @@ SystemConfig customConfig(const ExperimentOptions &opt,
 RunResult runOne(const std::string &app, const SystemConfig &cfg,
                  const ExperimentOptions &opt);
 
+// --- Process-wide observability hooks --------------------------------
+//
+// Every experiment funnel (runOne) honours these, so enabling the
+// trace-event file or overriding the sampling interval covers an
+// entire sweep -- including runs dispatched through the parallel
+// runner, each of which lands in the shared file as its own trace
+// process.
+
+/**
+ * Start writing Chrome trace events from all subsequent runs to
+ * @p path (empty string turns tracing back off).
+ * @throws std::runtime_error when the file cannot be created.
+ */
+void setTraceEventsPath(const std::string &path);
+
+/** The active shared writer, or nullptr when tracing is off. */
+sim::TraceEventWriter *traceEventWriter();
+
+/** Finalize and close the shared trace file (idempotent). */
+void finishTraceEvents();
+
+/**
+ * Override SystemConfig::metricsInterval for all subsequent runOne
+ * calls (0 disables sampling); pass through without calling to keep
+ * each config's own value.
+ */
+void setMetricsIntervalOverride(sim::Cycle interval);
+
+/** Drop the metrics-interval override. */
+void clearMetricsIntervalOverride();
+
 /** Capture the demand L2 miss stream of a NoPref run (Figs. 5/6). */
 std::vector<sim::Addr> captureMissStream(const std::string &app,
                                          const ExperimentOptions &opt);

@@ -43,7 +43,9 @@ TextTable::render() const
     std::size_t total = 0;
     for (std::size_t c = 0; c < width.size(); ++c)
         total += width[c] + 2;
-    out.append(total - 2, '-');
+    // A table with no columns has total == 0; avoid the size_t
+    // underflow in total - 2.
+    out.append(total >= 2 ? total - 2 : 0, '-');
     out += "\n";
     for (const auto &row : rows_)
         out += render_row(row);

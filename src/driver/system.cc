@@ -55,6 +55,79 @@ System::System(const SystemConfig &cfg, cpu::TraceSource &source,
 
     cpu_ = std::make_unique<cpu::MainProcessor>(eq_, cfg_.timing,
                                                 *hier_, source_);
+
+    initObservability();
+}
+
+void
+System::initObservability()
+{
+    // One dotted namespace over every component's counters.
+    ms_->registerStats(registry_);
+    hier_->registerStats(registry_);
+    cpu_->registerStats(registry_);
+    if (engine_)
+        engine_->registerStats(registry_);
+
+    if (cfg_.metricsInterval == 0)
+        return;
+
+    sampler_ = std::make_unique<sim::TimeSeriesSampler>(
+        cfg_.metricsInterval);
+    sampler_->addChannel("l2.mshr_occupancy", [this] {
+        return double(hier_->mshrInUse(eq_.now()));
+    });
+    sampler_->addChannel("memsys.queue1_inflight", [this] {
+        return double(ms_->inflightDemandCount());
+    });
+    sampler_->addChannel("memsys.queue3_inflight", [this] {
+        return double(ms_->inflightPrefetchCount());
+    });
+    // Fraction of ULMT prefetch requests the Filter module caught.
+    sampler_->addChannel("memsys.filter_hit_rate", [this] {
+        const mem::PrefetchFilter &f = ms_->filter();
+        const double total = double(f.admits() + f.drops());
+        return total > 0.0 ? double(f.drops()) / total : 0.0;
+    });
+    sampler_->addChannel("bus.utilization", [this] {
+        const sim::Cycle now = eq_.now();
+        return now ? double(ms_->bus().busyTotal()) / double(now)
+                   : 0.0;
+    });
+    sampler_->addChannel("dram.row_hit_rate", [this] {
+        const mem::DramStats &d = ms_->dram().stats();
+        return d.accesses ? double(d.rowHits) / double(d.accesses)
+                          : 0.0;
+    });
+    if (engine_) {
+        sampler_->addChannel("ulmt.queue2_depth", [this] {
+            return double(engine_->queue2Depth());
+        });
+        sampler_->addChannel("ulmt.table_bytes", [this] {
+            return double(engine_->algorithm().tableBytes());
+        });
+        sampler_->addChannel("ulmt.response_mean", [this] {
+            return engine_->stats().responseTime.mean();
+        });
+        sampler_->addChannel("ulmt.occupancy_mean", [this] {
+            return engine_->stats().occupancyTime.mean();
+        });
+    }
+    // Passive ticker: the sampler only reads state, so timing and
+    // executed-event counts are identical with sampling on or off.
+    eq_.setTicker(cfg_.metricsInterval,
+                  [this](sim::Cycle now) { sampler_->tick(now); });
+}
+
+void
+System::setTraceEvents(sim::TraceEventBuffer *buf)
+{
+    trace_ = buf;
+    ms_->setTrace(buf);
+    if (engine_)
+        engine_->setTrace(buf);
+    if (sampler_)
+        sampler_->setTrace(buf);
 }
 
 RunResult
@@ -97,6 +170,10 @@ System::run()
         r.missGapFractions[i] = gaps.binFraction(i);
 
     r.missStream = std::move(missStream_);
+    if (sampler_) {
+        sampler_->flush(eq_.now());  // final end-of-run row
+        r.metrics = sampler_->take();
+    }
     return r;
 }
 

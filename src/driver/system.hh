@@ -33,6 +33,9 @@
 #include "mem/memory_system.hh"
 #include "mem/timing_params.hh"
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
+#include "sim/timeseries.hh"
+#include "sim/trace_event.hh"
 #include "workloads/workload.hh"
 
 namespace driver {
@@ -55,6 +58,12 @@ struct SystemConfig
     bool hwCorrReplicated = false;
     /** Record the demand L2 miss stream (predictability studies). */
     bool recordMissStream = false;
+    /**
+     * Time-series sampling interval in cycles (0 disables).  Sampling
+     * is passive -- it never perturbs simulated timing, and the
+     * determinism fingerprint is identical with it on or off.
+     */
+    sim::Cycle metricsInterval = 16384;
     /** Display name ("NoPref", "Conven4+Repl", ...). */
     std::string label = "NoPref";
 };
@@ -108,6 +117,10 @@ struct RunResult
 
     /** Demand L2 miss stream (only when recordMissStream was set). */
     std::vector<sim::Addr> missStream;
+
+    /** Sampled time series (empty when metricsInterval was 0).
+     *  Observability only -- excluded from determinism fingerprints. */
+    sim::TimeSeriesData metrics;
 
     double
     busUtilization() const
@@ -173,7 +186,19 @@ class System
     cpu::MainProcessor &processor() { return *cpu_; }
     const SystemConfig &config() const { return cfg_; }
 
+    /** Every component statistic under one dotted namespace. */
+    const sim::StatRegistry &statRegistry() const { return registry_; }
+
+    /**
+     * Route trace events into @p buf (owned by the caller; must
+     * outlive run()).  nullptr -- the default -- disables tracing at
+     * the cost of one pointer test per would-be event.
+     */
+    void setTraceEvents(sim::TraceEventBuffer *buf);
+
   private:
+    /** Register all component stats and set up the sampler. */
+    void initObservability();
     SystemConfig cfg_;
     cpu::TraceSource &source_;
     std::string workloadName_;
@@ -185,6 +210,9 @@ class System
     std::unique_ptr<HwCorrelationEngine> hwCorr_;
     std::unique_ptr<cpu::MainProcessor> cpu_;
     std::vector<sim::Addr> missStream_;
+    sim::StatRegistry registry_;
+    std::unique_ptr<sim::TimeSeriesSampler> sampler_;
+    sim::TraceEventBuffer *trace_ = nullptr;
 };
 
 } // namespace driver

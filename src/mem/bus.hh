@@ -15,6 +15,8 @@
 #include <cstdint>
 
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
+#include "sim/trace_event.hh"
 #include "sim/types.hh"
 
 namespace mem {
@@ -29,6 +31,22 @@ enum class BusTraffic : std::uint8_t {
     Writeback,
     NumClasses
 };
+
+/** Stable lower-case name of a traffic class (stats, trace spans). */
+constexpr const char *
+busTrafficName(BusTraffic cls)
+{
+    switch (cls) {
+      case BusTraffic::DemandRequest: return "demand_request";
+      case BusTraffic::DemandData: return "demand_data";
+      case BusTraffic::CpuPrefetchRequest: return "cpu_pf_request";
+      case BusTraffic::CpuPrefetchData: return "cpu_pf_data";
+      case BusTraffic::UlmtPrefetchData: return "ulmt_pf_data";
+      case BusTraffic::Writeback: return "writeback";
+      case BusTraffic::NumClasses: break;
+    }
+    return "unknown";
+}
 
 /** The shared processor <-> memory bus. */
 class Bus
@@ -51,6 +69,9 @@ class Bus
                           cls == BusTraffic::DemandData;
         sim::Cycle start = timeline_.acquire(ready, duration, high);
         busyByClass_[static_cast<std::size_t>(cls)] += duration;
+        if (trace_)
+            trace_->complete(busTrafficName(cls), "bus", start,
+                             duration, sim::traceTidBus);
         return start + duration;
     }
 
@@ -84,11 +105,32 @@ class Bus
         busyByClass_.fill(0);
     }
 
+    /** Register per-class busy counters under "bus.busy.*". */
+    void
+    registerStats(sim::StatRegistry &reg) const
+    {
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(BusTraffic::NumClasses); ++i)
+            reg.addCounter("bus.busy." +
+                               std::string(busTrafficName(
+                                   static_cast<BusTraffic>(i))),
+                           &busyByClass_[i]);
+        reg.addGauge("bus.busy.total",
+                     [this] {
+                         return static_cast<double>(
+                             timeline_.busyTotal());
+                     });
+    }
+
+    /** Emit spans into @p t (nullptr disables; the default). */
+    void setTrace(sim::TraceEventBuffer *t) { trace_ = t; }
+
   private:
     sim::PriorityTimeline timeline_;
     std::array<sim::Cycle,
                static_cast<std::size_t>(BusTraffic::NumClasses)>
         busyByClass_{};
+    sim::TraceEventBuffer *trace_ = nullptr;
 };
 
 } // namespace mem

@@ -17,6 +17,8 @@
 
 #include "mem/timing_params.hh"
 #include "sim/event_queue.hh"
+#include "sim/stat_registry.hh"
+#include "sim/trace_event.hh"
 #include "sim/types.hh"
 
 namespace mem {
@@ -95,6 +97,18 @@ class Dram
 
     const DramStats &stats() const { return stats_; }
 
+    /** Register access/row-hit counters under "dram.*". */
+    void
+    registerStats(sim::StatRegistry &reg) const
+    {
+        reg.addCounter("dram.accesses", &stats_.accesses);
+        reg.addCounter("dram.row_hits", &stats_.rowHits);
+        reg.addCounter("dram.row_misses", &stats_.rowMisses);
+    }
+
+    /** Emit bank/channel spans into @p t (nullptr disables). */
+    void setTrace(sim::TraceEventBuffer *t) { trace_ = t; }
+
     void
     reset()
     {
@@ -139,12 +153,18 @@ class Dram
             ++stats_.rowHits;
         else
             ++stats_.rowMisses;
+        if (trace_)
+            trace_->complete(row_hit ? "row_hit" : "row_miss", "dram",
+                             bank_done - occ, occ, sim::traceTidDram);
 
         if (!use_channel)
             return {bank_done, row_hit};
         const sim::Cycle xfer_start =
             channels_[chan].acquire(bank_done, xfer_cycles,
                                     high_priority);
+        if (trace_)
+            trace_->complete("xfer", "dram", xfer_start, xfer_cycles,
+                             sim::traceTidDram);
         return {xfer_start + xfer_cycles, row_hit};
     }
 
@@ -152,6 +172,7 @@ class Dram
     std::vector<Bank> banks_;
     std::vector<sim::PriorityTimeline> channels_;
     DramStats stats_;
+    sim::TraceEventBuffer *trace_ = nullptr;
 };
 
 } // namespace mem

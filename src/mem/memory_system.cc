@@ -34,8 +34,15 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
 
     // The request is now visible in queue 2.  In Non-Verbose mode the
     // ULMT only sees demand misses (Section 3.2).
-    if (observer_ && (demand || verbose_))
+    if (observer_ && (demand || verbose_)) {
+        if (trace_ && demand) {
+            observedFlowId_ = trace_->newFlowId();
+            trace_->flow(sim::TracePhase::FlowStart, observedFlowId_,
+                         at_controller, sim::traceTidMemsys);
+        }
         observer_->observeMiss(at_controller, line_addr, kind);
+        observedFlowId_ = 0;
+    }
 
     // Track queue-1 occupancy for the prefetch cross-match.
     ++inflightDemand_[line_addr];
@@ -50,6 +57,10 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
         bus_.transfer(dram.done, tp_.busDataOccupancy(tp_.l2.lineBytes),
                       data_cls);
     const sim::Cycle complete = data_done + respPathFixed;
+    if (trace_)
+        trace_->complete(demand ? "demand_fetch" : "cpu_pf_fetch",
+                         "memsys", issue, complete - issue,
+                         sim::traceTidMemsys);
 
     eq_.schedule(complete, [this, line_addr] {
         auto it = inflightDemand_.find(line_addr);
@@ -62,28 +73,41 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
 }
 
 bool
-MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr)
+MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
+                           std::uint64_t flow)
 {
     // Queue 3 capacity: bounded number of prefetches in flight.
     if (inflightPf_.size() >= tp_.queueDepth) {
         ++stats_.ulmtPrefetchesDroppedQueueFull;
+        if (trace_)
+            trace_->instant("pf_drop_queue_full", "memsys", ready,
+                            sim::traceTidMemsys);
         return false;
     }
     // Cross-match against queue 1: a higher-priority demand fetch for
     // the same line is already in flight, so the prefetch is redundant.
     if (inflightDemand_.count(line_addr)) {
         ++stats_.ulmtPrefetchesDroppedDemandMatch;
+        if (trace_)
+            trace_->instant("pf_drop_demand_match", "memsys", ready,
+                            sim::traceTidMemsys);
         return false;
     }
     // A prefetch for this line is already in flight.
     if (inflightPf_.count(line_addr)) {
         ++stats_.ulmtPrefetchesDroppedFilter;
+        if (trace_)
+            trace_->instant("pf_drop_filter", "memsys", ready,
+                            sim::traceTidMemsys);
         return false;
     }
     // Filter module: drop addresses prefetched very recently.  Only
     // requests that actually issue are recorded in the FIFO.
     if (!filter_.admit(line_addr)) {
         ++stats_.ulmtPrefetchesDroppedFilter;
+        if (trace_)
+            trace_->instant("pf_drop_filter", "memsys", ready,
+                            sim::traceTidMemsys);
         return false;
     }
 
@@ -99,6 +123,13 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr)
         bus_.transfer(dram.done, tp_.busDataOccupancy(tp_.l2.lineBytes),
                       BusTraffic::UlmtPrefetchData);
     const sim::Cycle arrival = data_done + respPathFixed;
+    if (trace_) {
+        trace_->complete("ulmt_prefetch", "memsys", start,
+                         arrival - start, sim::traceTidMemsys);
+        if (flow)
+            trace_->flow(sim::TracePhase::FlowEnd, flow, start,
+                         sim::traceTidMemsys);
+    }
 
     inflightPf_[line_addr] = arrival;
     eq_.schedule(arrival, [this, line_addr, arrival] {
@@ -117,6 +148,7 @@ MemorySystem::tableAccess(sim::Cycle ready, sim::Addr addr, bool is_write)
     else
         ++stats_.tableReads;
 
+    sim::Cycle done;
     if (tp_.placement == MemProcPlacement::InDram) {
         // Internal access: bank contention applies, but the 25.6 GB/s
         // on-chip bus makes the transfer itself nearly free.
@@ -126,12 +158,18 @@ MemorySystem::tableAccess(sim::Cycle ready, sim::Addr addr, bool is_write)
             r.done - ready -
             (r.rowHit ? tp_.tableBankRowHitCycles
                       : tp_.tableBankRowMissCycles)));
-        return r.done + tp_.tableAccessFixedDram;
+        done = r.done + tp_.tableAccessFixedDram;
+    } else {
+        // From the North Bridge the table data crosses the DRAM channel.
+        const DramAccessResult r =
+            dram_.accessTable(ready, addr, /*through_channel=*/true);
+        done = r.done + tp_.tableAccessFixedNorthBridge;
     }
-    // From the North Bridge the table data crosses the DRAM channel.
-    const DramAccessResult r =
-        dram_.accessTable(ready, addr, /*through_channel=*/true);
-    return r.done + tp_.tableAccessFixedNorthBridge;
+    if (trace_)
+        trace_->complete(is_write ? "table_write" : "table_read",
+                         "memsys", ready, done - ready,
+                         sim::traceTidMemsys);
+    return done;
 }
 
 void
@@ -142,6 +180,34 @@ MemorySystem::writeback(sim::Cycle when, sim::Addr line_addr)
         bus_.transfer(when, tp_.busDataOccupancy(tp_.l2.lineBytes),
                       BusTraffic::Writeback);
     dram_.writeLine(on_bus, line_addr);
+    if (trace_)
+        trace_->complete("writeback", "memsys", when, on_bus - when,
+                         sim::traceTidMemsys);
+}
+
+void
+MemorySystem::registerStats(sim::StatRegistry &reg) const
+{
+    reg.addCounter("memsys.demand_fetches", &stats_.demandFetches);
+    reg.addCounter("memsys.cpu_pf_fetches", &stats_.cpuPrefetchFetches);
+    reg.addCounter("memsys.writebacks", &stats_.writebacks);
+    reg.addCounter("memsys.queue3.issued",
+                   &stats_.ulmtPrefetchesIssued);
+    reg.addCounter("memsys.queue3.drops.filter",
+                   &stats_.ulmtPrefetchesDroppedFilter);
+    reg.addCounter("memsys.queue3.drops.queue_full",
+                   &stats_.ulmtPrefetchesDroppedQueueFull);
+    reg.addCounter("memsys.queue3.drops.demand_match",
+                   &stats_.ulmtPrefetchesDroppedDemandMatch);
+    reg.addCounter("memsys.table.reads", &stats_.tableReads);
+    reg.addCounter("memsys.table.writes", &stats_.tableWrites);
+    reg.addSample("memsys.table.wait_cycles", &tableWait_);
+    reg.addGauge("memsys.filter.admits",
+                 [this] { return double(filter_.admits()); });
+    reg.addGauge("memsys.filter.drops",
+                 [this] { return double(filter_.drops()); });
+    bus_.registerStats(reg);
+    dram_.registerStats(reg);
 }
 
 } // namespace mem

@@ -108,9 +108,12 @@ class MemorySystem
      * @p ready.  Applies the Filter module, the queue-3 capacity
      * limit, and the cross-match against in-flight demand fetches.
      *
+     * @param flow trace-event flow id of the demand miss that triggered
+     *             this prefetch (0 = none / tracing off)
      * @return true if the prefetch was issued to DRAM
      */
-    bool ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr);
+    bool ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
+                      std::uint64_t flow = 0);
 
     /**
      * One correlation-table access by the memory processor (on a miss
@@ -145,6 +148,39 @@ class MemorySystem
     const PrefetchFilter &filter() const { return filter_; }
     const TimingParams &params() const { return tp_; }
 
+    /** Demand/CPU-prefetch fetches currently in flight (queue 1). */
+    std::size_t inflightDemandCount() const
+    {
+        return inflightDemand_.size();
+    }
+
+    /** ULMT prefetches currently in flight (queue 3). */
+    std::size_t inflightPrefetchCount() const
+    {
+        return inflightPf_.size();
+    }
+
+    /**
+     * Trace-event flow id of the miss currently being delivered through
+     * observeMiss (0 outside that call or with tracing off).  The
+     * observer reads it synchronously to link its later prefetches back
+     * to the triggering miss without widening the MissObserver
+     * interface.
+     */
+    std::uint64_t observedFlowId() const { return observedFlowId_; }
+
+    /** Register controller/bus/DRAM/filter stats under "memsys.*". */
+    void registerStats(sim::StatRegistry &reg) const;
+
+    /** Emit spans into @p t (propagates to the bus and the DRAM). */
+    void
+    setTrace(sim::TraceEventBuffer *t)
+    {
+        trace_ = t;
+        bus_.setTrace(t);
+        dram_.setTrace(t);
+    }
+
   private:
     sim::EventQueue &eq_;
     const TimingParams &tp_;
@@ -163,6 +199,8 @@ class MemorySystem
     MemorySystemStats stats_;
     /** Queueing delay seen by correlation-table accesses at the DRAM. */
     sim::SampleStat tableWait_;
+    sim::TraceEventBuffer *trace_ = nullptr;
+    std::uint64_t observedFlowId_ = 0;
 
   public:
     const sim::SampleStat &tableWait() const { return tableWait_; }

@@ -12,6 +12,7 @@
 #define SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/action.hh"
@@ -34,6 +35,35 @@ class EventQueue
 
     /** Number of events currently pending. */
     std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Install a passive periodic observer.  The ticker fires between
+     * events, the first time simulated time reaches now()+interval and
+     * then at least @p interval cycles apart (stamped with the actual
+     * cycle, which may overshoot when events are sparse).  Because it
+     * runs outside the event stream it MUST NOT schedule events or
+     * mutate simulated state -- it exists for observability (the
+     * time-series sampler), and executed()/timing are bit-identical
+     * with or without a ticker installed.  The disabled path costs a
+     * single comparison per event.
+     */
+    void
+    setTicker(Cycle interval, std::function<void(Cycle)> fn)
+    {
+        SIM_ASSERT(interval > 0, "ticker needs a nonzero interval");
+        SIM_ASSERT(fn != nullptr, "null ticker");
+        ticker_ = std::move(fn);
+        tickInterval_ = interval;
+        tickDue_ = now_ + interval;
+    }
+
+    /** Remove the ticker (the disabled path: one compare per event). */
+    void
+    clearTicker()
+    {
+        ticker_ = nullptr;
+        tickDue_ = neverCycle;
+    }
 
     /**
      * Schedule an action at an absolute cycle.  Scheduling in the past
@@ -76,6 +106,10 @@ class EventQueue
             popTop();
             ++executed_;
             action();
+            if (now_ >= tickDue_) {
+                ticker_(now_);
+                tickDue_ = now_ + tickInterval_;
+            }
         }
         return true;
     }
@@ -158,6 +192,10 @@ class EventQueue
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    /** Passive observability ticker (neverCycle = disabled). */
+    Cycle tickDue_ = neverCycle;
+    Cycle tickInterval_ = 0;
+    std::function<void(Cycle)> ticker_;
 };
 
 /**

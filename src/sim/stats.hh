@@ -11,6 +11,7 @@
 #ifndef SIM_STATS_HH
 #define SIM_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,7 +20,11 @@
 
 namespace sim {
 
-/** A running sample statistic: count, sum, min, max, mean. */
+/**
+ * A running sample statistic: count, sum, min, max, mean, and a
+ * streaming (Welford) variance, so dispersion is available without
+ * retaining the samples.
+ */
 class SampleStat
 {
   public:
@@ -32,6 +37,9 @@ class SampleStat
             max_ = v;
         sum_ += v;
         ++count_;
+        const double delta = v - welfordMean_;
+        welfordMean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - welfordMean_);
     }
 
     std::uint64_t count() const { return count_; }
@@ -40,11 +48,21 @@ class SampleStat
     double max() const { return count_ ? max_ : 0.0; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
 
+    /** Population variance (0 with fewer than two samples). */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
     void
     reset()
     {
         count_ = 0;
         sum_ = min_ = max_ = 0.0;
+        welfordMean_ = m2_ = 0.0;
     }
 
   private:
@@ -52,6 +70,8 @@ class SampleStat
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double welfordMean_ = 0.0;  //!< Welford running mean
+    double m2_ = 0.0;           //!< Welford sum of squared deviations
 };
 
 /**
@@ -98,6 +118,39 @@ class BinnedHistogram
     {
         return total_ ? static_cast<double>(counts_.at(i)) / total_ : 0.0;
     }
+
+    /**
+     * Approximate percentile over the in-range samples (below-range
+     * samples are excluded; they are reported separately by below()).
+     * Linearly interpolates inside the bin holding the requested rank;
+     * the final bin is open-ended, so ranks landing there return its
+     * lower edge.  Returns 0 with no samples.
+     */
+    double
+    percentile(double p) const
+    {
+        SIM_ASSERT(p >= 0.0 && p <= 1.0, "percentile %f out of [0,1]",
+                   p);
+        if (total_ == 0)
+            return 0.0;
+        const double rank = p * static_cast<double>(total_);
+        double seen = 0.0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            const double c = static_cast<double>(counts_[i]);
+            if (seen + c < rank) {
+                seen += c;
+                continue;
+            }
+            if (i + 1 >= edges_.size())
+                return edges_[i];  // open-ended final bin
+            const double frac = c > 0.0 ? (rank - seen) / c : 0.0;
+            return edges_[i] + frac * (edges_[i + 1] - edges_[i]);
+        }
+        return edges_.back();
+    }
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
 
     void
     reset()

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Time-series sampling of simulator state, driven off the event
+ * queue's ticker hook (EventQueue::setTicker).
+ *
+ * Each channel is a named gauge re-read on every tick (queue depths,
+ * MSHR occupancy, filter hit rate, table footprint, running
+ * response/occupancy means, ...).  Samples land in a bounded adaptive
+ * ring: when the buffer fills, every other row is dropped and the
+ * nominal interval doubles, so an arbitrarily long run is always
+ * summarized by at most `capacity` rows spanning the whole run --
+ * never a truncated prefix.
+ *
+ * The sampler only *reads* component state; it never schedules events
+ * or mutates the simulation, so runs are bit-identical with sampling
+ * on or off (pinned by tests/test_observability.cc).
+ */
+
+#ifndef SIM_TIMESERIES_HH
+#define SIM_TIMESERIES_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/trace_event.hh"
+#include "sim/types.hh"
+
+namespace sim {
+
+/** The captured series, detached from the sampler (into RunResult). */
+struct TimeSeriesData
+{
+    /** Nominal sample spacing in cycles (doubles on compaction). */
+    Cycle interval = 0;
+    std::vector<std::string> channels;
+    /** Cycle stamp of each retained row. */
+    std::vector<Cycle> cycles;
+    /** values[channel][row], aligned with `cycles`. */
+    std::vector<std::vector<double>> values;
+
+    bool empty() const { return cycles.empty(); }
+};
+
+/** Periodic sampler over registered gauge channels. */
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param interval initial sample spacing in cycles (> 0)
+     * @param capacity ring size; at capacity, rows are halved and the
+     *                 interval doubles
+     */
+    explicit TimeSeriesSampler(Cycle interval,
+                               std::size_t capacity = 64)
+        : interval_(interval), capacity_(capacity)
+    {
+        SIM_ASSERT(interval_ > 0, "sampler needs a nonzero interval");
+        SIM_ASSERT(capacity_ >= 2, "sampler ring too small");
+    }
+
+    void
+    addChannel(std::string name, std::function<double()> fn)
+    {
+        names_.push_back(std::move(name));
+        fns_.push_back(std::move(fn));
+        rows_.emplace_back();
+    }
+
+    Cycle interval() const { return interval_; }
+    std::size_t samples() const { return cycles_.size(); }
+
+    /** Mirror each tick into @p buf as counter trace events. */
+    void
+    setTrace(TraceEventBuffer *buf)
+    {
+        trace_ = buf;
+    }
+
+    /**
+     * Offer one row stamped @p now.  The underlying ticker fires at
+     * the *initial* interval forever; after each compaction the
+     * sampler decimates, recording only every stride-th offer, so
+     * the effective spacing matches the doubled interval and an
+     * arbitrarily long run performs O(log) compactions rather than
+     * one every capacity/2 ticks.  Re-ticking the same cycle (the
+     * end-of-run flush may race a regular tick) is a no-op.
+     */
+    void
+    tick(Cycle now)
+    {
+        if (++sinceLast_ < stride_)
+            return;
+        record(now);
+    }
+
+    /** Record unconditionally — the end-of-run row must not be
+     *  decimated away. */
+    void
+    flush(Cycle now)
+    {
+        record(now);
+    }
+
+    /** Move the captured series out; the sampler is then empty. */
+    TimeSeriesData
+    take()
+    {
+        TimeSeriesData d;
+        d.interval = interval_;
+        d.channels = names_;
+        d.cycles = std::move(cycles_);
+        d.values = std::move(rows_);
+        cycles_ = {};
+        rows_.assign(names_.size(), {});
+        return d;
+    }
+
+  private:
+    void
+    record(Cycle now)
+    {
+        sinceLast_ = 0;
+        if (!cycles_.empty() && cycles_.back() == now)
+            return;
+        cycles_.push_back(now);
+        for (std::size_t c = 0; c < fns_.size(); ++c) {
+            const double v = fns_[c]();
+            rows_[c].push_back(v);
+            if (trace_)
+                trace_->counter(names_[c], now, v, traceTidSampler);
+        }
+        if (cycles_.size() >= capacity_)
+            compact();
+    }
+
+    /** Drop every other row, double the nominal interval, and halve
+     *  the rate at which future offers are accepted. */
+    void
+    compact()
+    {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < cycles_.size(); i += 2) {
+            cycles_[keep] = cycles_[i];
+            for (auto &row : rows_)
+                row[keep] = row[i];
+            ++keep;
+        }
+        cycles_.resize(keep);
+        for (auto &row : rows_)
+            row.resize(keep);
+        interval_ *= 2;
+        stride_ *= 2;
+    }
+
+    Cycle interval_;
+    std::size_t capacity_;
+    std::uint64_t stride_ = 1;
+    std::uint64_t sinceLast_ = 0;
+    std::vector<std::string> names_;
+    std::vector<std::function<double()>> fns_;
+    std::vector<Cycle> cycles_;
+    std::vector<std::vector<double>> rows_;
+    TraceEventBuffer *trace_ = nullptr;
+};
+
+} // namespace sim
+
+#endif // SIM_TIMESERIES_HH

@@ -1,0 +1,164 @@
+#include "sim/trace_event.hh"
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace sim {
+
+namespace {
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strformat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0)
+        return "null";
+    return strformat("%.17g", v);
+}
+
+/**
+ * Flow ids are unique only within one run's buffer; Chrome matches
+ * flow events by id globally, so salt with the pid to keep arrows
+ * from crossing between processes.
+ */
+std::uint64_t
+saltFlowId(std::uint64_t id, std::uint32_t pid)
+{
+    return id ^ (static_cast<std::uint64_t>(pid) << 48);
+}
+
+/** Metadata event naming a process or thread. */
+std::string
+metaEvent(const char *what, std::uint32_t pid, std::uint32_t tid,
+          const std::string &name)
+{
+    return strformat("{\"ph\": \"M\", \"name\": \"%s\", "
+                     "\"pid\": %u, \"tid\": %u, \"args\": "
+                     "{\"name\": %s}}",
+                     what, pid, tid, jsonQuote(name).c_str());
+}
+
+} // namespace
+
+TraceEventWriter::TraceEventWriter(const std::string &path)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "w");
+    if (!file_)
+        throw std::runtime_error("cannot create trace-event file '" +
+                                 path + "'");
+    std::fputs("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n",
+               file_);
+}
+
+TraceEventWriter::~TraceEventWriter()
+{
+    finish();
+}
+
+void
+TraceEventWriter::emitEvent(std::string &out, const TraceEvent &e,
+                            std::uint32_t pid) const
+{
+    out += strformat("{\"ph\": \"%c\", \"name\": ",
+                     static_cast<char>(e.ph));
+    out += jsonQuote(e.name);
+    out += strformat(", \"cat\": \"%s\", \"ts\": %llu, "
+                     "\"pid\": %u, \"tid\": %u",
+                     e.cat, (unsigned long long)e.ts, pid, e.tid);
+    switch (e.ph) {
+      case TracePhase::Complete:
+        out += strformat(", \"dur\": %llu", (unsigned long long)e.dur);
+        break;
+      case TracePhase::Instant:
+        out += ", \"s\": \"t\"";  // thread-scoped marker
+        break;
+      case TracePhase::Counter:
+        out += ", \"args\": {\"value\": " + jsonNumber(e.value) + "}";
+        break;
+      case TracePhase::FlowStart:
+      case TracePhase::FlowStep:
+        out += strformat(", \"id\": %llu",
+                         (unsigned long long)saltFlowId(e.id, pid));
+        break;
+      case TracePhase::FlowEnd:
+        // Bind the arrow head to the enclosing slice, not its end.
+        out += strformat(", \"id\": %llu, \"bp\": \"e\"",
+                         (unsigned long long)saltFlowId(e.id, pid));
+        break;
+    }
+    out += "}";
+}
+
+void
+TraceEventWriter::writeProcess(const std::string &process_name,
+                               const TraceEventBuffer &buf)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;  // finished early; drop silently
+    const std::uint32_t pid = nextPid_++;
+
+    std::string out;
+    out.reserve(128 * (buf.size() + 8));
+    auto sep = [&] {
+        if (!firstEvent_)
+            out += ",\n";
+        firstEvent_ = false;
+    };
+
+    sep();
+    out += metaEvent("process_name", pid, 0, process_name);
+    static const struct
+    {
+        std::uint32_t tid;
+        const char *name;
+    } threads[] = {
+        {traceTidUlmt, "ulmt"},       {traceTidMemsys, "memsys"},
+        {traceTidBus, "bus"},         {traceTidDram, "dram"},
+        {traceTidSampler, "sampler"},
+    };
+    for (const auto &t : threads) {
+        sep();
+        out += metaEvent("thread_name", pid, t.tid, t.name);
+    }
+    for (const TraceEvent &e : buf.events()) {
+        sep();
+        emitEvent(out, e, pid);
+    }
+    std::fwrite(out.data(), 1, out.size(), file_);
+}
+
+void
+TraceEventWriter::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    std::fputs("\n]}\n", file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+} // namespace sim

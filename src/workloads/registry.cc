@@ -57,7 +57,14 @@ makeWorkload(const std::string &name, const WorkloadParams &p)
                 "(trace:<path>); valid workloads are " +
                 validWorkloadNames());
         }
-        return std::make_unique<TraceReplayWorkload>(path);
+        try {
+            return std::make_unique<TraceReplayWorkload>(path);
+        } catch (const trace::TraceError &e) {
+            // Surface the workload name the caller passed, so a bad
+            // --apps=trace:... entry is traceable to its input.
+            throw std::invalid_argument(
+                "cannot open workload '" + name + "': " + e.what());
+        }
     }
     if (name == "CG")
         return std::make_unique<CgWorkload>(p);
@@ -87,12 +94,17 @@ tableNumRows(const std::string &app_name)
 {
     if (isTraceName(app_name)) {
         // Resolve through the trace's recorded provenance.
-        trace::TraceReader reader(
-            app_name.substr(std::strlen(traceScheme)));
-        const std::string &app = reader.header().app;
-        for (const std::string &known : applicationNames()) {
-            if (app == known)
-                return tableNumRows(app);
+        try {
+            trace::TraceReader reader(
+                app_name.substr(std::strlen(traceScheme)));
+            const std::string &app = reader.header().app;
+            for (const std::string &known : applicationNames()) {
+                if (app == known)
+                    return tableNumRows(app);
+            }
+        } catch (const trace::TraceError &e) {
+            throw std::invalid_argument("cannot open workload '" +
+                                        app_name + "': " + e.what());
         }
         // Imported / externally captured trace: mid-range default.
         return 128 * 1024;

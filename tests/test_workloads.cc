@@ -204,8 +204,14 @@ TEST(Workloads, MissingTraceFileThrowsWithDiagnostic)
         workloads::makeWorkload("trace:/no/such/file.ulmttrace",
                                 smallParams());
         FAIL() << "missing trace file accepted";
-    } catch (const std::runtime_error &e) {
+    } catch (const std::invalid_argument &e) {
+        // The diagnostic names both the path and the workload string
+        // the caller passed.
         EXPECT_NE(std::string(e.what()).find("/no/such/file"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what())
+                      .find("trace:/no/such/file.ulmttrace"),
                   std::string::npos)
             << e.what();
     }

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * ulmt-stats: run one configuration and dump the simulator's full
+ * statistic registry as JSON.
+ *
+ *   ulmt-stats dump <app> [--config=NAME] [--scale=S] [--seed=N]
+ *                   [--placement=dram|nb] [--metrics-interval=N]
+ *                   [--trace-events=PATH]
+ *       Run <app> (an application name or trace:<path>) under the
+ *       named configuration and print every registered statistic --
+ *       counters, gauges, samples and histograms -- as one JSON
+ *       object keyed by dotted path.
+ *
+ *   --config accepts: nopref, conven4, custom, or an algorithm name
+ *   (Base, Chain, Repl, Seq1, Seq4, Seq1+Repl, Seq4+Repl) optionally
+ *   prefixed with "conven4+".  Default: conven4+Repl.
+ *
+ * The same registry backs the `metrics` time series in the bench
+ * JSON; this tool is the quickest way to see which dotted names
+ * exist.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+#include "driver/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s dump <app> [--config=NAME] [--scale=S] [--seed=N]\n"
+        "       [--placement=dram|nb] [--metrics-interval=N]\n"
+        "       [--trace-events=PATH]\n"
+        "  config names: nopref, conven4, custom, <algo>,\n"
+        "  conven4+<algo>  (algo: Base, Chain, Repl, Seq1, Seq4,\n"
+        "  Seq1+Repl, Seq4+Repl; default conven4+Repl)\n",
+        argv0);
+    return 2;
+}
+
+/** --key= prefix match; returns the value part or nullptr. */
+const char *
+flagValue(const char *arg, const char *key)
+{
+    const std::size_t n = std::strlen(key);
+    return std::strncmp(arg, key, n) == 0 ? arg + n : nullptr;
+}
+
+driver::SystemConfig
+configByName(const std::string &name, const driver::ExperimentOptions &opt,
+             const std::string &app)
+{
+    if (name == "nopref")
+        return driver::noPrefConfig(opt);
+    if (name == "conven4")
+        return driver::conven4Config(opt);
+    if (name == "custom") {
+        bool customized = false;
+        return driver::customConfig(opt, app, customized);
+    }
+    constexpr const char *combo = "conven4+";
+    if (name.rfind(combo, 0) == 0) {
+        return driver::conven4PlusUlmtConfig(
+            opt, core::parseUlmtAlgo(name.substr(std::strlen(combo))),
+            app);
+    }
+    return driver::ulmtConfig(opt, core::parseUlmtAlgo(name), app);
+}
+
+int
+cmdDump(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::fprintf(stderr, "ulmt-stats: dump needs an <app>\n");
+        return 2;
+    }
+    const std::string &app = args[0];
+    std::string config = "conven4+Repl";
+    std::string trace_path;
+    driver::ExperimentOptions opt;
+    opt.scale = 0.25;
+
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const char *arg = args[i].c_str();
+        if (const char *v = flagValue(arg, "--config=")) {
+            config = v;
+        } else if (const char *v2 = flagValue(arg, "--scale=")) {
+            opt.scale = std::atof(v2);
+        } else if (const char *v3 = flagValue(arg, "--seed=")) {
+            opt.seed = std::strtoull(v3, nullptr, 0);
+        } else if (const char *v4 = flagValue(arg, "--placement=")) {
+            if (std::strcmp(v4, "dram") == 0)
+                opt.placement = mem::MemProcPlacement::InDram;
+            else if (std::strcmp(v4, "nb") == 0)
+                opt.placement = mem::MemProcPlacement::NorthBridge;
+            else
+                throw std::invalid_argument(
+                    "bad --placement (want dram or nb): " + args[i]);
+        } else if (const char *v5 =
+                       flagValue(arg, "--metrics-interval=")) {
+            driver::setMetricsIntervalOverride(
+                std::strtoull(v5, nullptr, 10));
+        } else if (const char *v6 = flagValue(arg, "--trace-events=")) {
+            trace_path = v6;
+        } else {
+            throw std::invalid_argument("unknown argument '" +
+                                        args[i] + "'");
+        }
+    }
+
+    const driver::SystemConfig cfg = configByName(config, opt, app);
+    if (!trace_path.empty())
+        driver::setTraceEventsPath(trace_path);
+
+    workloads::WorkloadParams wp;
+    wp.seed = opt.seed;
+    wp.scale = opt.scale;
+    auto workload = workloads::makeWorkload(app, wp);
+    driver::System sys(cfg, *workload);
+
+    sim::TraceEventBuffer buf;
+    if (driver::traceEventWriter())
+        sys.setTraceEvents(&buf);
+    sys.run();
+    if (sim::TraceEventWriter *w = driver::traceEventWriter()) {
+        w->writeProcess(app + "/" + cfg.label, buf);
+        driver::finishTraceEvents();
+    }
+
+    std::fputs(sys.statRegistry().dumpJson().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (cmd == "dump")
+            return cmdDump(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ulmt-stats: %s\n", e.what());
+        return 1;
+    }
+    return usage(argv[0]);
+}
