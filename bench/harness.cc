@@ -8,6 +8,7 @@
 #include <sys/utsname.h>
 #include <unistd.h>
 
+#include "ckpt/checkpoint.hh"
 #include "driver/experiment.hh"
 #include "driver/runner.hh"
 #include "sim/logging.hh"
@@ -61,13 +62,32 @@ parseArgs(int argc, char **argv, double default_scale)
                 sim::fatal("bad --metrics-interval value '%s'",
                            arg + 19);
             opt.metricsInterval = v;
+        } else if (std::strncmp(arg, "--checkpoint-at=", 16) == 0) {
+            if (arg[16] == '\0')
+                sim::fatal("empty --checkpoint-at spec");
+            opt.checkpointAt = arg + 16;
+        } else if (std::strncmp(arg, "--checkpoint-to=", 16) == 0) {
+            if (arg[16] == '\0')
+                sim::fatal("empty --checkpoint-to directory");
+            opt.checkpointTo = arg + 16;
+        } else if (std::strncmp(arg, "--restore-from=", 15) == 0) {
+            if (arg[15] == '\0')
+                sim::fatal("empty --restore-from path");
+            opt.restoreFrom = arg + 15;
+        } else if (std::strcmp(arg, "--list-workloads") == 0) {
+            for (const std::string &w : driver::listWorkloads())
+                std::printf("%s\n", w.c_str());
+            std::printf("trace:<path>\n");
+            std::exit(0);
         } else if (!scale_seen) {
             opt.scale = std::atof(arg);
             scale_seen = true;
         } else {
             sim::fatal("unexpected argument '%s' (usage: bench "
                        "[scale] [--jobs=N] [--apps=A,B,...] "
-                       "[--trace-events=PATH] [--metrics-interval=N])",
+                       "[--trace-events=PATH] [--metrics-interval=N] "
+                       "[--checkpoint-at=SPEC] [--checkpoint-to=DIR] "
+                       "[--restore-from=PATH] [--list-workloads])",
                        arg);
         }
     }
@@ -78,6 +98,20 @@ parseArgs(int argc, char **argv, double default_scale)
     if (opt.metricsInterval >= 0)
         driver::setMetricsIntervalOverride(
             static_cast<sim::Cycle>(opt.metricsInterval));
+    if (!opt.checkpointAt.empty())
+        driver::setCheckpointAt(opt.checkpointAt);
+    if (!opt.checkpointTo.empty())
+        driver::setCheckpointTo(opt.checkpointTo);
+    if (!opt.restoreFrom.empty()) {
+        // Validate up front so a bad path or corrupt snapshot fails
+        // before the sweep starts, with a clean diagnostic.
+        try {
+            (void)ckpt::CheckpointImage::readHeader(opt.restoreFrom);
+        } catch (const ckpt::CkptError &e) {
+            sim::fatal("--restore-from: %s", e.what());
+        }
+        driver::setRestoreFrom(opt.restoreFrom);
+    }
     return opt;
 }
 
@@ -91,7 +125,8 @@ void
 Harness::record(const driver::RunResult &r)
 {
     runs_.push_back(Run{r.workload, r.label, r.source, r.wallSeconds,
-                        r.eventsExecuted, r.cycles, r.metrics});
+                        r.eventsExecuted, r.cycles, r.ckptSaveSeconds,
+                        r.ckptRestoreSeconds, r.ckptBytes, r.metrics});
 }
 
 void
@@ -243,8 +278,20 @@ Harness::writeJson() const
                               ? static_cast<double>(r.events) /
                                     r.wallSeconds
                               : 0.0);
-        out += sim::strformat(", \"sim_cycles\": %llu}",
+        out += sim::strformat(", \"sim_cycles\": %llu",
                               (unsigned long long)r.simCycles);
+        // Checkpoint costs only when the run actually checkpointed,
+        // so runs without one keep the established schema.
+        if (r.ckptSaveSeconds > 0.0 || r.ckptRestoreSeconds > 0.0 ||
+            r.ckptBytes > 0) {
+            out += ", \"ckpt_save_seconds\": " +
+                   jsonNumber(r.ckptSaveSeconds);
+            out += ", \"ckpt_restore_seconds\": " +
+                   jsonNumber(r.ckptRestoreSeconds);
+            out += sim::strformat(", \"ckpt_bytes\": %llu",
+                                  (unsigned long long)r.ckptBytes);
+        }
+        out += "}";
     }
     out += runs_.empty() ? "],\n" : "\n  ],\n";
 

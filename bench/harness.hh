@@ -48,7 +48,9 @@ namespace bench {
 
 /**
  * Common bench CLI: `bench [scale] [--jobs=N] [--apps=A,B,...]
- * [--trace-events=PATH] [--metrics-interval=N]`.
+ * [--trace-events=PATH] [--metrics-interval=N]
+ * [--checkpoint-at=SPEC] [--checkpoint-to=DIR] [--restore-from=PATH]
+ * [--list-workloads]`.
  */
 struct Options
 {
@@ -62,6 +64,12 @@ struct Options
     /** Sampling-interval override in cycles (-1 = config default,
      *  0 = sampling off). */
     long long metricsInterval = -1;
+    /** Checkpoint trigger spec ("<N>" misses or "<N>c"); empty = off. */
+    std::string checkpointAt;
+    /** Directory for triggered snapshots (empty = "."). */
+    std::string checkpointTo;
+    /** Restore every run from this snapshot; empty = off. */
+    std::string restoreFrom;
 
     /** The bench's workload list: the override, or the nine apps. */
     const std::vector<std::string> &appList() const;
@@ -74,7 +82,11 @@ struct Options
  * default workload set with any mix of application names and
  * `trace:<path>` corpora; `--trace-events=PATH` streams Chrome trace
  * events from every run into PATH; `--metrics-interval=N` overrides
- * the time-series sampling interval (0 disables sampling).
+ * the time-series sampling interval (0 disables sampling);
+ * `--checkpoint-at=SPEC` snapshots every run after SPEC ("<N>" demand
+ * L2 misses, "<N>c" at cycle N) into `--checkpoint-to=DIR`;
+ * `--restore-from=PATH` resumes every run from a snapshot;
+ * `--list-workloads` prints the registered workload names and exits.
  */
 Options parseArgs(int argc, char **argv, double default_scale);
 
@@ -106,6 +118,9 @@ class Harness
         double wallSeconds;
         std::uint64_t events;
         std::uint64_t simCycles;
+        double ckptSaveSeconds;
+        double ckptRestoreSeconds;
+        std::uint64_t ckptBytes;
         sim::TimeSeriesData metrics;
     };
 

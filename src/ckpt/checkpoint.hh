@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CheckpointImage: the component-agnostic container of a ULMTCKP1
+ * checkpoint -- a validated header plus an ordered list of named,
+ * checksummed sections.
+ *
+ * The driver assembles an image by handing each component a
+ * StateWriter and adding the resulting payload as a section; restore
+ * reads the file (every checksum verified before any payload is
+ * served), checks the config fingerprint, and hands each section back
+ * to its component as a StateReader.  The container knows nothing
+ * about the simulator: it is equally the backing of tools/ulmt-ckpt.
+ */
+
+#ifndef CKPT_CHECKPOINT_HH
+#define CKPT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/format.hh"
+
+namespace ckpt {
+
+/** Snapshot provenance; everything needed to rebuild the workload. */
+struct CkptHeader
+{
+    std::uint32_t version = formatVersion;
+    /** FNV over the canonical config encoding; must match on restore. */
+    std::uint64_t configFingerprint = 0;
+    std::uint64_t seed = 0;   //!< workload construction seed
+    double scale = 1.0;       //!< workload construction scale
+    std::uint64_t cycle = 0;  //!< simulated time at the snapshot
+    std::uint64_t misses = 0; //!< demand L2 misses at the snapshot
+    std::string workload;     //!< registry name (or trace:<path>)
+    std::string label;        //!< configuration label
+};
+
+/** An in-memory checkpoint: header + ordered named sections. */
+class CheckpointImage
+{
+  public:
+    CkptHeader header;
+
+    /** @throws CkptError on a duplicate section name. */
+    void addSection(const std::string &name, std::string payload);
+
+    /** The named section's payload. @throws CkptError if absent. */
+    const std::string &section(const std::string &name) const;
+
+    /** Null if the (optional) section is absent. */
+    const std::string *findSection(const std::string &name) const;
+
+    const std::vector<std::pair<std::string, std::string>> &
+    sections() const
+    {
+        return sections_;
+    }
+
+    /** Total serialized payload bytes across all sections. */
+    std::uint64_t payloadBytes() const;
+
+    /**
+     * Serialize to @p path (atomically: temp file + rename).
+     * @return the number of bytes written.
+     * @throws CkptError on any I/O failure.
+     */
+    std::uint64_t writeFile(const std::string &path) const;
+
+    /**
+     * Load and fully validate @p path: magic, version, every section
+     * checksum, trailer totals and checksum chain.
+     * @throws CkptError naming the file and the reason.
+     */
+    static CheckpointImage readFile(const std::string &path);
+
+    /** Header only (sections skipped but checksums still verified). */
+    static CkptHeader readHeader(const std::string &path);
+
+  private:
+    std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+} // namespace ckpt
+
+#endif // CKPT_CHECKPOINT_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * StateWriter / StateReader: the serialization streams handed to every
+ * component's saveState()/restoreState() hook.
+ *
+ * The contract is symmetric and positional: restoreState() must read
+ * exactly the fields saveState() wrote, in the same order, and the
+ * driver checks that every section is fully consumed (finish()) so a
+ * save/restore mismatch fails loudly instead of shearing all later
+ * fields.  Scalars are varint-encoded (state is mostly small counters
+ * and sparse indices); doubles travel as exact u64 bit patterns so a
+ * restored SampleStat is bit-identical, not merely close.
+ *
+ * Determinism requirement: saveState() must emit a byte-deterministic
+ * encoding -- iterate unordered containers in sorted key order -- so
+ * that the same simulator state always produces the same checkpoint
+ * bytes (the committed corpus depends on this).
+ */
+
+#ifndef CKPT_STATE_HH
+#define CKPT_STATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/format.hh"
+
+namespace ckpt {
+
+/** Accumulates one section's payload. */
+class StateWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void u32(std::uint32_t v) { putVarint(buf_, v); }
+    void u64(std::uint64_t v) { putVarint(buf_, v); }
+    void i64(std::int64_t v) { putVarint(buf_, zigzagEncode(v)); }
+
+    /** Exact bit pattern -- restored doubles compare equal bitwise. */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        putLe(buf_, bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        if (s.size() > maxStringLen)
+            throw CkptError("string too long for checkpoint section");
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s);
+    }
+
+    const std::string &buffer() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/** Decodes one section's payload; throws CkptError on any overrun. */
+class StateReader
+{
+  public:
+    StateReader(const void *data, std::size_t size)
+        : data_(static_cast<const unsigned char *>(data)), size_(size)
+    {
+    }
+
+    explicit StateReader(const std::string &payload)
+        : StateReader(payload.data(), payload.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (pos_ >= size_)
+            throw CkptError("truncated checkpoint section");
+        return data_[pos_++];
+    }
+
+    bool
+    b()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            throw CkptError("corrupt bool in checkpoint section");
+        return v != 0;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint64_t v = getVarint(data_, size_, pos_);
+        if (v > 0xFFFFFFFFULL)
+            throw CkptError("u32 field out of range in checkpoint");
+        return static_cast<std::uint32_t>(v);
+    }
+
+    std::uint64_t u64() { return getVarint(data_, size_, pos_); }
+
+    std::int64_t
+    i64()
+    {
+        return zigzagDecode(getVarint(data_, size_, pos_));
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits =
+            getLe<std::uint64_t>(data_, size_, pos_);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (len > maxStringLen || size_ - pos_ < len)
+            throw CkptError("truncated string in checkpoint section");
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      len);
+        pos_ += len;
+        return s;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /** Call once all fields are read; trailing bytes mean a mismatch. */
+    void
+    finish() const
+    {
+        if (pos_ != size_)
+            throw CkptError(
+                "checkpoint section has trailing bytes (save/restore "
+                "field mismatch)");
+    }
+
+  private:
+    const unsigned char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace ckpt
+
+#endif // CKPT_STATE_HH

@@ -42,6 +42,22 @@ class PairLearner
         lastValid_ = true;
     }
 
+    /** The last-miss context is part of the learning state: without it
+     *  a restored run would miss one pair link. */
+    void
+    saveState(ckpt::StateWriter &w) const
+    {
+        w.u64(lastMiss_);
+        w.b(lastValid_);
+    }
+
+    void
+    restoreState(ckpt::StateReader &r)
+    {
+        lastMiss_ = r.u64();
+        lastValid_ = r.b();
+    }
+
   private:
     PairTable &table_;
     sim::Addr lastMiss_ = sim::invalidAddr;
@@ -99,6 +115,20 @@ class BasePrefetcher : public CorrelationPrefetcher
 
     void onPageRemap(sim::Addr old_page, sim::Addr new_page,
                      std::uint32_t page_bytes, CostTracker &cost) override;
+
+    void
+    saveState(ckpt::StateWriter &w) const override
+    {
+        table_.saveState(w);
+        learner_.saveState(w);
+    }
+
+    void
+    restoreState(ckpt::StateReader &r) override
+    {
+        table_.restoreState(r);
+        learner_.restoreState(r);
+    }
 
     PairTable &table() { return table_; }
 
@@ -170,6 +200,20 @@ class ChainPrefetcher : public CorrelationPrefetcher
 
     void onPageRemap(sim::Addr old_page, sim::Addr new_page,
                      std::uint32_t page_bytes, CostTracker &cost) override;
+
+    void
+    saveState(ckpt::StateWriter &w) const override
+    {
+        table_.saveState(w);
+        learner_.saveState(w);
+    }
+
+    void
+    restoreState(ckpt::StateReader &r) override
+    {
+        table_.restoreState(r);
+        learner_.restoreState(r);
+    }
 
     PairTable &table() { return table_; }
 

@@ -138,6 +138,30 @@ class CompositePrefetcher : public CorrelationPrefetcher
             p->onPageRemap(old_page, new_page, page_bytes, cost);
     }
 
+    /** Serialize each component in order plus the short-circuit flag
+     *  that couples a prefetch step to the following learn step. */
+    void
+    saveState(ckpt::StateWriter &w) const override
+    {
+        w.u64(parts_.size());
+        for (const auto &p : parts_)
+            p->saveState(w);
+        w.b(handledByFront_);
+    }
+
+    void
+    restoreState(ckpt::StateReader &r) override
+    {
+        if (r.u64() != parts_.size()) {
+            throw ckpt::CkptError(
+                "composite component count in checkpoint does not "
+                "match the configuration");
+        }
+        for (auto &p : parts_)
+            p->restoreState(r);
+        handledByFront_ = r.b();
+    }
+
   private:
     std::vector<std::unique_ptr<CorrelationPrefetcher>> parts_;
     bool shortCircuit_ = false;

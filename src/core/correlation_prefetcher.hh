@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/state.hh"
 #include "core/cost.hh"
 #include "sim/types.hh"
 
@@ -80,6 +81,27 @@ class CorrelationPrefetcher
     onPageRemap(sim::Addr /*old_page*/, sim::Addr /*new_page*/,
                 std::uint32_t /*page_bytes*/, CostTracker & /*cost*/)
     {
+    }
+
+    /**
+     * Serialize the complete table state (and any learning context)
+     * for a checkpoint.  Algorithms that do not implement this refuse,
+     * so a checkpoint is never silently missing table contents.
+     */
+    virtual void
+    saveState(ckpt::StateWriter & /*w*/) const
+    {
+        throw ckpt::CkptError("algorithm '" + name() +
+                              "' does not support checkpointing");
+    }
+
+    /** Restore state written by saveState on an identically configured
+     *  instance. */
+    virtual void
+    restoreState(ckpt::StateReader & /*r*/)
+    {
+        throw ckpt::CkptError("algorithm '" + name() +
+                              "' does not support checkpointing");
     }
 };
 

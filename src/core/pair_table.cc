@@ -128,6 +128,69 @@ PairTable::insertSuccessor(PairRow &row, sim::Addr succ_line,
 }
 
 void
+PairTable::saveState(ckpt::StateWriter &w) const
+{
+    w.u32(params_.numRows);
+    w.u32(params_.numSucc);
+    w.u32(params_.assoc);
+    w.u64(stampCounter_);
+    w.u64(insertions_);
+    w.u64(replacements_);
+
+    std::uint64_t valid = 0;
+    for (const PairRow &row : rows_) {
+        if (row.valid)
+            ++valid;
+    }
+    w.u64(valid);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const PairRow &row = rows_[i];
+        if (!row.valid)
+            continue;
+        w.u64(i);
+        w.u64(row.tag);
+        w.u64(row.lruStamp);
+        w.u64(row.succ.size());
+        for (sim::Addr s : row.succ)
+            w.u64(s);
+    }
+}
+
+void
+PairTable::restoreState(ckpt::StateReader &r)
+{
+    if (r.u32() != params_.numRows || r.u32() != params_.numSucc ||
+        r.u32() != params_.assoc) {
+        throw ckpt::CkptError(
+            "pair-table geometry in checkpoint does not match this "
+            "configuration");
+    }
+    stampCounter_ = r.u64();
+    insertions_ = r.u64();
+    replacements_ = r.u64();
+
+    for (PairRow &row : rows_) {
+        row = PairRow{};
+    }
+    const std::uint64_t valid = r.u64();
+    for (std::uint64_t n = 0; n < valid; ++n) {
+        const std::uint64_t idx = r.u64();
+        if (idx >= rows_.size())
+            throw ckpt::CkptError("pair-table row index out of range");
+        PairRow &row = rows_[idx];
+        row.valid = true;
+        row.tag = r.u64();
+        row.lruStamp = r.u64();
+        const std::uint64_t succ = r.u64();
+        if (succ > params_.numSucc)
+            throw ckpt::CkptError("pair-table successor list too long");
+        row.succ.clear();
+        for (std::uint64_t s = 0; s < succ; ++s)
+            row.succ.push_back(r.u64());
+    }
+}
+
+void
 PairTable::invalidate(sim::Addr miss_line)
 {
     const std::uint32_t set = setIndex(miss_line);

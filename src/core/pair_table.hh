@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/state.hh"
 #include "core/cost.hh"
 #include "core/params.hh"
 #include "sim/types.hh"
@@ -75,6 +76,14 @@ class PairTable
     std::uint64_t insertions() const { return insertions_; }
     std::uint64_t replacements() const { return replacements_; }
     const CorrelationParams &params() const { return params_; }
+
+    /**
+     * Serialize valid rows (sparse), the LRU stamp counter and the
+     * insertion/replacement counters.  Restore validates the geometry
+     * against this instance's configuration.
+     */
+    void saveState(ckpt::StateWriter &w) const;
+    void restoreState(ckpt::StateReader &r);
 
     /** Iterate over all valid rows (page remapping, debug). */
     template <typename Fn>

@@ -179,6 +179,104 @@ ReplicatedPrefetcher::predict(sim::Addr miss_line,
 }
 
 void
+ReplicatedPrefetcher::saveState(ckpt::StateWriter &w) const
+{
+    w.u32(params_.numRows);
+    w.u32(params_.numSucc);
+    w.u32(params_.assoc);
+    w.u32(params_.numLevels);
+    w.u64(stampCounter_);
+    w.u64(insertions_);
+    w.u64(replacements_);
+
+    std::uint64_t valid = 0;
+    for (const ReplRow &row : rows_) {
+        if (row.valid)
+            ++valid;
+    }
+    w.u64(valid);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const ReplRow &row = rows_[i];
+        if (!row.valid)
+            continue;
+        w.u64(i);
+        w.u64(row.tag);
+        w.u64(row.lruStamp);
+        for (const auto &level : row.levels) {
+            w.u64(level.size());
+            for (sim::Addr s : level)
+                w.u64(s);
+        }
+    }
+
+    // The trailing pointers are the learning context: they decide
+    // which rows the next miss is inserted into.
+    w.u64(ptrs_.size());
+    for (const RowPtr &p : ptrs_) {
+        w.u32(p.index);
+        w.u64(p.expectedTag);
+        w.b(p.valid);
+    }
+}
+
+void
+ReplicatedPrefetcher::restoreState(ckpt::StateReader &r)
+{
+    if (r.u32() != params_.numRows || r.u32() != params_.numSucc ||
+        r.u32() != params_.assoc || r.u32() != params_.numLevels) {
+        throw ckpt::CkptError(
+            "replicated-table geometry in checkpoint does not match "
+            "this configuration");
+    }
+    stampCounter_ = r.u64();
+    insertions_ = r.u64();
+    replacements_ = r.u64();
+
+    for (ReplRow &row : rows_) {
+        row.tag = sim::invalidAddr;
+        row.valid = false;
+        row.lruStamp = 0;
+        for (auto &lvl : row.levels)
+            lvl.clear();
+    }
+    const std::uint64_t valid = r.u64();
+    for (std::uint64_t n = 0; n < valid; ++n) {
+        const std::uint64_t idx = r.u64();
+        if (idx >= rows_.size()) {
+            throw ckpt::CkptError(
+                "replicated-table row index out of range");
+        }
+        ReplRow &row = rows_[idx];
+        row.valid = true;
+        row.tag = r.u64();
+        row.lruStamp = r.u64();
+        for (auto &level : row.levels) {
+            const std::uint64_t count = r.u64();
+            if (count > params_.numSucc) {
+                throw ckpt::CkptError(
+                    "replicated-table successor list too long");
+            }
+            for (std::uint64_t s = 0; s < count; ++s)
+                level.push_back(r.u64());
+        }
+    }
+
+    if (r.u64() != ptrs_.size()) {
+        throw ckpt::CkptError(
+            "replicated-table pointer count does not match NumLevels");
+    }
+    for (RowPtr &p : ptrs_) {
+        p.index = r.u32();
+        p.expectedTag = r.u64();
+        p.valid = r.b();
+        if (p.valid && p.index >= rows_.size()) {
+            throw ckpt::CkptError(
+                "replicated-table trailing pointer out of range");
+        }
+    }
+}
+
+void
 ReplicatedPrefetcher::onPageRemap(sim::Addr old_page, sim::Addr new_page,
                                   std::uint32_t page_bytes,
                                   CostTracker &cost)

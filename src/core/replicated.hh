@@ -65,6 +65,11 @@ class ReplicatedPrefetcher : public CorrelationPrefetcher
     /** Simulated row size in bytes (28 B for NumLevels=3, NumSucc=2). */
     std::uint32_t rowBytes() const { return rowBytes_; }
 
+    /** Serialize valid rows (sparse), the trailing row pointers and
+     *  the LRU/sizing counters. */
+    void saveState(ckpt::StateWriter &w) const override;
+    void restoreState(ckpt::StateReader &r) override;
+
   private:
     /** A trailing pointer: row index + the tag it should still hold. */
     struct RowPtr

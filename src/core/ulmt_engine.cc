@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/sim_state.hh"
 #include "sim/logging.hh"
 
 namespace core {
@@ -101,7 +102,7 @@ UlmtEngine::kick(sim::Cycle earliest)
     processingScheduled_ = true;
     sim::Cycle at = std::max(earliest, busyUntil_);
     at = std::max(at, eq_.now());
-    eq_.schedule(at, [this] { processNext(); });
+    eq_.schedule(at, sim::EventKind::UlmtProcess, 0, 0, processAction());
 }
 
 void
@@ -190,6 +191,71 @@ UlmtEngine::pageRemap(sim::Addr old_page, sim::Addr new_page,
     if (trace_ && cost.elapsed() > 0)
         trace_->complete("page_remap", "ulmt", start, cost.elapsed(),
                          sim::traceTidUlmt);
+}
+
+void
+UlmtEngine::saveState(ckpt::StateWriter &w) const
+{
+    w.u64(queue2_.size());
+    for (const Observation &obs : queue2_) {
+        w.u64(obs.when);
+        w.u64(obs.line);
+        w.u64(obs.flow);
+    }
+    mpCache_.saveState(w);
+    w.u64(busyUntil_);
+    w.b(processingScheduled_);
+
+    w.u64(stats_.missesObserved);
+    w.u64(stats_.missesProcessed);
+    w.u64(stats_.missesDroppedQueueFull);
+    w.u64(stats_.prefetchesGenerated);
+    ckpt::save(w, stats_.responseTime);
+    ckpt::save(w, stats_.occupancyTime);
+    ckpt::save(w, stats_.responseBusy);
+    ckpt::save(w, stats_.responseMem);
+    ckpt::save(w, stats_.occupancyBusy);
+    ckpt::save(w, stats_.occupancyMem);
+    w.u64(stats_.busyCycles);
+    w.u64(stats_.memStallCycles);
+    w.u64(stats_.instructions);
+
+    algo_->saveState(w);
+}
+
+void
+UlmtEngine::restoreState(ckpt::StateReader &r)
+{
+    queue2_.clear();
+    const std::uint64_t depth = r.u64();
+    if (depth > tp_.queueDepth)
+        throw ckpt::CkptError("queue-2 depth exceeds the configuration");
+    for (std::uint64_t i = 0; i < depth; ++i) {
+        Observation obs{};
+        obs.when = r.u64();
+        obs.line = r.u64();
+        obs.flow = r.u64();
+        queue2_.push_back(obs);
+    }
+    mpCache_.restoreState(r);
+    busyUntil_ = r.u64();
+    processingScheduled_ = r.b();
+
+    stats_.missesObserved = r.u64();
+    stats_.missesProcessed = r.u64();
+    stats_.missesDroppedQueueFull = r.u64();
+    stats_.prefetchesGenerated = r.u64();
+    ckpt::restore(r, stats_.responseTime);
+    ckpt::restore(r, stats_.occupancyTime);
+    ckpt::restore(r, stats_.responseBusy);
+    ckpt::restore(r, stats_.responseMem);
+    ckpt::restore(r, stats_.occupancyBusy);
+    ckpt::restore(r, stats_.occupancyMem);
+    stats_.busyCycles = r.u64();
+    stats_.memStallCycles = r.u64();
+    stats_.instructions = r.u64();
+
+    algo_->restoreState(r);
 }
 
 void

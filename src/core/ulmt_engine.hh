@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/state.hh"
 #include "core/correlation_prefetcher.hh"
 #include "mem/cache.hh"
 #include "mem/memory_system.hh"
@@ -100,6 +101,18 @@ class UlmtEngine : public mem::MissObserver
 
     /** Emit prefetch/learn-step spans into @p t (nullptr disables). */
     void setTrace(sim::TraceEventBuffer *t) { trace_ = t; }
+
+    /** The process-queue-2 closure (shared by run and restore). */
+    sim::EventQueue::Action
+    processAction()
+    {
+        return [this] { processNext(); };
+    }
+
+    /** Serialize queue 2, the memory-processor cache, the thread's
+     *  occupancy state, the statistics and the algorithm's table. */
+    void saveState(ckpt::StateWriter &w) const;
+    void restoreState(ckpt::StateReader &r);
 
   private:
     /**

@@ -130,6 +130,25 @@ class MshrFile
 
     void clear() { busyUntil_.clear(); }
 
+    /** Serialize outstanding-fill deadlines (multiset iterates sorted,
+     *  so the encoding is deterministic). */
+    void
+    saveState(ckpt::StateWriter &w) const
+    {
+        w.u64(busyUntil_.size());
+        for (sim::Cycle c : busyUntil_)
+            w.u64(c);
+    }
+
+    void
+    restoreState(ckpt::StateReader &r)
+    {
+        busyUntil_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            busyUntil_.insert(r.u64());
+    }
+
   private:
     std::uint32_t capacity_;
     std::multiset<sim::Cycle> busyUntil_;
@@ -188,6 +207,10 @@ class Hierarchy
 
     /** Register cache/push/prefetcher stats under "l1.*"/"l2.*". */
     void registerStats(sim::StatRegistry &reg) const;
+
+    /** Serialize both tag arrays, MSHRs, stream prefetcher, queues. */
+    void saveState(ckpt::StateWriter &w) const;
+    void restoreState(ckpt::StateReader &r);
 
     /**
      * Optional observer of demand L2 misses (issue cycle, line addr),

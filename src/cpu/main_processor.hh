@@ -28,6 +28,7 @@
 #include <deque>
 #include <functional>
 
+#include "ckpt/state.hh"
 #include "cpu/hierarchy.hh"
 #include "cpu/trace.hh"
 #include "mem/timing_params.hh"
@@ -76,11 +77,29 @@ class MainProcessor
     void
     start()
     {
-        eq_.schedule(eq_.now(), [this] { step(); });
+        eq_.schedule(eq_.now(), sim::EventKind::ProcStep, 0, 0,
+                     stepAction());
     }
 
     bool finished() const { return finished_; }
     const ProcessorStats &stats() const { return stats_; }
+
+    /** The step-resume closure (shared by run and restore). */
+    sim::EventQueue::Action
+    stepAction()
+    {
+        return [this] { step(); };
+    }
+
+    /**
+     * Serialize the window state.  step() re-derives its local clock
+     * from the event queue on entry, so the members below are the
+     * complete resume state; the workload cursor (how many records
+     * source_ has produced) is stats_.records and is fast-forwarded by
+     * the driver, not here.
+     */
+    void saveState(ckpt::StateWriter &w) const;
+    void restoreState(ckpt::StateReader &r);
 
     /** Register core cycle/stall stats under "proc.*". */
     void

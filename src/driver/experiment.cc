@@ -22,6 +22,24 @@ std::mutex obsMutex;
 std::unique_ptr<sim::TraceEventWriter> traceWriter;
 std::optional<sim::Cycle> metricsOverride;
 
+// Process-wide checkpoint hooks (same pattern as the trace writer).
+std::string ckptAtSpec;
+std::string ckptToDir;
+std::string restoreFromPath;
+
+/** Per-run snapshot file name: path-hostile characters in app names
+ *  ("trace:/x/y.ulmttrace") and labels become underscores. */
+std::string
+snapshotName(const std::string &app, const std::string &label)
+{
+    std::string n = app + "-" + label;
+    for (char &c : n) {
+        if (c == '/' || c == ':' || c == '\\')
+            c = '_';
+    }
+    return n + ".ulmtckp";
+}
+
 } // namespace
 
 void
@@ -128,6 +146,57 @@ customConfig(const ExperimentOptions &opt, const std::string &app,
     return cfg;
 }
 
+void
+setCheckpointAt(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    ckptAtSpec = spec;
+}
+
+void
+setCheckpointTo(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    ckptToDir = dir;
+}
+
+void
+setRestoreFrom(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    restoreFromPath = path;
+}
+
+const std::vector<std::string> &
+listWorkloads()
+{
+    return workloads::applicationNames();
+}
+
+RunResult
+runSampled(const SystemConfig &cfg, const std::string &ckpt_path)
+{
+    // The header carries the workload identity: rebuilding from it
+    // guarantees the restored cursor lands in the same trace.
+    const ckpt::CkptHeader h = ckpt::CheckpointImage::readHeader(ckpt_path);
+    workloads::WorkloadParams wp;
+    wp.seed = h.seed;
+    wp.scale = h.scale;
+    auto workload = workloads::makeWorkload(h.workload, wp);
+
+    SystemConfig effective = cfg;
+    {
+        std::lock_guard<std::mutex> lock(obsMutex);
+        if (metricsOverride)
+            effective.metricsInterval = *metricsOverride;
+    }
+
+    System sys(effective, *workload);
+    sys.setCheckpointMeta(h.workload, h.seed, h.scale);
+    sys.restoreCheckpoint(ckpt_path);
+    return sys.run();
+}
+
 RunResult
 runOne(const std::string &app, const SystemConfig &cfg,
        const ExperimentOptions &opt)
@@ -139,14 +208,26 @@ runOne(const std::string &app, const SystemConfig &cfg,
 
     SystemConfig effective = cfg;
     sim::TraceEventWriter *writer = nullptr;
+    std::string ckpt_at, ckpt_dir, restore_from;
     {
         std::lock_guard<std::mutex> lock(obsMutex);
         if (metricsOverride)
             effective.metricsInterval = *metricsOverride;
         writer = traceWriter.get();
+        ckpt_at = ckptAtSpec;
+        ckpt_dir = ckptToDir;
+        restore_from = restoreFromPath;
     }
 
     System sys(effective, *workload);
+    sys.setCheckpointMeta(app, opt.seed, opt.scale);
+    if (!restore_from.empty())
+        sys.restoreCheckpoint(restore_from);
+    if (!ckpt_at.empty()) {
+        const std::string dir = ckpt_dir.empty() ? "." : ckpt_dir;
+        sys.setCheckpointTrigger(
+            ckpt_at, dir + "/" + snapshotName(app, effective.label));
+    }
     if (!writer)
         return sys.run();
 

@@ -85,6 +85,40 @@ void setMetricsIntervalOverride(sim::Cycle interval);
 /** Drop the metrics-interval override. */
 void clearMetricsIntervalOverride();
 
+// --- Checkpointing ---------------------------------------------------
+
+/**
+ * Arm a one-shot checkpoint in all subsequent runOne calls: @p spec is
+ * "<N>" (after N demand L2 misses) or "<N>c" (at cycle N); empty
+ * disarms.  Each run writes `<dir>/<app>-<label>.ulmtckp` where dir is
+ * set by setCheckpointTo (default ".").
+ */
+void setCheckpointAt(const std::string &spec);
+
+/** Directory for triggered snapshots (empty = current directory). */
+void setCheckpointTo(const std::string &dir);
+
+/**
+ * Restore every subsequent runOne call from @p path before running
+ * (empty disarms).  The checkpoint's configuration fingerprint must
+ * match the run's config, so this is for single-config invocations.
+ */
+void setRestoreFrom(const std::string &path);
+
+/**
+ * The sampled-run mode (warmup + measure): rebuild the workload from
+ * the checkpoint's own header (app key, seed, scale), restore the
+ * snapshot and run the remainder.  The result carries full-run
+ * cumulative statistics, bit-identical to an uninterrupted run of the
+ * same configuration -- the warmup simulation is simply skipped.
+ */
+RunResult runSampled(const SystemConfig &cfg,
+                     const std::string &ckpt_path);
+
+/** Registered workload names (the nine paper applications); the
+ *  "trace:<path>" scheme is additionally accepted everywhere. */
+const std::vector<std::string> &listWorkloads();
+
 /** Capture the demand L2 miss stream of a NoPref run (Figs. 5/6). */
 std::vector<sim::Addr> captureMissStream(const std::string &app,
                                          const ExperimentOptions &opt);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 
 #include "sim/logging.hh"
 
@@ -122,12 +123,17 @@ runTasks(const std::vector<std::function<RunResult()>> &tasks,
     }
 
     std::vector<std::string> logs(tasks.size());
+    std::vector<std::exception_ptr> errors(tasks.size());
     {
         ThreadPool pool(std::min<std::size_t>(workers, tasks.size()));
         for (std::size_t i = 0; i < tasks.size(); ++i) {
-            pool.submit([&tasks, &results, &logs, i] {
+            pool.submit([&tasks, &results, &logs, &errors, i] {
                 sim::setThreadLogSink(&logs[i]);
-                results[i] = tasks[i]();
+                try {
+                    results[i] = tasks[i]();
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
                 sim::setThreadLogSink(nullptr);
             });
         }
@@ -137,6 +143,13 @@ runTasks(const std::vector<std::function<RunResult()>> &tasks,
     for (const std::string &log : logs) {
         if (!log.empty())
             std::fputs(log.c_str(), stderr);
+    }
+    // A task that threw (bad checkpoint, unknown workload, ...) fails
+    // the sweep on the calling thread, not via std::terminate on a
+    // worker; the first failure in job order wins, matching serial.
+    for (const std::exception_ptr &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
     }
     return results;
 }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "ckpt/sim_state.hh"
 #include "sim/logging.hh"
 
 namespace driver {
@@ -17,6 +18,8 @@ System::System(const SystemConfig &cfg, workloads::Workload &workload)
     : System(cfg, workload, workload.name())
 {
     workloadSource_ = workload.source();
+    workload_ = &workload;
+    ckptApp_ = workload.name();
 }
 
 System::System(const SystemConfig &cfg, cpu::TraceSource &source,
@@ -69,6 +72,14 @@ System::initObservability()
     if (engine_)
         engine_->registerStats(registry_);
 
+    // Host-side checkpoint costs (0 until a save/restore happens).
+    registry_.addGauge("ckpt.save_seconds",
+                       [this] { return ckptSaveSeconds_; });
+    registry_.addGauge("ckpt.restore_seconds",
+                       [this] { return ckptRestoreSeconds_; });
+    registry_.addGauge("ckpt.snapshot_bytes",
+                       [this] { return double(ckptBytes_); });
+
     if (cfg_.metricsInterval == 0)
         return;
 
@@ -120,6 +131,305 @@ System::initObservability()
 }
 
 void
+System::setCheckpointMeta(std::string app_key, std::uint64_t seed,
+                          double scale)
+{
+    ckptApp_ = std::move(app_key);
+    ckptSeed_ = seed;
+    ckptScale_ = scale;
+}
+
+void
+System::setCheckpointTrigger(const std::string &spec, std::string path)
+{
+    if (spec.empty())
+        throw ckpt::CkptError("empty checkpoint trigger");
+    std::size_t end = 0;
+    unsigned long long n = 0;
+    try {
+        n = std::stoull(spec, &end);
+    } catch (const std::exception &) {
+        throw ckpt::CkptError("bad checkpoint trigger '" + spec +
+                              "' (expected '<N>' misses or '<N>c')");
+    }
+    if (end == spec.size()) {
+        ckptTriggerMisses_ = n;
+        ckptTriggerCycle_ = 0;
+    } else if (end + 1 == spec.size() && spec[end] == 'c') {
+        ckptTriggerCycle_ = n;
+        ckptTriggerMisses_ = 0;
+    } else {
+        throw ckpt::CkptError("bad checkpoint trigger '" + spec +
+                              "' (expected '<N>' misses or '<N>c')");
+    }
+    ckptPath_ = std::move(path);
+}
+
+std::uint64_t
+System::configFingerprint() const
+{
+    // Canonical serialization of everything that shapes simulated
+    // behaviour; metricsInterval is passive observability and is
+    // deliberately excluded so a sampling run can restore a
+    // non-sampling snapshot (and vice versa).
+    ckpt::StateWriter w;
+    const mem::TimingParams &tp = cfg_.timing;
+    w.u32(tp.issueWidth);
+    w.u32(tp.maxPendingLoads);
+    w.u32(tp.maxPendingStores);
+    w.u32(tp.robSize);
+    for (const mem::CacheGeometry *g :
+         {&tp.l1, &tp.l2, &tp.memProcL1}) {
+        w.u32(g->sizeBytes);
+        w.u32(g->assoc);
+        w.u32(g->lineBytes);
+    }
+    w.u32(tp.streamNumSeq);
+    w.u32(tp.streamNumPref);
+    w.u64(tp.l1HitRt);
+    w.u64(tp.l2HitRt);
+    w.u32(tp.l2Mshrs);
+    w.u64(tp.busCyclesPerBeat);
+    w.u32(tp.busBytesPerBeat);
+    w.u64(tp.reqPathCycles);
+    w.u64(tp.respPathCycles);
+    w.u32(tp.dramChannels);
+    w.u32(tp.dramBanksPerChannel);
+    w.u32(tp.dramRowBytes);
+    w.u64(tp.bankRowHitCycles);
+    w.u64(tp.bankRowMissCycles);
+    w.u64(tp.channelXferCycles);
+    w.u64(tp.tableBankRowHitCycles);
+    w.u64(tp.tableBankRowMissCycles);
+    w.u64(tp.tableChannelXferCycles);
+    w.u8(static_cast<std::uint8_t>(tp.placement));
+    w.u32(tp.memProcIssueWidth);
+    w.u64(tp.memProcL1HitRtMemCycles);
+    w.u64(tp.tableAccessFixedDram);
+    w.u64(tp.tableAccessFixedNorthBridge);
+    w.u64(tp.prefetchInjectDelay);
+    w.u32(tp.queueDepth);
+    w.u32(tp.filterEntries);
+
+    w.b(cfg_.conven4);
+    w.u32(static_cast<std::uint32_t>(cfg_.ulmt.algo));
+    w.u32(cfg_.ulmt.numRows);
+    w.u32(cfg_.ulmt.numLevels);
+    w.b(cfg_.ulmt.verbose);
+    w.u64(cfg_.hwCorrSramBytes);
+    w.b(cfg_.hwCorrReplicated);
+    w.b(cfg_.recordMissStream);
+    w.str(cfg_.label);
+    w.str(workloadName_);
+
+    const std::string &buf = w.buffer();
+    return ckpt::fnv1a64(buf.data(), buf.size());
+}
+
+sim::EventQueue::Action
+System::resolveEvent(const sim::SavedEvent &s)
+{
+    switch (static_cast<sim::EventKind>(s.kind)) {
+      case sim::EventKind::ProcStep:
+        return cpu_->stepAction();
+      case sim::EventKind::MemDemandDone:
+        return ms_->demandDoneAction(s.arg0);
+      case sim::EventKind::MemPfArrival:
+        return ms_->prefetchArrivalAction(s.arg0, s.arg1);
+      case sim::EventKind::UlmtProcess:
+        if (!engine_)
+            throw ckpt::CkptError(
+                "checkpoint has a pending ULMT event but this "
+                "configuration has no ULMT");
+        return engine_->processAction();
+      default:
+        throw ckpt::CkptError("unresolvable event kind in checkpoint");
+    }
+}
+
+void
+System::saveCheckpoint(const std::string &path)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    if (hwCorr_) {
+        throw ckpt::CkptError(
+            "the hardware correlation baseline is not checkpointable");
+    }
+
+    ckpt::CheckpointImage img;
+    img.header.configFingerprint = configFingerprint();
+    img.header.seed = ckptSeed_;
+    img.header.scale = ckptScale_;
+    img.header.cycle = eq_.now();
+    img.header.misses = hier_->stats().l2Misses;
+    img.header.workload = ckptApp_;
+    img.header.label = cfg_.label;
+
+    {
+        ckpt::StateWriter w;
+        w.u64(eq_.now());
+        w.u64(eq_.nextSeq());
+        w.u64(eq_.executed());
+        const std::vector<sim::SavedEvent> evs = eq_.saveEvents();
+        w.u64(evs.size());
+        for (const sim::SavedEvent &e : evs) {
+            if (e.kind ==
+                static_cast<std::uint32_t>(sim::EventKind::Untagged)) {
+                throw ckpt::CkptError(
+                    "an untagged event is pending; the queue is not "
+                    "checkpointable at this instant");
+            }
+            w.u64(e.when);
+            w.u64(e.seq);
+            w.u32(e.kind);
+            w.u64(e.arg0);
+            w.u64(e.arg1);
+        }
+        img.addSection("events", w.take());
+    }
+    {
+        ckpt::StateWriter w;
+        cpu_->saveState(w);
+        img.addSection("cpu", w.take());
+    }
+    {
+        ckpt::StateWriter w;
+        hier_->saveState(w);
+        img.addSection("hier", w.take());
+    }
+    {
+        ckpt::StateWriter w;
+        ms_->saveState(w);
+        img.addSection("memsys", w.take());
+    }
+    if (engine_) {
+        ckpt::StateWriter w;
+        engine_->saveState(w);
+        img.addSection("ulmt", w.take());
+    }
+    {
+        ckpt::StateWriter w;
+        w.b(cfg_.recordMissStream);
+        if (cfg_.recordMissStream) {
+            w.u64(missStream_.size());
+            for (sim::Addr a : missStream_)
+                w.u64(a);
+        }
+        img.addSection("driver", w.take());
+    }
+
+    ckptBytes_ = img.writeFile(path);
+    ckptSaveSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+}
+
+void
+System::restoreCheckpoint(const std::string &path)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    if (hwCorr_) {
+        throw ckpt::CkptError(
+            "the hardware correlation baseline is not checkpointable");
+    }
+    if (!workload_) {
+        throw ckpt::CkptError(
+            "restore needs a rewindable workload (raw trace sources "
+            "have no fast-forwardable cursor)");
+    }
+    const ckpt::CheckpointImage img = ckpt::CheckpointImage::readFile(path);
+    if (img.header.configFingerprint != configFingerprint()) {
+        throw ckpt::CkptError(
+            "checkpoint '" + path +
+            "' was taken under a different machine configuration");
+    }
+    if (img.header.workload != ckptApp_) {
+        throw ckpt::CkptError("checkpoint '" + path + "' is for workload '" +
+                              img.header.workload + "', not '" + ckptApp_ +
+                              "'");
+    }
+
+    {
+        ckpt::StateReader r(img.section("cpu"));
+        cpu_->restoreState(r);
+        r.finish();
+    }
+    {
+        ckpt::StateReader r(img.section("hier"));
+        hier_->restoreState(r);
+        r.finish();
+    }
+    {
+        ckpt::StateReader r(img.section("memsys"));
+        ms_->restoreState(r);
+        r.finish();
+    }
+    if (engine_) {
+        ckpt::StateReader r(img.section("ulmt"));
+        engine_->restoreState(r);
+        r.finish();
+    }
+    {
+        ckpt::StateReader r(img.section("driver"));
+        missStream_.clear();
+        if (r.b()) {
+            const std::uint64_t n = r.u64();
+            for (std::uint64_t i = 0; i < n; ++i)
+                missStream_.push_back(r.u64());
+        }
+        r.finish();
+    }
+
+    // Fast-forward the workload cursor: the processor has consumed
+    // stats().records records (including the in-progress one).
+    workload_->reset();
+    cpu::TraceRecord rec;
+    for (std::uint64_t i = 0; i < cpu_->stats().records; ++i) {
+        if (!workload_->next(rec)) {
+            throw ckpt::CkptError(
+                "workload ended before the checkpoint's trace cursor");
+        }
+    }
+
+    // The event queue goes last: resolving closures needs the
+    // components above in their restored state.
+    {
+        ckpt::StateReader r(img.section("events"));
+        const sim::Cycle now = r.u64();
+        const std::uint64_t next_seq = r.u64();
+        const std::uint64_t executed = r.u64();
+        const std::uint64_t count = r.u64();
+        std::vector<sim::SavedEvent> evs;
+        evs.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            sim::SavedEvent e;
+            e.when = r.u64();
+            e.seq = r.u64();
+            e.kind = r.u32();
+            e.arg0 = r.u64();
+            e.arg1 = r.u64();
+            if (e.kind == 0 ||
+                e.kind > static_cast<std::uint32_t>(
+                             sim::EventKind::UlmtProcess))
+                throw ckpt::CkptError("corrupt event kind in checkpoint");
+            evs.push_back(e);
+        }
+        r.finish();
+        eq_.restoreEvents(now, next_seq, executed, evs,
+                          [this](const sim::SavedEvent &s) {
+                              return resolveEvent(s);
+                          });
+    }
+
+    restored_ = true;
+    ckptRestoreSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+}
+
+void
 System::setTraceEvents(sim::TraceEventBuffer *buf)
 {
     trace_ = buf;
@@ -133,9 +443,30 @@ System::setTraceEvents(sim::TraceEventBuffer *buf)
 RunResult
 System::run()
 {
-    cpu_->start();
+    // After a restore the step event is already pending in the queue;
+    // scheduling a second one would double-step the core.
+    if (!restored_)
+        cpu_->start();
+    if (!ckptPath_.empty()) {
+        if (ckptTriggerCycle_ > 0) {
+            eq_.setBreakCheck([this](sim::Cycle now) {
+                return now >= ckptTriggerCycle_;
+            });
+        } else {
+            eq_.setBreakCheck([this](sim::Cycle) {
+                return hier_->stats().l2Misses >= ckptTriggerMisses_;
+            });
+        }
+    }
     const auto wall_start = std::chrono::steady_clock::now();
-    const bool drained = eq_.run(maxEvents);
+    bool drained = eq_.run(maxEvents);
+    while (!drained && eq_.breakHit()) {
+        // The trigger fired between events: a consistent instant.
+        // Snapshot, disarm, and carry on to completion.
+        saveCheckpoint(ckptPath_);
+        eq_.clearBreakCheck();
+        drained = eq_.run(maxEvents);
+    }
     const auto wall_end = std::chrono::steady_clock::now();
     SIM_ASSERT(drained && cpu_->finished(),
                "simulation did not complete (event limit hit?)");
@@ -147,6 +478,9 @@ System::run()
     r.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
     r.eventsExecuted = eq_.executed();
+    r.ckptSaveSeconds = ckptSaveSeconds_;
+    r.ckptRestoreSeconds = ckptRestoreSeconds_;
+    r.ckptBytes = ckptBytes_;
 
     const cpu::ProcessorStats &ps = cpu_->stats();
     r.cycles = ps.totalCycles;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hh"
 #include "core/factory.hh"
 #include "core/ulmt_engine.hh"
 #include "driver/hw_correlation.hh"
@@ -102,6 +103,12 @@ struct RunResult
     /** Events executed by the run's event queue. */
     std::uint64_t eventsExecuted = 0;
 
+    // --- Checkpoint costs (0 when no checkpointing happened; host-
+    // --- side metadata, excluded from determinism comparisons) ------
+    double ckptSaveSeconds = 0.0;
+    double ckptRestoreSeconds = 0.0;
+    std::uint64_t ckptBytes = 0;
+
     /** Host-side simulation throughput. */
     double
     eventsPerSec() const
@@ -174,6 +181,45 @@ class System
     /** Run the workload to completion and harvest the statistics. */
     RunResult run();
 
+    // --- Checkpoint / restore (src/ckpt, DESIGN.md section 9) --------
+
+    /**
+     * Identify the workload for checkpoint headers: the registry key
+     * (@p app_key, e.g. "Mcf" or "trace:<path>") plus the generation
+     * seed and scale, so a restoring process can rebuild the identical
+     * workload from the header alone.  Defaults to the workload's
+     * display name and the WorkloadParams defaults.
+     */
+    void setCheckpointMeta(std::string app_key, std::uint64_t seed,
+                           double scale);
+
+    /**
+     * Arm a one-shot checkpoint during run(): @p spec is either
+     * "<N>" (after N demand L2 misses) or "<N>c" (at cycle N).  The
+     * snapshot is written to @p path and the run continues.
+     */
+    void setCheckpointTrigger(const std::string &spec, std::string path);
+
+    /** Snapshot the complete simulator state to @p path (between
+     *  events; normally invoked via setCheckpointTrigger). */
+    void saveCheckpoint(const std::string &path);
+
+    /**
+     * Restore a snapshot taken under an identical configuration.
+     * Must be called before run(); the run then continues from the
+     * snapshot instant and finishes with bit-identical statistics to
+     * an uninterrupted run.
+     */
+    void restoreCheckpoint(const std::string &path);
+
+    /**
+     * Fingerprint of everything that defines the simulated machine
+     * and its input (timing, algorithm, label, workload name) --
+     * excluding passive observability (metricsInterval).  A snapshot
+     * only restores into a machine with the same fingerprint.
+     */
+    std::uint64_t configFingerprint() const;
+
     /** Deliver an OS page-remap notification to the ULMT (Sec 3.4). */
     void pageRemap(sim::Addr old_page, sim::Addr new_page,
                    std::uint32_t page_bytes);
@@ -199,10 +245,27 @@ class System
   private:
     /** Register all component stats and set up the sampler. */
     void initObservability();
+
+    /** Rebuild a pending event's closure from its checkpoint tag. */
+    sim::EventQueue::Action resolveEvent(const sim::SavedEvent &s);
+
     SystemConfig cfg_;
     cpu::TraceSource &source_;
+    /** Non-null when constructed from a Workload: enables the
+     *  checkpoint layer to fast-forward the trace cursor on restore. */
+    workloads::Workload *workload_ = nullptr;
     std::string workloadName_;
     std::string workloadSource_ = "synthetic";
+    bool restored_ = false;
+    std::string ckptApp_;
+    std::uint64_t ckptSeed_ = workloads::WorkloadParams{}.seed;
+    double ckptScale_ = 1.0;
+    std::uint64_t ckptTriggerMisses_ = 0;
+    sim::Cycle ckptTriggerCycle_ = 0;
+    std::string ckptPath_;
+    double ckptSaveSeconds_ = 0.0;
+    double ckptRestoreSeconds_ = 0.0;
+    std::uint64_t ckptBytes_ = 0;
     sim::EventQueue eq_;
     std::unique_ptr<mem::MemorySystem> ms_;
     std::unique_ptr<cpu::Hierarchy> hier_;

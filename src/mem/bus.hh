@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 
+#include "ckpt/sim_state.hh"
 #include "sim/event_queue.hh"
 #include "sim/stat_registry.hh"
 #include "sim/trace_event.hh"
@@ -124,6 +125,23 @@ class Bus
 
     /** Emit spans into @p t (nullptr disables; the default). */
     void setTrace(sim::TraceEventBuffer *t) { trace_ = t; }
+
+    /** Serialize arbitration state + per-class busy accounting. */
+    void
+    saveState(ckpt::StateWriter &w) const
+    {
+        ckpt::save(w, timeline_);
+        for (sim::Cycle busy : busyByClass_)
+            w.u64(busy);
+    }
+
+    void
+    restoreState(ckpt::StateReader &r)
+    {
+        ckpt::restore(r, timeline_);
+        for (sim::Cycle &busy : busyByClass_)
+            busy = r.u64();
+    }
 
   private:
     sim::PriorityTimeline timeline_;

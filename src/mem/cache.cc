@@ -144,4 +144,74 @@ Cache::reset()
     stats_ = CacheStats{};
 }
 
+void
+Cache::saveState(ckpt::StateWriter &w) const
+{
+    // Geometry guard: sets * assoc * lineBytes pins the shape.
+    w.u32(numSets_);
+    w.u32(geom_.assoc);
+    w.u32(geom_.lineBytes);
+    w.u64(stampCounter_);
+    w.u64(stats_.hits);
+    w.u64(stats_.misses);
+    w.u64(stats_.evictions);
+    w.u64(stats_.dirtyEvictions);
+
+    std::uint64_t valid = 0;
+    for (const CacheLine &line : lines_)
+        valid += line.valid ? 1 : 0;
+    w.u64(valid);
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const CacheLine &line = lines_[i];
+        if (!line.valid)
+            continue;
+        w.u64(i);
+        w.u64(line.tag);
+        w.b(line.dirty);
+        w.b(line.prefetched);
+        w.b(line.cpuPrefetched);
+        w.u8(static_cast<std::uint8_t>(line.fillOrigin));
+        w.u64(line.readyAt);
+        w.u64(line.lruStamp);
+    }
+}
+
+void
+Cache::restoreState(ckpt::StateReader &r)
+{
+    if (r.u32() != numSets_ || r.u32() != geom_.assoc ||
+        r.u32() != geom_.lineBytes)
+        throw ckpt::CkptError(
+            "cache '" + name_ +
+            "': checkpoint geometry does not match this configuration");
+    for (auto &line : lines_)
+        line = CacheLine{};
+    stampCounter_ = r.u64();
+    stats_.hits = r.u64();
+    stats_.misses = r.u64();
+    stats_.evictions = r.u64();
+    stats_.dirtyEvictions = r.u64();
+
+    const std::uint64_t valid = r.u64();
+    for (std::uint64_t n = 0; n < valid; ++n) {
+        const std::uint64_t i = r.u64();
+        if (i >= lines_.size())
+            throw ckpt::CkptError("cache '" + name_ +
+                                  "': line index out of range");
+        CacheLine &line = lines_[i];
+        line.valid = true;
+        line.tag = r.u64();
+        line.dirty = r.b();
+        line.prefetched = r.b();
+        line.cpuPrefetched = r.b();
+        const std::uint8_t origin = r.u8();
+        if (origin > static_cast<std::uint8_t>(sim::ServedBy::Memory))
+            throw ckpt::CkptError("cache '" + name_ +
+                                  "': corrupt fillOrigin");
+        line.fillOrigin = static_cast<sim::ServedBy>(origin);
+        line.readyAt = r.u64();
+        line.lruStamp = r.u64();
+    }
+}
+
 } // namespace mem

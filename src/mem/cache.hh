@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/state.hh"
 #include "mem/timing_params.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -122,6 +123,20 @@ class Cache
 
     /** Invalidate everything and zero the stats. */
     void reset();
+
+    /**
+     * Serialize the tag array: stats, LRU stamp counter, and only the
+     * valid lines (sparse: varint line index + fields), so a barely
+     * warm cache costs a few bytes per resident line.
+     */
+    void saveState(ckpt::StateWriter &w) const;
+
+    /**
+     * Rebuild from saveState() output.  The geometry is structural and
+     * must match; a checkpoint taken under a different geometry is
+     * rejected (CkptError) before any line is touched.
+     */
+    void restoreState(ckpt::StateReader &r);
 
   private:
     std::uint32_t setIndex(sim::Addr addr) const;

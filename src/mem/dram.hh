@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/sim_state.hh"
 #include "mem/timing_params.hh"
 #include "sim/event_queue.hh"
 #include "sim/stat_registry.hh"
@@ -119,6 +120,45 @@ class Dram
         for (auto &c : channels_)
             c.reset();
         stats_ = DramStats{};
+    }
+
+    /** Serialize every bank's open row + timeline, channels, stats. */
+    void
+    saveState(ckpt::StateWriter &w) const
+    {
+        w.u64(banks_.size());
+        for (const Bank &b : banks_) {
+            w.u64(b.openRow);
+            ckpt::save(w, b.timeline);
+        }
+        w.u64(channels_.size());
+        for (const sim::PriorityTimeline &c : channels_)
+            ckpt::save(w, c);
+        w.u64(stats_.accesses);
+        w.u64(stats_.rowHits);
+        w.u64(stats_.rowMisses);
+    }
+
+    void
+    restoreState(ckpt::StateReader &r)
+    {
+        if (r.u64() != banks_.size())
+            throw ckpt::CkptError(
+                "DRAM bank count in checkpoint does not match the "
+                "configuration");
+        for (Bank &b : banks_) {
+            b.openRow = r.u64();
+            ckpt::restore(r, b.timeline);
+        }
+        if (r.u64() != channels_.size())
+            throw ckpt::CkptError(
+                "DRAM channel count in checkpoint does not match the "
+                "configuration");
+        for (sim::PriorityTimeline &c : channels_)
+            ckpt::restore(r, c);
+        stats_.accesses = r.u64();
+        stats_.rowHits = r.u64();
+        stats_.rowMisses = r.u64();
     }
 
   private:

@@ -1,5 +1,9 @@
 #include "mem/memory_system.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "ckpt/sim_state.hh"
 #include "sim/logging.hh"
 
 namespace mem {
@@ -62,14 +66,21 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
                          "memsys", issue, complete - issue,
                          sim::traceTidMemsys);
 
-    eq_.schedule(complete, [this, line_addr] {
+    eq_.schedule(complete, sim::EventKind::MemDemandDone, line_addr, 0,
+                 demandDoneAction(line_addr));
+    return complete;
+}
+
+sim::EventQueue::Action
+MemorySystem::demandDoneAction(sim::Addr line_addr)
+{
+    return [this, line_addr] {
         auto it = inflightDemand_.find(line_addr);
         SIM_ASSERT(it != inflightDemand_.end(),
                    "in-flight demand entry vanished");
         if (--it->second == 0)
             inflightDemand_.erase(it);
-    });
-    return complete;
+    };
 }
 
 bool
@@ -132,12 +143,20 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
     }
 
     inflightPf_[line_addr] = arrival;
-    eq_.schedule(arrival, [this, line_addr, arrival] {
+    eq_.schedule(arrival, sim::EventKind::MemPfArrival, line_addr,
+                 arrival, prefetchArrivalAction(line_addr, arrival));
+    return true;
+}
+
+sim::EventQueue::Action
+MemorySystem::prefetchArrivalAction(sim::Addr line_addr,
+                                    sim::Cycle arrival)
+{
+    return [this, line_addr, arrival] {
         inflightPf_.erase(line_addr);
         if (push_)
             push_(arrival, line_addr);
-    });
-    return true;
+    };
 }
 
 sim::Cycle
@@ -208,6 +227,78 @@ MemorySystem::registerStats(sim::StatRegistry &reg) const
                  [this] { return double(filter_.drops()); });
     bus_.registerStats(reg);
     dram_.registerStats(reg);
+}
+
+void
+MemorySystem::saveState(ckpt::StateWriter &w) const
+{
+    w.u64(stats_.demandFetches);
+    w.u64(stats_.cpuPrefetchFetches);
+    w.u64(stats_.writebacks);
+    w.u64(stats_.ulmtPrefetchesIssued);
+    w.u64(stats_.ulmtPrefetchesDroppedFilter);
+    w.u64(stats_.ulmtPrefetchesDroppedQueueFull);
+    w.u64(stats_.ulmtPrefetchesDroppedDemandMatch);
+    w.u64(stats_.tableReads);
+    w.u64(stats_.tableWrites);
+    ckpt::save(w, tableWait_);
+    filter_.saveState(w);
+
+    // Unordered maps are written sorted by key so identical simulator
+    // state always yields identical checkpoint bytes.
+    std::vector<std::pair<sim::Addr, std::uint32_t>> demand(
+        inflightDemand_.begin(), inflightDemand_.end());
+    std::sort(demand.begin(), demand.end());
+    w.u64(demand.size());
+    for (const auto &[line, count] : demand) {
+        w.u64(line);
+        w.u32(count);
+    }
+
+    std::vector<std::pair<sim::Addr, sim::Cycle>> pf(
+        inflightPf_.begin(), inflightPf_.end());
+    std::sort(pf.begin(), pf.end());
+    w.u64(pf.size());
+    for (const auto &[line, arrival] : pf) {
+        w.u64(line);
+        w.u64(arrival);
+    }
+
+    bus_.saveState(w);
+    dram_.saveState(w);
+}
+
+void
+MemorySystem::restoreState(ckpt::StateReader &r)
+{
+    stats_.demandFetches = r.u64();
+    stats_.cpuPrefetchFetches = r.u64();
+    stats_.writebacks = r.u64();
+    stats_.ulmtPrefetchesIssued = r.u64();
+    stats_.ulmtPrefetchesDroppedFilter = r.u64();
+    stats_.ulmtPrefetchesDroppedQueueFull = r.u64();
+    stats_.ulmtPrefetchesDroppedDemandMatch = r.u64();
+    stats_.tableReads = r.u64();
+    stats_.tableWrites = r.u64();
+    ckpt::restore(r, tableWait_);
+    filter_.restoreState(r);
+
+    inflightDemand_.clear();
+    const std::uint64_t nDemand = r.u64();
+    for (std::uint64_t i = 0; i < nDemand; ++i) {
+        const sim::Addr line = r.u64();
+        inflightDemand_[line] = r.u32();
+    }
+
+    inflightPf_.clear();
+    const std::uint64_t nPf = r.u64();
+    for (std::uint64_t i = 0; i < nPf; ++i) {
+        const sim::Addr line = r.u64();
+        inflightPf_[line] = r.u64();
+    }
+
+    bus_.restoreState(r);
+    dram_.restoreState(r);
 }
 
 } // namespace mem

@@ -24,6 +24,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "ckpt/state.hh"
 #include "mem/bus.hh"
 #include "sim/stats.hh"
 #include "mem/dram.hh"
@@ -171,6 +172,21 @@ class MemorySystem
 
     /** Register controller/bus/DRAM/filter stats under "memsys.*". */
     void registerStats(sim::StatRegistry &reg) const;
+
+    /**
+     * Serialize queues 1/3, the Filter, the bus and the DRAM.  Pending
+     * completion events are re-registered on restore from their
+     * EventKind tags via the action builders below.
+     */
+    void saveState(ckpt::StateWriter &w) const;
+    void restoreState(ckpt::StateReader &r);
+
+    /** The queue-1 completion closure (shared by run and restore). */
+    sim::EventQueue::Action demandDoneAction(sim::Addr line_addr);
+
+    /** The queue-3 arrival closure (shared by run and restore). */
+    sim::EventQueue::Action prefetchArrivalAction(sim::Addr line_addr,
+                                                  sim::Cycle arrival);
 
     /** Emit spans into @p t (propagates to the bus and the DRAM). */
     void

@@ -11,6 +11,7 @@
 #ifndef SIM_EVENT_QUEUE_HH
 #define SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -20,6 +21,33 @@
 #include "sim/types.hh"
 
 namespace sim {
+
+/**
+ * Identity of a pending event's action, for checkpointing.  Closures
+ * cannot be serialized, so every event that may be pending at a
+ * checkpoint carries a kind tag plus up to two integer arguments; on
+ * restore the owning component rebuilds the closure from the tag (the
+ * saveState/restoreState contract).  Untagged events are legal at
+ * runtime but make the queue uncheckpointable at that instant.
+ */
+enum class EventKind : std::uint32_t {
+    Untagged = 0,      //!< plain schedule(); not checkpointable
+    ProcStep,          //!< MainProcessor::step resume (no args)
+    MemDemandDone,     //!< MemorySystem demand completion (arg0=line)
+    MemPfArrival,      //!< MemorySystem prefetch arrival
+                       //!< (arg0=line, arg1=arrival cycle)
+    UlmtProcess,       //!< UlmtEngine::processNext kick (no args)
+};
+
+/** A pending event in serializable form. */
+struct SavedEvent
+{
+    Cycle when = 0;
+    std::uint64_t seq = 0; //!< original tie-break sequence number
+    std::uint32_t kind = 0;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+};
 
 /** A deterministic discrete-event scheduler. */
 class EventQueue
@@ -32,6 +60,9 @@ class EventQueue
 
     /** Number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
+
+    /** Next tie-break sequence number (checkpointing). */
+    std::uint64_t nextSeq() const { return nextSeq_; }
 
     /** Number of events currently pending. */
     std::size_t pending() const { return events_.size(); }
@@ -72,10 +103,24 @@ class EventQueue
     void
     schedule(Cycle when, Action action)
     {
+        schedule(when, EventKind::Untagged, 0, 0, std::move(action));
+    }
+
+    /**
+     * Schedule a *tagged* action: @p kind and the args identify the
+     * closure well enough for the owning component to rebuild it after
+     * a checkpoint restore.
+     */
+    void
+    schedule(Cycle when, EventKind kind, std::uint64_t arg0,
+             std::uint64_t arg1, Action action)
+    {
         SIM_ASSERT(when >= now_,
                    "scheduled at %llu before now %llu",
                    (unsigned long long)when, (unsigned long long)now_);
-        events_.push_back(Event{when, nextSeq_++, std::move(action)});
+        events_.push_back(Event{when, nextSeq_++,
+                                static_cast<std::uint32_t>(kind), arg0,
+                                arg1, std::move(action)});
         siftUp(events_.size() - 1);
     }
 
@@ -87,6 +132,76 @@ class EventQueue
     }
 
     /**
+     * Snapshot the pending events' tags, sorted by execution order
+     * (when, seq).  Entries with kind == Untagged cannot be restored;
+     * the checkpoint layer rejects them.
+     */
+    std::vector<SavedEvent>
+    saveEvents() const
+    {
+        std::vector<SavedEvent> out;
+        out.reserve(events_.size());
+        for (const Event &e : events_)
+            out.push_back(
+                SavedEvent{e.when, e.seq, e.kind, e.arg0, e.arg1});
+        std::sort(out.begin(), out.end(),
+                  [](const SavedEvent &a, const SavedEvent &b) {
+                      return a.when != b.when ? a.when < b.when
+                                              : a.seq < b.seq;
+                  });
+        return out;
+    }
+
+    /**
+     * Rebuild the queue from a snapshot: clock, sequence counter,
+     * executed count, and every pending event with its *original*
+     * (when, seq) pair -- tie-breaking after restore is bit-identical
+     * to the run the snapshot was taken from.  @p resolve maps each
+     * SavedEvent back to its closure.
+     */
+    void
+    restoreEvents(
+        Cycle now, std::uint64_t next_seq, std::uint64_t executed,
+        const std::vector<SavedEvent> &events,
+        const std::function<Action(const SavedEvent &)> &resolve)
+    {
+        events_.clear();
+        now_ = now;
+        nextSeq_ = next_seq;
+        executed_ = executed;
+        for (const SavedEvent &s : events) {
+            SIM_ASSERT(s.when >= now_ && s.seq < next_seq,
+                       "restored event outside snapshot bounds");
+            events_.push_back(Event{s.when, s.seq, s.kind, s.arg0,
+                                    s.arg1, resolve(s)});
+            siftUp(events_.size() - 1);
+        }
+        // A ticker installed before the restore was armed relative to
+        // cycle 0; re-arm it relative to the restored clock.  (The
+        // ticker is passive observability, excluded from fingerprints.)
+        if (ticker_)
+            tickDue_ = now_ + tickInterval_;
+    }
+
+    /**
+     * Install a break predicate, checked after every executed event.
+     * When it returns true, run() stops *between* events (a consistent
+     * instant: no action half-applied) with breakHit() set.  Used by
+     * the checkpoint trigger; the disabled path costs one compare per
+     * event.
+     */
+    void
+    setBreakCheck(std::function<bool(Cycle)> fn)
+    {
+        breakCheck_ = std::move(fn);
+    }
+
+    void clearBreakCheck() { breakCheck_ = nullptr; }
+
+    /** True when the last run() returned because of the break check. */
+    bool breakHit() const { return breakHit_; }
+
+    /**
      * Execute events in order until the queue drains or the event limit
      * is hit.
      *
@@ -96,6 +211,7 @@ class EventQueue
     bool
     run(std::uint64_t max_events = UINT64_MAX)
     {
+        breakHit_ = false;
         while (!events_.empty()) {
             if (executed_ >= max_events)
                 return false;
@@ -109,6 +225,10 @@ class EventQueue
             if (now_ >= tickDue_) {
                 ticker_(now_);
                 tickDue_ = now_ + tickInterval_;
+            }
+            if (breakCheck_ && breakCheck_(now_)) {
+                breakHit_ = true;
+                return false;
             }
         }
         return true;
@@ -126,6 +246,9 @@ class EventQueue
     {
         Cycle when;
         std::uint64_t seq;
+        std::uint32_t kind;
+        std::uint64_t arg0;
+        std::uint64_t arg1;
         Action action;
     };
 
@@ -196,6 +319,9 @@ class EventQueue
     Cycle tickDue_ = neverCycle;
     Cycle tickInterval_ = 0;
     std::function<void(Cycle)> ticker_;
+    /** Between-event stop predicate (checkpoint trigger). */
+    std::function<bool(Cycle)> breakCheck_;
+    bool breakHit_ = false;
 };
 
 /**
@@ -235,6 +361,22 @@ class ResourceTimeline
         busyTotal_ = 0;
     }
 
+    /** Complete serializable state (checkpointing). */
+    struct State
+    {
+        Cycle nextFree = 0;
+        Cycle busyTotal = 0;
+    };
+
+    State snapshot() const { return State{nextFree_, busyTotal_}; }
+
+    void
+    restore(const State &s)
+    {
+        nextFree_ = s.nextFree;
+        busyTotal_ = s.busyTotal;
+    }
+
   private:
     Cycle nextFree_ = 0;
     Cycle busyTotal_ = 0;
@@ -258,6 +400,14 @@ class ResourceTimeline
 class PriorityTimeline
 {
   public:
+    /** One booked busy interval on the resource. */
+    struct Interval
+    {
+        Cycle start;
+        Cycle end;
+        bool high;
+    };
+
     /** Reserve the resource; returns the grant (start) cycle. */
     Cycle
     acquire(Cycle ready, Cycle duration, bool high_priority)
@@ -326,14 +476,33 @@ class PriorityTimeline
         cursorReady_ = 0;
     }
 
-  private:
-    struct Interval
+    /** Complete serializable state (checkpointing). */
+    struct State
     {
-        Cycle start;
-        Cycle end;
-        bool high;
+        std::vector<Interval> bookings;
+        Cycle pruneBefore = 0;
+        Cycle busyTotal = 0;
     };
 
+    State
+    snapshot() const
+    {
+        return State{bookings_, pruneBefore_, busyTotal_};
+    }
+
+    void
+    restore(const State &s)
+    {
+        bookings_ = s.bookings;
+        pruneBefore_ = s.pruneBefore;
+        busyTotal_ = s.busyTotal;
+        // The cursor is a pure search accelerator; restarting it from
+        // the front changes placement decisions not at all.
+        cursor_ = 0;
+        cursorReady_ = 0;
+    }
+
+  private:
     /**
      * Drop bookings that can no longer affect placement: event-order
      * skew is bounded by how far components pre-book (well under the

@@ -78,6 +78,26 @@ class Rng
     /** Bernoulli trial with probability p. */
     bool chance(double p) { return real() < p; }
 
+    /** Complete generator state (checkpointing). */
+    struct State
+    {
+        std::uint64_t s[4];
+    };
+
+    State
+    state() const
+    {
+        return State{{state_[0], state_[1], state_[2], state_[3]}};
+    }
+
+    /** Resume the exact stream position a state() call captured. */
+    void
+    setState(const State &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = st.s[i];
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -65,6 +65,31 @@ class SampleStat
         welfordMean_ = m2_ = 0.0;
     }
 
+    /** Exact internal state (checkpointing: bit-identical restore). */
+    struct State
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0, min = 0.0, max = 0.0;
+        double welfordMean = 0.0, m2 = 0.0;
+    };
+
+    State
+    snapshot() const
+    {
+        return State{count_, sum_, min_, max_, welfordMean_, m2_};
+    }
+
+    void
+    restore(const State &s)
+    {
+        count_ = s.count;
+        sum_ = s.sum;
+        min_ = s.min;
+        max_ = s.max;
+        welfordMean_ = s.welfordMean;
+        m2_ = s.m2;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -159,6 +184,21 @@ class BinnedHistogram
             c = 0;
         total_ = 0;
         below_ = 0;
+    }
+
+    /**
+     * Overwrite the counts (checkpointing).  The edges are structural
+     * (fixed by the constructing component), so only the counts travel.
+     */
+    void
+    restoreCounts(const std::vector<std::uint64_t> &counts,
+                  std::uint64_t total, std::uint64_t below)
+    {
+        SIM_ASSERT(counts.size() == counts_.size(),
+                   "histogram restore with mismatched bin count");
+        counts_ = counts;
+        total_ = total;
+        below_ = below;
     }
 
   private:
