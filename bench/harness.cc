@@ -62,6 +62,20 @@ parseArgs(int argc, char **argv, double default_scale)
                 sim::fatal("bad --metrics-interval value '%s'",
                            arg + 19);
             opt.metricsInterval = v;
+        } else if (std::strcmp(arg, "--check") == 0 ||
+                   std::strcmp(arg, "--check=basic") == 0) {
+            opt.check.mode = check::CheckMode::Basic;
+        } else if (std::strcmp(arg, "--check=deep") == 0) {
+            opt.check.mode = check::CheckMode::Deep;
+        } else if (std::strncmp(arg, "--check=", 8) == 0) {
+            sim::fatal("bad --check mode '%s' (expected basic or deep)",
+                       arg + 8);
+        } else if (std::strncmp(arg, "--check-interval=", 17) == 0) {
+            char *end = nullptr;
+            const long long v = std::strtoll(arg + 17, &end, 10);
+            if (*end != '\0' || v < 1)
+                sim::fatal("bad --check-interval value '%s'", arg + 17);
+            opt.check.everyEvents = static_cast<std::uint64_t>(v);
         } else if (std::strncmp(arg, "--checkpoint-at=", 16) == 0) {
             if (arg[16] == '\0')
                 sim::fatal("empty --checkpoint-at spec");
@@ -86,6 +100,7 @@ parseArgs(int argc, char **argv, double default_scale)
             sim::fatal("unexpected argument '%s' (usage: bench "
                        "[scale] [--jobs=N] [--apps=A,B,...] "
                        "[--trace-events=PATH] [--metrics-interval=N] "
+                       "[--check[=basic|deep]] [--check-interval=N] "
                        "[--checkpoint-at=SPEC] [--checkpoint-to=DIR] "
                        "[--restore-from=PATH] [--list-workloads])",
                        arg);
@@ -98,6 +113,8 @@ parseArgs(int argc, char **argv, double default_scale)
     if (opt.metricsInterval >= 0)
         driver::setMetricsIntervalOverride(
             static_cast<sim::Cycle>(opt.metricsInterval));
+    if (opt.check.enabled())
+        driver::setCheckOverride(opt.check);
     if (!opt.checkpointAt.empty())
         driver::setCheckpointAt(opt.checkpointAt);
     if (!opt.checkpointTo.empty())

@@ -49,6 +49,7 @@ namespace bench {
 /**
  * Common bench CLI: `bench [scale] [--jobs=N] [--apps=A,B,...]
  * [--trace-events=PATH] [--metrics-interval=N]
+ * [--check[=basic|deep]] [--check-interval=N]
  * [--checkpoint-at=SPEC] [--checkpoint-to=DIR] [--restore-from=PATH]
  * [--list-workloads]`.
  */
@@ -64,6 +65,11 @@ struct Options
     /** Sampling-interval override in cycles (-1 = config default,
      *  0 = sampling off). */
     long long metricsInterval = -1;
+    /** Runtime invariant checking for every run (DESIGN.md sect. 10):
+     *  `--check`/`--check=basic` walks structural invariants,
+     *  `--check=deep` adds the lockstep reference models.  Off by
+     *  default; never perturbs simulated timing. */
+    check::CheckOptions check;
     /** Checkpoint trigger spec ("<N>" misses or "<N>c"); empty = off. */
     std::string checkpointAt;
     /** Directory for triggered snapshots (empty = "."). */
@@ -83,6 +89,10 @@ struct Options
  * `trace:<path>` corpora; `--trace-events=PATH` streams Chrome trace
  * events from every run into PATH; `--metrics-interval=N` overrides
  * the time-series sampling interval (0 disables sampling);
+ * `--check` (or `--check=basic`) runs the invariant checker on every
+ * run, `--check=deep` additionally diffs the lockstep reference
+ * models, and `--check-interval=N` sets the cadence in executed
+ * events (default 2048);
  * `--checkpoint-at=SPEC` snapshots every run after SPEC ("<N>" demand
  * L2 misses, "<N>c" at cycle N) into `--checkpoint-to=DIR`;
  * `--restore-from=PATH` resumes every run from a snapshot;

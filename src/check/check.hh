@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Core types for the runtime invariant checker (PR 5).
+ *
+ * This header is intentionally self-contained (std-only) so that any
+ * component — mem, core, cpu — can expose a
+ * `checkInvariants(check::CheckContext &) const` member without
+ * pulling in the checker library.  The walking/orchestration side
+ * (InvariantChecker, the deep reference models) lives in
+ * `ulmt_check`, which the driver links; components only ever see the
+ * failure collector below.
+ *
+ * A check pass is a read-only walk: components append human-readable
+ * violation descriptions to a CheckContext, and the orchestrator
+ * throws one CheckError listing everything found at that instant.
+ * Nothing here mutates simulation state, so enabling checks can never
+ * change simulated timing — only abort a run that was already wrong.
+ */
+
+#ifndef CHECK_CHECK_HH
+#define CHECK_CHECK_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace check {
+
+/** How much checking a run performs. */
+enum class CheckMode : std::uint8_t {
+    Off = 0,    //!< no checker constructed; zero cost
+    Basic = 1,  //!< structural invariant walks at the event cadence
+    Deep = 2,   //!< Basic + lockstep differential reference models
+};
+
+/** Parsed from `--check[=deep]` / ULMT_CHECK; carried in SystemConfig. */
+struct CheckOptions
+{
+    CheckMode mode = CheckMode::Off;
+    /** Run an invariant walk every N executed events (Basic+). */
+    std::uint64_t everyEvents = 2048;
+
+    bool enabled() const { return mode != CheckMode::Off; }
+    bool deep() const { return mode == CheckMode::Deep; }
+};
+
+/** Thrown by the checker when a walk finds one or more violations. */
+class CheckError : public std::runtime_error
+{
+  public:
+    explicit CheckError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
+
+/** Hex-format an address/tag for violation messages ("0x1a2b"). */
+inline std::string
+hex(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value;
+    return os.str();
+}
+
+/**
+ * Failure collector passed through an invariant walk.  Components
+ * report every violation they see (rather than throwing on the
+ * first), so a single failed pass shows the full extent of the
+ * corruption — invaluable when the fuzzer shrinks a repro.
+ */
+class CheckContext
+{
+  public:
+    /** Record a violation found in @p component. */
+    void
+    fail(const std::string &component, const std::string &message)
+    {
+        failures_.emplace_back(component + ": " + message);
+    }
+
+    /** fail() unless @p condition holds; returns the condition. */
+    bool
+    require(bool condition, const std::string &component,
+            const std::string &message)
+    {
+        if (!condition)
+            fail(component, message);
+        return condition;
+    }
+
+    bool ok() const { return failures_.empty(); }
+    std::size_t failureCount() const { return failures_.size(); }
+    const std::vector<std::string> &failures() const { return failures_; }
+
+    /** One line per violation, prefixed with @p header. */
+    std::string
+    report(const std::string &header) const
+    {
+        std::ostringstream os;
+        os << header << " (" << failures_.size() << " violation"
+           << (failures_.size() == 1 ? "" : "s") << ")";
+        for (const std::string &f : failures_)
+            os << "\n  - " << f;
+        return os.str();
+    }
+
+    /** Throw a CheckError describing all failures, if any. */
+    void
+    throwIfFailed(const std::string &header) const
+    {
+        if (!failures_.empty())
+            throw CheckError(report(header));
+    }
+
+  private:
+    std::vector<std::string> failures_;
+};
+
+/**
+ * Test-only backdoor: a single struct befriended by checked
+ * components so unit tests can seed corruption into otherwise
+ * private structures and prove each invariant fires.  Its members
+ * are defined in tests/test_check.cc; production code never
+ * instantiates it.
+ */
+struct CheckTestPeer;
+
+} // namespace check
+
+#endif // CHECK_CHECK_HH

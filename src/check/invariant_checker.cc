@@ -1,0 +1,123 @@
+#include "check/invariant_checker.hh"
+
+#include <string>
+
+namespace check {
+
+InvariantChecker::InvariantChecker(const CheckOptions &opts,
+                                   sim::EventQueue &eq,
+                                   mem::MemorySystem &ms,
+                                   cpu::Hierarchy &hier,
+                                   core::UlmtEngine *engine)
+    : opts_(opts), eq_(eq), ms_(ms), hier_(hier), engine_(engine)
+{
+}
+
+InvariantChecker::~InvariantChecker()
+{
+    if (!installed_)
+        return;
+    eq_.clearInspector();
+    hier_.l1().setShadow(nullptr);
+    hier_.l2().setShadow(nullptr);
+    if (engine_) {
+        engine_->mpCache().setShadow(nullptr);
+        engine_->setMissHook(nullptr);
+    }
+}
+
+void
+InvariantChecker::install()
+{
+    eq_.setInspector(opts_.everyEvents, [this] { runChecks(); });
+    installed_ = true;
+    if (!opts_.deep())
+        return;
+
+    l1Ref_ = std::make_unique<RefLruCache>(hier_.l1(), "l1");
+    l2Ref_ = std::make_unique<RefLruCache>(hier_.l2(), "l2");
+    hier_.l1().setShadow(l1Ref_.get());
+    hier_.l2().setShadow(l2Ref_.get());
+    if (engine_) {
+        mpRef_ = std::make_unique<RefLruCache>(engine_->mpCache(),
+                                               "mp_cache");
+        engine_->mpCache().setShadow(mpRef_.get());
+        // The pair-table oracle understands the plain Base/Chain
+        // access pattern; wrapped or replicated algorithms keep the
+        // structural walks only.
+        core::CorrelationPrefetcher &algo = engine_->algorithm();
+        if (auto *base = dynamic_cast<core::BasePrefetcher *>(&algo))
+            pairRef_ = std::make_unique<RefPairTable>(base->table(), 0);
+        else if (auto *chain =
+                     dynamic_cast<core::ChainPrefetcher *>(&algo))
+            pairRef_ = std::make_unique<RefPairTable>(chain->table(),
+                                                      chain->levels());
+        if (pairRef_) {
+            engine_->setMissHook([this](sim::Addr miss_line) {
+                pairRef_->observeMiss(miss_line);
+            });
+        }
+    }
+    resyncDeep();
+}
+
+void
+InvariantChecker::resyncDeep()
+{
+    if (l1Ref_)
+        l1Ref_->resync(hier_.l1());
+    if (l2Ref_)
+        l2Ref_->resync(hier_.l2());
+    if (mpRef_ && engine_)
+        mpRef_->resync(engine_->mpCache());
+    if (pairRef_ && engine_) {
+        core::CorrelationPrefetcher &algo = engine_->algorithm();
+        if (auto *base = dynamic_cast<core::BasePrefetcher *>(&algo))
+            pairRef_->resync(base->table(), base->learner());
+        else if (auto *chain =
+                     dynamic_cast<core::ChainPrefetcher *>(&algo))
+            pairRef_->resync(chain->table(), chain->learner());
+    }
+}
+
+void
+InvariantChecker::runChecks()
+{
+    CheckContext ctx;
+    ms_.checkInvariants(ctx, eq_.saveEvents());
+    hier_.checkInvariants(ctx);
+    if (engine_)
+        engine_->checkInvariants(ctx);
+
+    if (opts_.deep()) {
+        if (l1Ref_)
+            l1Ref_->diff(hier_.l1(), ctx);
+        if (l2Ref_)
+            l2Ref_->diff(hier_.l2(), ctx);
+        if (mpRef_ && engine_)
+            mpRef_->diff(engine_->mpCache(), ctx);
+        if (pairRef_ && engine_) {
+            core::CorrelationPrefetcher &algo = engine_->algorithm();
+            if (auto *base =
+                    dynamic_cast<core::BasePrefetcher *>(&algo))
+                pairRef_->diff(base->table(), ctx);
+            else if (auto *chain =
+                         dynamic_cast<core::ChainPrefetcher *>(&algo))
+                pairRef_->diff(chain->table(), ctx);
+        }
+    }
+
+    ++passes_;
+    ctx.throwIfFailed(
+        "invariant check failed at cycle " +
+        std::to_string(eq_.now()) + " after " +
+        std::to_string(eq_.executed()) + " events");
+}
+
+void
+InvariantChecker::registerStats(sim::StatRegistry &reg) const
+{
+    reg.addCounter("check.passes", &passes_);
+}
+
+} // namespace check

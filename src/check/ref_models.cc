@@ -1,0 +1,300 @@
+#include "check/ref_models.hh"
+
+#include <algorithm>
+
+namespace check {
+
+// ---------------------------------------------------------------- cache
+
+RefLruCache::RefLruCache(const mem::Cache &real, std::string label)
+    : label_(std::move(label)), lineBytes_(real.lineBytes()),
+      numSets_(real.numSets()), assoc_(real.assoc()), sets_(numSets_)
+{
+}
+
+std::uint32_t
+RefLruCache::setOf(sim::Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr / lineBytes_) &
+                                      (numSets_ - 1));
+}
+
+void
+RefLruCache::onTouch(sim::Addr line_addr)
+{
+    auto &set = sets_[setOf(line_addr)];
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (set[i].tag == line_addr) {
+            Entry e = set[i];
+            set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+            set.push_back(e);
+            return;
+        }
+    }
+    // Unknown line: the touch inside insert() fires before onInsert
+    // delivers the new line; ignore it.
+}
+
+void
+RefLruCache::onInsert(sim::Addr line_addr, sim::Cycle now,
+                      sim::Cycle ready_at)
+{
+    auto &set = sets_[setOf(line_addr)];
+    if (set.size() >= assoc_) {
+        // The real cache displaces the least-recently-used *settled*
+        // line (fill complete), falling back to the overall LRU when
+        // the whole set is still in flight.
+        std::size_t victim = 0;
+        bool found = false;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            if (set[i].readyAt <= now) {
+                victim = i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            victim = 0;
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    set.push_back(Entry{line_addr, ready_at});
+}
+
+void
+RefLruCache::onInvalidate(sim::Addr line_addr)
+{
+    auto &set = sets_[setOf(line_addr)];
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (set[i].tag == line_addr) {
+            set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+}
+
+void
+RefLruCache::onReset()
+{
+    for (auto &set : sets_)
+        set.clear();
+}
+
+void
+RefLruCache::resync(const mem::Cache &real)
+{
+    onReset();
+    // Collect valid lines per set with their stamps, then order each
+    // set oldest-first: that is exactly this model's recency order.
+    std::vector<std::vector<std::pair<std::uint64_t, Entry>>> stamped(
+        numSets_);
+    real.forEachLine([&](std::uint32_t set, std::uint32_t /*way*/,
+                         const mem::CacheLine &line) {
+        if (line.valid)
+            stamped[set].push_back(
+                {line.lruStamp, Entry{line.tag, line.readyAt}});
+    });
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        std::sort(stamped[set].begin(), stamped[set].end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[stamp, entry] : stamped[set]) {
+            (void)stamp;
+            sets_[set].push_back(entry);
+        }
+    }
+}
+
+void
+RefLruCache::diff(const mem::Cache &real, CheckContext &ctx) const
+{
+    const std::string who = "deep." + label_;
+    std::vector<std::vector<std::pair<std::uint64_t, Entry>>> stamped(
+        numSets_);
+    real.forEachLine([&](std::uint32_t set, std::uint32_t /*way*/,
+                         const mem::CacheLine &line) {
+        if (line.valid)
+            stamped[set].push_back(
+                {line.lruStamp, Entry{line.tag, line.readyAt}});
+    });
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        auto &lines = stamped[set];
+        std::sort(lines.begin(), lines.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        const auto &ref = sets_[set];
+        if (!ctx.require(lines.size() == ref.size(), who,
+                         "set " + std::to_string(set) + " holds " +
+                             std::to_string(lines.size()) +
+                             " lines, reference model " +
+                             std::to_string(ref.size())))
+            continue;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            const Entry &want = ref[i];
+            const Entry &have = lines[i].second;
+            ctx.require(have.tag == want.tag, who,
+                        "set " + std::to_string(set) +
+                            " recency position " + std::to_string(i) +
+                            " holds " + check::hex(have.tag) +
+                            ", reference model " +
+                            check::hex(want.tag));
+            ctx.require(have.tag != want.tag ||
+                            have.readyAt == want.readyAt,
+                        who,
+                        "line " + check::hex(have.tag) +
+                            " readyAt " +
+                            std::to_string(have.readyAt) +
+                            " disagrees with the reference model's " +
+                            std::to_string(want.readyAt));
+        }
+    }
+}
+
+// ----------------------------------------------------------- pair table
+
+RefPairTable::RefPairTable(const core::PairTable &table,
+                           std::uint32_t chain_levels)
+    : numSets_(table.params().numRows / table.params().assoc),
+      assoc_(table.params().assoc), numSucc_(table.params().numSucc),
+      chainLevels_(chain_levels), sets_(numSets_)
+{
+}
+
+std::uint32_t
+RefPairTable::setOf(sim::Addr miss_line) const
+{
+    return static_cast<std::uint32_t>((miss_line / 64) % numSets_);
+}
+
+RefPairTable::RefRow *
+RefPairTable::find(sim::Addr miss_line)
+{
+    auto &set = sets_[setOf(miss_line)];
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (set[i].tag == miss_line) {
+            RefRow row = std::move(set[i]);
+            set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+            set.push_back(std::move(row));
+            return &set.back();
+        }
+    }
+    return nullptr;
+}
+
+RefPairTable::RefRow &
+RefPairTable::findOrAlloc(sim::Addr miss_line)
+{
+    if (RefRow *row = find(miss_line))
+        return *row;
+    auto &set = sets_[setOf(miss_line)];
+    if (set.size() >= assoc_)
+        set.erase(set.begin());  // evict the set's LRU row
+    set.push_back(RefRow{miss_line, {}});
+    return set.back();
+}
+
+void
+RefPairTable::observeMiss(sim::Addr miss_line)
+{
+    // Prefetching step first (Fig. 2): its lookups promote rows.
+    if (chainLevels_ == 0) {
+        find(miss_line);  // Base: one lookup
+    } else {
+        sim::Addr cur = miss_line;
+        for (std::uint32_t lvl = 0; lvl < chainLevels_; ++lvl) {
+            RefRow *row = find(cur);
+            if (!row || row->succ.empty())
+                break;
+            cur = row->succ.front();  // follow the MRU link
+        }
+    }
+
+    // Learning step (PairLearner semantics).
+    if (lastValid_) {
+        RefRow &row = findOrAlloc(lastMiss_);
+        auto it =
+            std::find(row.succ.begin(), row.succ.end(), miss_line);
+        if (it != row.succ.end()) {
+            std::rotate(row.succ.begin(), it, it + 1);
+        } else {
+            row.succ.insert(row.succ.begin(), miss_line);
+            if (row.succ.size() > numSucc_)
+                row.succ.pop_back();
+        }
+    }
+    findOrAlloc(miss_line);
+    lastMiss_ = miss_line;
+    lastValid_ = true;
+}
+
+void
+RefPairTable::resync(const core::PairTable &table,
+                     const core::PairLearner &learner)
+{
+    for (auto &set : sets_)
+        set.clear();
+    std::vector<std::vector<std::pair<std::uint64_t, RefRow>>> stamped(
+        numSets_);
+    table.forEachRow([&](const core::PairRow &row) {
+        stamped[setOf(row.tag)].push_back(
+            {row.lruStamp, RefRow{row.tag, row.succ}});
+    });
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        std::sort(stamped[set].begin(), stamped[set].end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (auto &[stamp, row] : stamped[set]) {
+            (void)stamp;
+            sets_[set].push_back(std::move(row));
+        }
+    }
+    lastMiss_ = learner.lastMiss();
+    lastValid_ = learner.lastValid();
+}
+
+void
+RefPairTable::diff(const core::PairTable &table,
+                   CheckContext &ctx) const
+{
+    const std::string who = "deep.pair_table";
+    std::vector<std::vector<std::pair<std::uint64_t, RefRow>>> stamped(
+        numSets_);
+    table.forEachRow([&](const core::PairRow &row) {
+        stamped[setOf(row.tag)].push_back(
+            {row.lruStamp, RefRow{row.tag, row.succ}});
+    });
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        auto &rows = stamped[set];
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        const auto &ref = sets_[set];
+        if (!ctx.require(rows.size() == ref.size(), who,
+                         "set " + std::to_string(set) + " holds " +
+                             std::to_string(rows.size()) +
+                             " rows, reference model " +
+                             std::to_string(ref.size())))
+            continue;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            const RefRow &want = ref[i];
+            const RefRow &have = rows[i].second;
+            if (!ctx.require(have.tag == want.tag, who,
+                             "set " + std::to_string(set) +
+                                 " recency position " +
+                                 std::to_string(i) + " holds " +
+                                 check::hex(have.tag) +
+                                 ", reference model " +
+                                 check::hex(want.tag)))
+                continue;
+            ctx.require(have.succ == want.succ, who,
+                        "row " + check::hex(have.tag) +
+                            " successor list disagrees with the "
+                            "reference model");
+        }
+    }
+}
+
+} // namespace check

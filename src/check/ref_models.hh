@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Differential reference models for `--check=deep`.
+ *
+ * Each model is a deliberately naive re-implementation of a
+ * performance-critical structure, fed the same operation stream as
+ * the real one and diffed against it at every checker pass:
+ *
+ *  - RefLruCache mirrors mem::Cache's true-LRU replacement (with the
+ *    settled-victim preference) using plain per-set recency vectors,
+ *    driven through the mem::CacheShadow notifications.
+ *  - RefPairTable mirrors core::PairTable as used by the Base/Chain
+ *    algorithms — find-promotion, LRU allocation, MRU successor
+ *    insertion — driven by the ULMT engine's per-miss hook.
+ *
+ * The models never share code with the real structures; agreement is
+ * the evidence.  Both support resync() from the real structure so
+ * deep checking survives checkpoint restores and page remaps (which
+ * rebuild the real state outside the notification stream).
+ */
+
+#ifndef CHECK_REF_MODELS_HH
+#define CHECK_REF_MODELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+#include "core/base_chain.hh"
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace check {
+
+/** Map-based oracle for a mem::Cache's replacement behaviour. */
+class RefLruCache : public mem::CacheShadow
+{
+  public:
+    /** Shadow @p real (geometry is copied; attachment is explicit). */
+    explicit RefLruCache(const mem::Cache &real, std::string label);
+
+    // mem::CacheShadow
+    void onTouch(sim::Addr line_addr) override;
+    void onInsert(sim::Addr line_addr, sim::Cycle now,
+                  sim::Cycle ready_at) override;
+    void onInvalidate(sim::Addr line_addr) override;
+    void onReset() override;
+
+    /** Rebuild the model from the real cache's current contents. */
+    void resync(const mem::Cache &real);
+
+    /**
+     * Diff against the real cache: per set, the resident tags in LRU
+     * order (by lruStamp) and their readyAt cycles must match the
+     * model exactly.
+     */
+    void diff(const mem::Cache &real, CheckContext &ctx) const;
+
+  private:
+    struct Entry
+    {
+        sim::Addr tag;
+        sim::Cycle readyAt;
+    };
+
+    std::uint32_t setOf(sim::Addr line_addr) const;
+
+    std::string label_;
+    std::uint32_t lineBytes_;
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    /** Per set, resident lines in recency order (front = LRU). */
+    std::vector<std::vector<Entry>> sets_;
+};
+
+/**
+ * Oracle for the PairTable as driven by Base/Chain: replays the
+ * Prefetching step's find-promotions and the Learning step's
+ * pair insertion against its own per-set recency lists.
+ */
+class RefPairTable
+{
+  public:
+    /**
+     * @param table the real table (geometry source)
+     * @param chain_levels 0 = Base (one lookup per miss); otherwise
+     *        the Chain depth, whose chain-walk promotions are
+     *        replayed from the model's own lists
+     */
+    RefPairTable(const core::PairTable &table,
+                 std::uint32_t chain_levels);
+
+    /** Replay one observed miss (prefetch step, then learning). */
+    void observeMiss(sim::Addr miss_line);
+
+    /** Rebuild from the real table and learner context. */
+    void resync(const core::PairTable &table,
+                const core::PairLearner &learner);
+
+    /** Diff rows, per-set LRU order and successor lists. */
+    void diff(const core::PairTable &table, CheckContext &ctx) const;
+
+  private:
+    struct RefRow
+    {
+        sim::Addr tag;
+        std::vector<sim::Addr> succ;
+    };
+
+    std::uint32_t setOf(sim::Addr miss_line) const;
+    /** find(): promote to MRU; nullptr on miss. */
+    RefRow *find(sim::Addr miss_line);
+    /** findOrAlloc(): promote, or evict the set's LRU and insert. */
+    RefRow &findOrAlloc(sim::Addr miss_line);
+
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    std::uint32_t numSucc_;
+    std::uint32_t chainLevels_;
+    /** Per set, rows in recency order (front = LRU). */
+    std::vector<std::vector<RefRow>> sets_;
+    sim::Addr lastMiss_ = sim::invalidAddr;
+    bool lastValid_ = false;
+};
+
+} // namespace check
+
+#endif // CHECK_REF_MODELS_HH

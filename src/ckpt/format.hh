@@ -57,8 +57,10 @@ class CkptError : public std::runtime_error
 inline constexpr char fileMagic[8] = {'U', 'L', 'M', 'T',
                                       'C', 'K', 'P', '1'};
 
-/** Bumped on any incompatible layout change. */
-inline constexpr std::uint32_t formatVersion = 1;
+/** Bumped on any incompatible layout change.  Version 2: the memory
+ *  system's state gained the CPU-prefetch in-flight map and its
+ *  cross-match drop counter (queue-1 attribution split). */
+inline constexpr std::uint32_t formatVersion = 2;
 
 /** "CSEC" as a little-endian u32. */
 inline constexpr std::uint32_t sectionMagic = 0x43455343u;

@@ -51,6 +51,13 @@ class AdaptivePrefetcher : public CorrelationPrefetcher
         return repl_->tableBytes();
     }
 
+    void
+    checkInvariants(check::CheckContext &ctx) const override
+    {
+        seq_->checkInvariants(ctx);
+        repl_->checkInvariants(ctx);
+    }
+
     /** Current mode, for tests and reporting. */
     enum class Mode { Both, SeqOnly, ReplOnly };
     Mode mode() const { return mode_; }

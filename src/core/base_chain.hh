@@ -58,6 +58,10 @@ class PairLearner
         lastValid_ = r.b();
     }
 
+    /** Last-miss context (reference-model resync). */
+    sim::Addr lastMiss() const { return lastMiss_; }
+    bool lastValid() const { return lastValid_; }
+
   private:
     PairTable &table_;
     sim::Addr lastMiss_ = sim::invalidAddr;
@@ -130,7 +134,15 @@ class BasePrefetcher : public CorrelationPrefetcher
         learner_.restoreState(r);
     }
 
+    void
+    checkInvariants(check::CheckContext &ctx) const override
+    {
+        table_.checkInvariants(ctx, "table.Base");
+    }
+
     PairTable &table() { return table_; }
+    const PairTable &table() const { return table_; }
+    const PairLearner &learner() const { return learner_; }
 
   private:
     PairTable table_;
@@ -215,7 +227,15 @@ class ChainPrefetcher : public CorrelationPrefetcher
         learner_.restoreState(r);
     }
 
+    void
+    checkInvariants(check::CheckContext &ctx) const override
+    {
+        table_.checkInvariants(ctx, "table.Chain");
+    }
+
     PairTable &table() { return table_; }
+    const PairTable &table() const { return table_; }
+    const PairLearner &learner() const { return learner_; }
 
   private:
     PairTable table_;

@@ -162,6 +162,13 @@ class CompositePrefetcher : public CorrelationPrefetcher
         handledByFront_ = r.b();
     }
 
+    void
+    checkInvariants(check::CheckContext &ctx) const override
+    {
+        for (const auto &p : parts_)
+            p->checkInvariants(ctx);
+    }
+
   private:
     std::vector<std::unique_ptr<CorrelationPrefetcher>> parts_;
     bool shortCircuit_ = false;

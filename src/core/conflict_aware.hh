@@ -122,6 +122,12 @@ class ConflictAwarePrefetcher : public CorrelationPrefetcher
         inner_->onPageRemap(old_page, new_page, page_bytes, cost);
     }
 
+    void
+    checkInvariants(check::CheckContext &ctx) const override
+    {
+        inner_->checkInvariants(ctx);
+    }
+
     /** Prefetches dropped for targeting saturated sets. */
     std::uint64_t suppressed() const { return suppressed_; }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "ckpt/state.hh"
 #include "core/cost.hh"
 #include "sim/types.hh"
@@ -103,6 +104,14 @@ class CorrelationPrefetcher
         throw ckpt::CkptError("algorithm '" + name() +
                               "' does not support checkpointing");
     }
+
+    /**
+     * Read-only structural self-check for the invariant checker:
+     * report any table-state violations (MRU bounds, duplicate tags,
+     * dangling pointers) to @p ctx.  Wrappers forward to their inner
+     * algorithms; stateless algorithms keep the no-op default.
+     */
+    virtual void checkInvariants(check::CheckContext & /*ctx*/) const {}
 };
 
 } // namespace core

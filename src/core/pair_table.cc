@@ -191,6 +191,51 @@ PairTable::restoreState(ckpt::StateReader &r)
 }
 
 void
+PairTable::checkInvariants(check::CheckContext &ctx,
+                           const std::string &who) const
+{
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        const PairRow *base =
+            &rows_[static_cast<std::size_t>(set) * params_.assoc];
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            const PairRow &row = base[w];
+            if (!row.valid)
+                continue;
+            ctx.require(setIndex(row.tag) == set, who,
+                        "row tag " + check::hex(row.tag) +
+                            " resident in set " + std::to_string(set) +
+                            " but hashes to set " +
+                            std::to_string(setIndex(row.tag)));
+            ctx.require(row.lruStamp <= stampCounter_, who,
+                        "row " + check::hex(row.tag) +
+                            " carries LRU stamp " +
+                            std::to_string(row.lruStamp) +
+                            " beyond the counter " +
+                            std::to_string(stampCounter_));
+            ctx.require(row.succ.size() <= params_.numSucc, who,
+                        "row " + check::hex(row.tag) + " holds " +
+                            std::to_string(row.succ.size()) +
+                            " successors, NumSucc " +
+                            std::to_string(params_.numSucc));
+            for (std::size_t i = 0; i < row.succ.size(); ++i) {
+                for (std::size_t j = i + 1; j < row.succ.size(); ++j) {
+                    ctx.require(row.succ[i] != row.succ[j], who,
+                                "row " + check::hex(row.tag) +
+                                    " repeats successor " +
+                                    check::hex(row.succ[i]));
+                }
+            }
+            for (std::uint32_t v = w + 1; v < params_.assoc; ++v) {
+                ctx.require(!base[v].valid || base[v].tag != row.tag,
+                            who,
+                            "duplicate row tag " + check::hex(row.tag) +
+                                " in set " + std::to_string(set));
+            }
+        }
+    }
+}
+
+void
 PairTable::invalidate(sim::Addr miss_line)
 {
     const std::uint32_t set = setIndex(miss_line);

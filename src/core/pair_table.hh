@@ -18,8 +18,10 @@
 #define CORE_PAIR_TABLE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "ckpt/state.hh"
 #include "core/cost.hh"
 #include "core/params.hh"
@@ -96,7 +98,30 @@ class PairTable
         }
     }
 
+    /** Read-only row walk (reference-model resync). */
+    template <typename Fn>
+    void
+    forEachRow(Fn &&fn) const
+    {
+        for (const auto &row : rows_) {
+            if (row.valid)
+                fn(row);
+        }
+    }
+
+    /**
+     * Invariants: every valid row's tag maps to the set it sits in
+     * and appears only once there, successor lists never exceed
+     * NumSucc and never repeat an address (insertSuccessor dedups by
+     * rotation), and no LRU stamp exceeds the stamp counter.
+     * @p who names the owning algorithm in violation messages.
+     */
+    void checkInvariants(check::CheckContext &ctx,
+                         const std::string &who) const;
+
   private:
+    friend struct check::CheckTestPeer;
+
     std::uint32_t setIndex(sim::Addr miss_line) const;
 
     CorrelationParams params_;

@@ -309,4 +309,69 @@ ReplicatedPrefetcher::onPageRemap(sim::Addr old_page, sim::Addr new_page,
     }
 }
 
+void
+ReplicatedPrefetcher::checkInvariants(check::CheckContext &ctx) const
+{
+    const std::string who = "table.Repl";
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        const ReplRow *base =
+            &rows_[static_cast<std::size_t>(set) * params_.assoc];
+        for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+            const ReplRow &row = base[w];
+            if (!row.valid)
+                continue;
+            ctx.require(setIndex(row.tag) == set, who,
+                        "row tag " + check::hex(row.tag) +
+                            " resident in set " + std::to_string(set) +
+                            " but hashes to set " +
+                            std::to_string(setIndex(row.tag)));
+            ctx.require(row.lruStamp <= stampCounter_, who,
+                        "row " + check::hex(row.tag) +
+                            " carries LRU stamp " +
+                            std::to_string(row.lruStamp) +
+                            " beyond the counter " +
+                            std::to_string(stampCounter_));
+            ctx.require(row.levels.size() == params_.numLevels, who,
+                        "row " + check::hex(row.tag) + " has " +
+                            std::to_string(row.levels.size()) +
+                            " levels, configured " +
+                            std::to_string(params_.numLevels));
+            for (std::size_t lvl = 0; lvl < row.levels.size(); ++lvl) {
+                const auto &list = row.levels[lvl];
+                ctx.require(list.size() <= params_.numSucc, who,
+                            "row " + check::hex(row.tag) + " level " +
+                                std::to_string(lvl + 1) + " holds " +
+                                std::to_string(list.size()) +
+                                " successors, NumSucc " +
+                                std::to_string(params_.numSucc));
+                for (std::size_t i = 0; i < list.size(); ++i) {
+                    for (std::size_t j = i + 1; j < list.size(); ++j) {
+                        ctx.require(list[i] != list[j], who,
+                                    "row " + check::hex(row.tag) +
+                                        " level " +
+                                        std::to_string(lvl + 1) +
+                                        " repeats successor " +
+                                        check::hex(list[i]));
+                    }
+                }
+            }
+            for (std::uint32_t v = w + 1; v < params_.assoc; ++v) {
+                ctx.require(!base[v].valid || base[v].tag != row.tag,
+                            who,
+                            "duplicate row tag " + check::hex(row.tag) +
+                                " in set " + std::to_string(set));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < ptrs_.size(); ++i) {
+        const RowPtr &ptr = ptrs_[i];
+        if (!ptr.valid)
+            continue;
+        ctx.require(ptr.index < rows_.size(), who,
+                    "trailing pointer " + std::to_string(i) +
+                        " indexes row " + std::to_string(ptr.index) +
+                        " of " + std::to_string(rows_.size()));
+    }
+}
+
 } // namespace core

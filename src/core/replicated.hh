@@ -70,7 +70,18 @@ class ReplicatedPrefetcher : public CorrelationPrefetcher
     void saveState(ckpt::StateWriter &w) const override;
     void restoreState(ckpt::StateReader &r) override;
 
+    /**
+     * Invariants: valid rows hash to the set they sit in with unique
+     * tags, every level list is bounded by NumSucc with no repeated
+     * address, LRU stamps never exceed the counter, and each trailing
+     * pointer indexes a real row (staleness is legal -- the tag check
+     * skips it -- but an out-of-range index never is).
+     */
+    void checkInvariants(check::CheckContext &ctx) const override;
+
   private:
+    friend struct check::CheckTestPeer;
+
     /** A trailing pointer: row index + the tag it should still hold. */
     struct RowPtr
     {

@@ -148,6 +148,8 @@ UlmtEngine::processNext()
 
     // ---- Learning step.
     algo_->learnStep(obs.line, cost);
+    if (missHook_)
+        missHook_(obs.line);
     const sim::Cycle occupancy = cost.elapsed();
     stats_.occupancyTime.sample(static_cast<double>(occupancy));
     stats_.occupancyBusy.sample(static_cast<double>(cost.busy()));

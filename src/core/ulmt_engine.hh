@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "check/check.hh"
 #include "ckpt/state.hh"
 #include "core/correlation_prefetcher.hh"
 #include "mem/cache.hh"
@@ -96,6 +98,39 @@ class UlmtEngine : public mem::MissObserver
     /** Misses currently waiting in queue 2 (sampling only). */
     std::size_t queue2Depth() const { return queue2_.size(); }
 
+    /** The memory processor's L1 (deep-checker shadow attachment). */
+    mem::Cache &mpCache() { return mpCache_; }
+    const mem::Cache &mpCache() const { return mpCache_; }
+
+    /**
+     * Install a passive hook fired after each processed miss's
+     * Learning step, with the miss line.  The deep checker's oracle
+     * pair table feeds on it; nullptr disables (one compare per
+     * processed miss).
+     */
+    void
+    setMissHook(std::function<void(sim::Addr)> hook)
+    {
+        missHook_ = std::move(hook);
+    }
+
+    /**
+     * Invariants: queue 2 never exceeds the configured depth, the
+     * memory-processor cache is structurally sound with every line's
+     * fillOrigin at its defined default (its fills never set one),
+     * and the algorithm's own table invariants hold.
+     */
+    void
+    checkInvariants(check::CheckContext &ctx) const
+    {
+        ctx.require(queue2_.size() <= tp_.queueDepth, "ulmt",
+                    "queue 2 holds " + std::to_string(queue2_.size()) +
+                        " observations, depth limit " +
+                        std::to_string(tp_.queueDepth));
+        mpCache_.checkInvariants(ctx, sim::ServedBy::Memory);
+        algo_->checkInvariants(ctx);
+    }
+
     /** Register thread/table stats under "ulmt.*". */
     void registerStats(sim::StatRegistry &reg) const;
 
@@ -115,6 +150,8 @@ class UlmtEngine : public mem::MissObserver
     void restoreState(ckpt::StateReader &r);
 
   private:
+    friend struct check::CheckTestPeer;
+
     /**
      * Cost tracker that models execution on the memory processor:
      * instructions at 1 main cycle each (2-issue at 800 MHz), table
@@ -175,6 +212,8 @@ class UlmtEngine : public mem::MissObserver
     std::vector<sim::Addr> scratch_;
     UlmtStats stats_;
     sim::TraceEventBuffer *trace_ = nullptr;
+    /** Deep-checker feed: fired after each miss's Learning step. */
+    std::function<void(sim::Addr)> missHook_;
 };
 
 } // namespace core

@@ -188,6 +188,17 @@ class Hierarchy
     const HierarchyStats &stats() const { return stats_; }
     const mem::Cache &l1() const { return l1_; }
     const mem::Cache &l2() const { return l2_; }
+    /** Mutable cache access (deep-checker shadow attachment only). */
+    mem::Cache &l1() { return l1_; }
+    mem::Cache &l2() { return l2_; }
+
+    /** Structural invariants of both tag arrays. */
+    void
+    checkInvariants(check::CheckContext &ctx) const
+    {
+        l1_.checkInvariants(ctx);
+        l2_.checkInvariants(ctx);
+    }
     const StreamPrefetcher *streamPrefetcher() const
     {
         return streamPfEnabled_ ? &streamPf_ : nullptr;

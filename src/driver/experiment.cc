@@ -21,6 +21,7 @@ baseConfig(const ExperimentOptions &opt)
 std::mutex obsMutex;
 std::unique_ptr<sim::TraceEventWriter> traceWriter;
 std::optional<sim::Cycle> metricsOverride;
+std::optional<check::CheckOptions> checkOverride;
 
 // Process-wide checkpoint hooks (same pattern as the trace writer).
 std::string ckptAtSpec;
@@ -78,6 +79,20 @@ clearMetricsIntervalOverride()
 {
     std::lock_guard<std::mutex> lock(obsMutex);
     metricsOverride.reset();
+}
+
+void
+setCheckOverride(const check::CheckOptions &opts)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    checkOverride = opts;
+}
+
+void
+clearCheckOverride()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    checkOverride.reset();
 }
 
 SystemConfig
@@ -189,6 +204,8 @@ runSampled(const SystemConfig &cfg, const std::string &ckpt_path)
         std::lock_guard<std::mutex> lock(obsMutex);
         if (metricsOverride)
             effective.metricsInterval = *metricsOverride;
+        if (checkOverride)
+            effective.check = *checkOverride;
     }
 
     System sys(effective, *workload);
@@ -213,6 +230,8 @@ runOne(const std::string &app, const SystemConfig &cfg,
         std::lock_guard<std::mutex> lock(obsMutex);
         if (metricsOverride)
             effective.metricsInterval = *metricsOverride;
+        if (checkOverride)
+            effective.check = *checkOverride;
         writer = traceWriter.get();
         ckpt_at = ckptAtSpec;
         ckpt_dir = ckptToDir;

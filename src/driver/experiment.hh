@@ -85,6 +85,16 @@ void setMetricsIntervalOverride(sim::Cycle interval);
 /** Drop the metrics-interval override. */
 void clearMetricsIntervalOverride();
 
+/**
+ * Override SystemConfig::check for all subsequent runOne / runSampled
+ * calls (the bench harness's `--check` flags).  Checking is passive,
+ * so results are bit-identical with it on or off.
+ */
+void setCheckOverride(const check::CheckOptions &opts);
+
+/** Drop the check override. */
+void clearCheckOverride();
+
 // --- Checkpointing ---------------------------------------------------
 
 /**

@@ -196,6 +196,8 @@ resultFingerprint(const RunResult &r)
            m.ulmtPrefetchesDroppedQueueFull);
     fp.add("mem.ulmtPrefetchesDroppedDemandMatch",
            m.ulmtPrefetchesDroppedDemandMatch);
+    fp.add("mem.ulmtPrefetchesDroppedCpuPfMatch",
+           m.ulmtPrefetchesDroppedCpuPfMatch);
     fp.add("mem.tableReads", m.tableReads);
     fp.add("mem.tableWrites", m.tableWrites);
 

@@ -1,6 +1,7 @@
 #include "driver/system.hh"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "ckpt/sim_state.hh"
 #include "sim/logging.hh"
@@ -11,6 +12,27 @@ namespace {
 
 /** Safety valve: no run should need more events than this. */
 constexpr std::uint64_t maxEvents = 4'000'000'000ULL;
+
+/**
+ * The config's check options, unless the config leaves checking off
+ * and the ULMT_CHECK environment variable (1/basic/deep) asks for it
+ * process-wide (the CI hook for a checker-enabled test pass).
+ */
+check::CheckOptions
+effectiveCheckOptions(const SystemConfig &cfg)
+{
+    check::CheckOptions opts = cfg.check;
+    if (opts.enabled())
+        return opts;
+    if (const char *env = std::getenv("ULMT_CHECK")) {
+        const std::string v(env);
+        if (v == "deep")
+            opts.mode = check::CheckMode::Deep;
+        else if (v == "1" || v == "basic")
+            opts.mode = check::CheckMode::Basic;
+    }
+    return opts;
+}
 
 } // namespace
 
@@ -59,6 +81,13 @@ System::System(const SystemConfig &cfg, cpu::TraceSource &source,
     cpu_ = std::make_unique<cpu::MainProcessor>(eq_, cfg_.timing,
                                                 *hier_, source_);
 
+    const check::CheckOptions chk = effectiveCheckOptions(cfg_);
+    if (chk.enabled()) {
+        checker_ = std::make_unique<check::InvariantChecker>(
+            chk, eq_, *ms_, *hier_, engine_.get());
+        checker_->install();
+    }
+
     initObservability();
 }
 
@@ -71,6 +100,8 @@ System::initObservability()
     cpu_->registerStats(registry_);
     if (engine_)
         engine_->registerStats(registry_);
+    if (checker_)
+        checker_->registerStats(registry_);
 
     // Host-side checkpoint costs (0 until a save/restore happens).
     registry_.addGauge("ckpt.save_seconds",
@@ -89,7 +120,8 @@ System::initObservability()
         return double(hier_->mshrInUse(eq_.now()));
     });
     sampler_->addChannel("memsys.queue1_inflight", [this] {
-        return double(ms_->inflightDemandCount());
+        return double(ms_->inflightDemandCount() +
+                      ms_->inflightCpuPrefetchCount());
     });
     sampler_->addChannel("memsys.queue3_inflight", [this] {
         return double(ms_->inflightPrefetchCount());
@@ -234,6 +266,8 @@ System::resolveEvent(const sim::SavedEvent &s)
         return cpu_->stepAction();
       case sim::EventKind::MemDemandDone:
         return ms_->demandDoneAction(s.arg0);
+      case sim::EventKind::MemCpuPfDone:
+        return ms_->cpuPfDoneAction(s.arg0);
       case sim::EventKind::MemPfArrival:
         return ms_->prefetchArrivalAction(s.arg0, s.arg1);
       case sim::EventKind::UlmtProcess:
@@ -411,7 +445,7 @@ System::restoreCheckpoint(const std::string &path)
             e.arg1 = r.u64();
             if (e.kind == 0 ||
                 e.kind > static_cast<std::uint32_t>(
-                             sim::EventKind::UlmtProcess))
+                             sim::EventKind::MemCpuPfDone))
                 throw ckpt::CkptError("corrupt event kind in checkpoint");
             evs.push_back(e);
         }
@@ -420,6 +454,13 @@ System::restoreCheckpoint(const std::string &path)
                           [this](const sim::SavedEvent &s) {
                               return resolveEvent(s);
                           });
+    }
+
+    // The shadows saw none of the restored fills; rebuild them from
+    // the real structures, then prove the restored state is sane.
+    if (checker_) {
+        checker_->resyncDeep();
+        checker_->runChecks();
     }
 
     restored_ = true;
@@ -470,6 +511,8 @@ System::run()
     const auto wall_end = std::chrono::steady_clock::now();
     SIM_ASSERT(drained && cpu_->finished(),
                "simulation did not complete (event limit hit?)");
+    if (checker_)
+        checker_->runChecks();  // final end-of-run walk
 
     RunResult r;
     r.workload = workloadName_;
@@ -517,6 +560,10 @@ System::pageRemap(sim::Addr old_page, sim::Addr new_page,
 {
     if (engine_)
         engine_->pageRemap(old_page, new_page, page_bytes);
+    // A remap rewrites table tags in place; the pair-table oracle has
+    // no notification stream for it, so rebuild from the real state.
+    if (checker_)
+        checker_->resyncDeep();
 }
 
 } // namespace driver

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_checker.hh"
 #include "ckpt/checkpoint.hh"
 #include "core/factory.hh"
 #include "core/ulmt_engine.hh"
@@ -65,6 +66,17 @@ struct SystemConfig
      * determinism fingerprint is identical with it on or off.
      */
     sim::Cycle metricsInterval = 16384;
+    /**
+     * Runtime invariant checking (DESIGN.md section 10).  Off by
+     * default; Basic walks structural invariants every
+     * check.everyEvents executed events, Deep additionally diffs
+     * lockstep reference models.  Checking is passive -- simulated
+     * timing and results are bit-identical with it on or off -- so,
+     * like metricsInterval, it is excluded from configFingerprint().
+     * The ULMT_CHECK environment variable (1/basic/deep) enables it
+     * process-wide when this field is Off.
+     */
+    check::CheckOptions check;
     /** Display name ("NoPref", "Conven4+Repl", ...). */
     std::string label = "NoPref";
 };
@@ -235,6 +247,9 @@ class System
     /** Every component statistic under one dotted namespace. */
     const sim::StatRegistry &statRegistry() const { return registry_; }
 
+    /** The invariant checker, or nullptr when checking is off. */
+    check::InvariantChecker *checker() { return checker_.get(); }
+
     /**
      * Route trace events into @p buf (owned by the caller; must
      * outlive run()).  nullptr -- the default -- disables tracing at
@@ -275,6 +290,7 @@ class System
     std::vector<sim::Addr> missStream_;
     sim::StatRegistry registry_;
     std::unique_ptr<sim::TimeSeriesSampler> sampler_;
+    std::unique_ptr<check::InvariantChecker> checker_;
     sim::TraceEventBuffer *trace_ = nullptr;
 };
 

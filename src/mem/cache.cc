@@ -112,8 +112,15 @@ Cache::insert(sim::Addr addr, sim::Cycle now, sim::Cycle ready_at,
     victim->dirty = false;
     victim->prefetched = false;
     victim->cpuPrefetched = false;
+    // A reused way must not inherit the evicted line's origin: callers
+    // that never set fillOrigin themselves (the memory-thread cache)
+    // would otherwise report stale attribution.  All fills ultimately
+    // come from memory; hierarchy paths that know better overwrite it.
+    victim->fillOrigin = sim::ServedBy::Memory;
     victim->readyAt = ready_at;
     touch(victim);
+    if (shadow_)
+        shadow_->onInsert(line_addr, now, ready_at);
     return victim;
 }
 
@@ -131,8 +138,11 @@ Cache::setAllPending(sim::Addr addr, sim::Cycle now) const
 void
 Cache::invalidate(sim::Addr addr)
 {
-    if (CacheLine *line = find(addr))
+    if (CacheLine *line = find(addr)) {
         line->valid = false;
+        if (shadow_)
+            shadow_->onInvalidate(line->tag);
+    }
 }
 
 void
@@ -142,6 +152,54 @@ Cache::reset()
         line = CacheLine{};
     stampCounter_ = 0;
     stats_ = CacheStats{};
+    if (shadow_)
+        shadow_->onReset();
+}
+
+void
+Cache::checkInvariants(check::CheckContext &ctx,
+                       std::optional<sim::ServedBy> expected_origin) const
+{
+    const std::string who = "cache." + name_;
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        const CacheLine *base = setBase(set);
+        for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+            const CacheLine &line = base[w];
+            if (!line.valid)
+                continue;
+            ctx.require(lineAddr(line.tag) == line.tag, who,
+                        "set " + std::to_string(set) + " way " +
+                            std::to_string(w) + " tag " +
+                            check::hex(line.tag) +
+                            " is not line-aligned");
+            ctx.require(setIndex(line.tag) == set, who,
+                        "tag " + check::hex(line.tag) +
+                            " resident in set " + std::to_string(set) +
+                            " but maps to set " +
+                            std::to_string(setIndex(line.tag)));
+            ctx.require(line.lruStamp <= stampCounter_, who,
+                        "tag " + check::hex(line.tag) +
+                            " carries LRU stamp " +
+                            std::to_string(line.lruStamp) +
+                            " beyond the counter " +
+                            std::to_string(stampCounter_));
+            if (expected_origin) {
+                ctx.require(
+                    line.fillOrigin == *expected_origin, who,
+                    "tag " + check::hex(line.tag) +
+                        " carries a stale fillOrigin (" +
+                        std::to_string(static_cast<int>(
+                            line.fillOrigin)) +
+                        ")");
+            }
+            for (std::uint32_t v = w + 1; v < geom_.assoc; ++v) {
+                ctx.require(!base[v].valid || base[v].tag != line.tag,
+                            who,
+                            "duplicate tag " + check::hex(line.tag) +
+                                " in set " + std::to_string(set));
+            }
+        }
+    }
 }
 
 void

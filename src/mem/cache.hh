@@ -15,15 +15,41 @@
 #define MEM_CACHE_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "ckpt/state.hh"
 #include "mem/timing_params.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace mem {
+
+/**
+ * Passive observer of a Cache's replacement-relevant transitions,
+ * used by the deep checker's reference LRU model.  Notifications fire
+ * synchronously from the mutating call; implementations MUST NOT
+ * touch the cache back.  All hooks are behind a null-pointer guard,
+ * so an unattached cache pays one compare per operation.
+ */
+class CacheShadow
+{
+  public:
+    virtual ~CacheShadow() = default;
+    /** A resident line was promoted to MRU.  Fires for the internal
+     *  touch inside insert() too (before onInsert); implementations
+     *  ignore addresses they do not know yet. */
+    virtual void onTouch(sim::Addr line_addr) = 0;
+    /** A line was installed (victim selection already happened). */
+    virtual void onInsert(sim::Addr line_addr, sim::Cycle now,
+                          sim::Cycle ready_at) = 0;
+    /** A resident line was dropped. */
+    virtual void onInvalidate(sim::Addr line_addr) = 0;
+    /** The whole array was cleared. */
+    virtual void onReset() = 0;
+};
 
 /** Metadata of one cache line. */
 struct CacheLine
@@ -89,7 +115,16 @@ class Cache
     const CacheLine *find(sim::Addr addr) const;
 
     /** Promote a line to MRU. */
-    void touch(CacheLine *line) { line->lruStamp = ++stampCounter_; }
+    void
+    touch(CacheLine *line)
+    {
+        line->lruStamp = ++stampCounter_;
+        if (shadow_)
+            shadow_->onTouch(line->tag);
+    }
+
+    /** Attach/detach the deep checker's shadow (nullptr = off). */
+    void setShadow(CacheShadow *shadow) { shadow_ = shadow; }
 
     /**
      * Look up and update stats/LRU: the common demand-access path.
@@ -138,7 +173,33 @@ class Cache
      */
     void restoreState(ckpt::StateReader &r);
 
+    /** Read-only walk over every way: fn(set, way, line). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (std::uint32_t set = 0; set < numSets_; ++set) {
+            const CacheLine *base = setBase(set);
+            for (std::uint32_t w = 0; w < geom_.assoc; ++w)
+                fn(set, w, base[w]);
+        }
+    }
+
+    /**
+     * Invariants: every valid line's tag is line-aligned and maps to
+     * the set it sits in, no set holds the same tag twice, and no LRU
+     * stamp exceeds the stamp counter.  When @p expected_origin is
+     * given, every valid line must carry that fillOrigin — the
+     * memory-thread cache uses this to pin the "insert resets
+     * fillOrigin" fix.
+     */
+    void checkInvariants(
+        check::CheckContext &ctx,
+        std::optional<sim::ServedBy> expected_origin = {}) const;
+
   private:
+    friend struct check::CheckTestPeer;
+
     std::uint32_t setIndex(sim::Addr addr) const;
     CacheLine *setBase(std::uint32_t set);
     const CacheLine *setBase(std::uint32_t set) const;
@@ -149,6 +210,7 @@ class Cache
     std::vector<CacheLine> lines_;
     std::uint64_t stampCounter_ = 0;
     CacheStats stats_;
+    CacheShadow *shadow_ = nullptr;
 };
 
 } // namespace mem

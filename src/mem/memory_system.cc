@@ -48,8 +48,14 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
         observedFlowId_ = 0;
     }
 
-    // Track queue-1 occupancy for the prefetch cross-match.
-    ++inflightDemand_[line_addr];
+    // Track queue-1 occupancy for the prefetch cross-match.  Demand
+    // and CPU-prefetch entries live in separate maps so a later
+    // cross-match drop is attributed to the right cause (Figure 3)
+    // and completions carry the matching event tag.
+    if (demand)
+        ++inflightDemand_[line_addr];
+    else
+        ++inflightCpuPf_[line_addr];
 
     // Demand fetches outrank all prefetch traffic at the DRAM.
     const DramAccessResult dram =
@@ -66,8 +72,12 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
                          "memsys", issue, complete - issue,
                          sim::traceTidMemsys);
 
-    eq_.schedule(complete, sim::EventKind::MemDemandDone, line_addr, 0,
-                 demandDoneAction(line_addr));
+    if (demand)
+        eq_.schedule(complete, sim::EventKind::MemDemandDone, line_addr,
+                     0, demandDoneAction(line_addr));
+    else
+        eq_.schedule(complete, sim::EventKind::MemCpuPfDone, line_addr,
+                     0, cpuPfDoneAction(line_addr));
     return complete;
 }
 
@@ -80,6 +90,18 @@ MemorySystem::demandDoneAction(sim::Addr line_addr)
                    "in-flight demand entry vanished");
         if (--it->second == 0)
             inflightDemand_.erase(it);
+    };
+}
+
+sim::EventQueue::Action
+MemorySystem::cpuPfDoneAction(sim::Addr line_addr)
+{
+    return [this, line_addr] {
+        auto it = inflightCpuPf_.find(line_addr);
+        SIM_ASSERT(it != inflightCpuPf_.end(),
+                   "in-flight CPU-prefetch entry vanished");
+        if (--it->second == 0)
+            inflightCpuPf_.erase(it);
     };
 }
 
@@ -101,6 +123,15 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         ++stats_.ulmtPrefetchesDroppedDemandMatch;
         if (trace_)
             trace_->instant("pf_drop_demand_match", "memsys", ready,
+                            sim::traceTidMemsys);
+        return false;
+    }
+    // The same cross-match against an in-flight CPU prefetch: equally
+    // redundant, but attributed to its own cause.
+    if (inflightCpuPf_.count(line_addr)) {
+        ++stats_.ulmtPrefetchesDroppedCpuPfMatch;
+        if (trace_)
+            trace_->instant("pf_drop_cpu_pf_match", "memsys", ready,
                             sim::traceTidMemsys);
         return false;
     }
@@ -218,6 +249,8 @@ MemorySystem::registerStats(sim::StatRegistry &reg) const
                    &stats_.ulmtPrefetchesDroppedQueueFull);
     reg.addCounter("memsys.queue3.drops.demand_match",
                    &stats_.ulmtPrefetchesDroppedDemandMatch);
+    reg.addCounter("memsys.queue3.drops.cpu_pf_match",
+                   &stats_.ulmtPrefetchesDroppedCpuPfMatch);
     reg.addCounter("memsys.table.reads", &stats_.tableReads);
     reg.addCounter("memsys.table.writes", &stats_.tableWrites);
     reg.addSample("memsys.table.wait_cycles", &tableWait_);
@@ -239,6 +272,7 @@ MemorySystem::saveState(ckpt::StateWriter &w) const
     w.u64(stats_.ulmtPrefetchesDroppedFilter);
     w.u64(stats_.ulmtPrefetchesDroppedQueueFull);
     w.u64(stats_.ulmtPrefetchesDroppedDemandMatch);
+    w.u64(stats_.ulmtPrefetchesDroppedCpuPfMatch);
     w.u64(stats_.tableReads);
     w.u64(stats_.tableWrites);
     ckpt::save(w, tableWait_);
@@ -251,6 +285,15 @@ MemorySystem::saveState(ckpt::StateWriter &w) const
     std::sort(demand.begin(), demand.end());
     w.u64(demand.size());
     for (const auto &[line, count] : demand) {
+        w.u64(line);
+        w.u32(count);
+    }
+
+    std::vector<std::pair<sim::Addr, std::uint32_t>> cpu_pf(
+        inflightCpuPf_.begin(), inflightCpuPf_.end());
+    std::sort(cpu_pf.begin(), cpu_pf.end());
+    w.u64(cpu_pf.size());
+    for (const auto &[line, count] : cpu_pf) {
         w.u64(line);
         w.u32(count);
     }
@@ -278,6 +321,7 @@ MemorySystem::restoreState(ckpt::StateReader &r)
     stats_.ulmtPrefetchesDroppedFilter = r.u64();
     stats_.ulmtPrefetchesDroppedQueueFull = r.u64();
     stats_.ulmtPrefetchesDroppedDemandMatch = r.u64();
+    stats_.ulmtPrefetchesDroppedCpuPfMatch = r.u64();
     stats_.tableReads = r.u64();
     stats_.tableWrites = r.u64();
     ckpt::restore(r, tableWait_);
@@ -290,6 +334,13 @@ MemorySystem::restoreState(ckpt::StateReader &r)
         inflightDemand_[line] = r.u32();
     }
 
+    inflightCpuPf_.clear();
+    const std::uint64_t nCpuPf = r.u64();
+    for (std::uint64_t i = 0; i < nCpuPf; ++i) {
+        const sim::Addr line = r.u64();
+        inflightCpuPf_[line] = r.u32();
+    }
+
     inflightPf_.clear();
     const std::uint64_t nPf = r.u64();
     for (std::uint64_t i = 0; i < nPf; ++i) {
@@ -299,6 +350,90 @@ MemorySystem::restoreState(ckpt::StateReader &r)
 
     bus_.restoreState(r);
     dram_.restoreState(r);
+}
+
+void
+MemorySystem::checkInvariants(
+    check::CheckContext &ctx,
+    const std::vector<sim::SavedEvent> &pending) const
+{
+    // Recount the pending completion events by kind.
+    std::unordered_map<sim::Addr, std::uint32_t> demand_events;
+    std::unordered_map<sim::Addr, std::uint32_t> cpu_pf_events;
+    std::unordered_map<sim::Addr, sim::Cycle> pf_events;
+    for (const sim::SavedEvent &e : pending) {
+        switch (static_cast<sim::EventKind>(e.kind)) {
+          case sim::EventKind::MemDemandDone:
+            ++demand_events[e.arg0];
+            break;
+          case sim::EventKind::MemCpuPfDone:
+            ++cpu_pf_events[e.arg0];
+            break;
+          case sim::EventKind::MemPfArrival:
+            if (!ctx.require(pf_events.count(e.arg0) == 0, "memsys",
+                             "two MemPfArrival events pending for " +
+                                 check::hex(e.arg0)))
+                break;
+            pf_events[e.arg0] = e.arg1;
+            break;
+          default:
+            break;
+        }
+    }
+
+    const auto diffCounts =
+        [&ctx](const std::unordered_map<sim::Addr, std::uint32_t> &map,
+               const std::unordered_map<sim::Addr, std::uint32_t> &evs,
+               const std::string &what) {
+            for (const auto &[line, count] : map) {
+                auto it = evs.find(line);
+                const std::uint32_t have =
+                    it == evs.end() ? 0 : it->second;
+                ctx.require(count > 0, "memsys",
+                            what + " map holds a zero count for " +
+                                check::hex(line));
+                ctx.require(have == count, "memsys",
+                            what + " entry " + check::hex(line) +
+                                " has " + std::to_string(count) +
+                                " in flight but " +
+                                std::to_string(have) +
+                                " pending completion event(s)");
+            }
+            for (const auto &[line, have] : evs) {
+                (void)have;
+                ctx.require(map.count(line) != 0, "memsys",
+                            what + " completion event pending for " +
+                                check::hex(line) +
+                                " with no in-flight entry");
+            }
+        };
+    diffCounts(inflightDemand_, demand_events, "queue-1 demand");
+    diffCounts(inflightCpuPf_, cpu_pf_events, "queue-1 cpu-prefetch");
+
+    ctx.require(inflightPf_.size() <= tp_.queueDepth, "memsys",
+                "queue 3 holds " + std::to_string(inflightPf_.size()) +
+                    " prefetches, depth limit " +
+                    std::to_string(tp_.queueDepth));
+    for (const auto &[line, arrival] : inflightPf_) {
+        auto it = pf_events.find(line);
+        if (!ctx.require(it != pf_events.end(), "memsys",
+                         "queue-3 entry " + check::hex(line) +
+                             " has no pending MemPfArrival event"))
+            continue;
+        ctx.require(it->second == arrival, "memsys",
+                    "queue-3 entry " + check::hex(line) +
+                        " records arrival " + std::to_string(arrival) +
+                        " but the event says " +
+                        std::to_string(it->second));
+    }
+    for (const auto &[line, arrival] : pf_events) {
+        (void)arrival;
+        ctx.require(inflightPf_.count(line) != 0, "memsys",
+                    "MemPfArrival pending for " + check::hex(line) +
+                        " with no queue-3 entry");
+    }
+
+    filter_.checkInvariants(ctx);
 }
 
 } // namespace mem

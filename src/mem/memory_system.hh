@@ -23,7 +23,9 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
+#include "check/check.hh"
 #include "ckpt/state.hh"
 #include "mem/bus.hh"
 #include "sim/stats.hh"
@@ -65,6 +67,9 @@ struct MemorySystemStats
     std::uint64_t ulmtPrefetchesDroppedFilter = 0;
     std::uint64_t ulmtPrefetchesDroppedQueueFull = 0;
     std::uint64_t ulmtPrefetchesDroppedDemandMatch = 0;
+    /** Dropped on a cross-match against an in-flight CPU prefetch
+     *  (previously misattributed to demand_match). */
+    std::uint64_t ulmtPrefetchesDroppedCpuPfMatch = 0;
     std::uint64_t tableReads = 0;
     std::uint64_t tableWrites = 0;
 };
@@ -149,10 +154,16 @@ class MemorySystem
     const PrefetchFilter &filter() const { return filter_; }
     const TimingParams &params() const { return tp_; }
 
-    /** Demand/CPU-prefetch fetches currently in flight (queue 1). */
+    /** Demand fetches currently in flight (queue 1). */
     std::size_t inflightDemandCount() const
     {
         return inflightDemand_.size();
+    }
+
+    /** CPU-prefetch fetches currently in flight (queue 1). */
+    std::size_t inflightCpuPrefetchCount() const
+    {
+        return inflightCpuPf_.size();
     }
 
     /** ULMT prefetches currently in flight (queue 3). */
@@ -181,12 +192,27 @@ class MemorySystem
     void saveState(ckpt::StateWriter &w) const;
     void restoreState(ckpt::StateReader &r);
 
-    /** The queue-1 completion closure (shared by run and restore). */
+    /** The queue-1 demand completion closure (run and restore). */
     sim::EventQueue::Action demandDoneAction(sim::Addr line_addr);
+
+    /** The queue-1 CPU-prefetch completion closure (run and restore). */
+    sim::EventQueue::Action cpuPfDoneAction(sim::Addr line_addr);
 
     /** The queue-3 arrival closure (shared by run and restore). */
     sim::EventQueue::Action prefetchArrivalAction(sim::Addr line_addr,
                                                   sim::Cycle arrival);
+
+    /**
+     * Invariants: every in-flight entry in queues 1 and 3 has exactly
+     * the matching pending completion events (MemDemandDone /
+     * MemCpuPfDone counts per line, one MemPfArrival per prefetched
+     * line with the recorded arrival cycle), and queue 3 never exceeds
+     * the configured depth.  @p pending is the event queue's saved
+     * view at the same instant.
+     */
+    void checkInvariants(check::CheckContext &ctx,
+                         const std::vector<sim::SavedEvent> &pending)
+        const;
 
     /** Emit spans into @p t (propagates to the bus and the DRAM). */
     void
@@ -198,6 +224,8 @@ class MemorySystem
     }
 
   private:
+    friend struct check::CheckTestPeer;
+
     sim::EventQueue &eq_;
     const TimingParams &tp_;
     Bus bus_;
@@ -207,8 +235,11 @@ class MemorySystem
     bool verbose_ = false;
     PushCallback push_;
 
-    /** Demand/CPU-prefetch fetches currently in flight (queue 1). */
+    /** Demand fetches currently in flight (queue 1). */
     std::unordered_map<sim::Addr, std::uint32_t> inflightDemand_;
+    /** CPU-prefetch fetches in flight (queue 1, tracked separately so
+     *  cross-match drops are attributed per Figure 3). */
+    std::unordered_map<sim::Addr, std::uint32_t> inflightCpuPf_;
     /** ULMT prefetches in flight: line -> arrival cycle (queue 3). */
     std::unordered_map<sim::Addr, sim::Cycle> inflightPf_;
 

@@ -15,6 +15,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "check/check.hh"
 #include "ckpt/state.hh"
 #include "sim/types.hh"
 
@@ -35,8 +36,13 @@ class PrefetchFilter
     bool
     admit(sim::Addr line_addr)
     {
-        if (capacity_ == 0)
-            return true;  // filter disabled
+        if (capacity_ == 0) {
+            // Filter disabled: every request passes, but it still
+            // counts as an admit so the admit/drop gauges (and the
+            // hit-rate series derived from them) never divide 0 by 0.
+            ++admits_;
+            return true;
+        }
         auto it = present_.find(line_addr);
         if (it != present_.end() && it->second > 0) {
             ++drops_;
@@ -103,7 +109,43 @@ class PrefetchFilter
         }
     }
 
+    /**
+     * Invariants: the FIFO never exceeds its capacity, and present_
+     * is exactly the FIFO's per-address multiplicity count (no zero
+     * or orphaned entries in either direction).
+     */
+    void
+    checkInvariants(check::CheckContext &ctx) const
+    {
+        ctx.require(capacity_ == 0 || fifo_.size() <= capacity_,
+                    "filter",
+                    "FIFO holds " + std::to_string(fifo_.size()) +
+                        " entries, capacity " +
+                        std::to_string(capacity_));
+        std::unordered_map<sim::Addr, std::uint32_t> recount;
+        for (sim::Addr a : fifo_)
+            ++recount[a];
+        for (const auto &[addr, count] : present_) {
+            ctx.require(count > 0, "filter",
+                        "present_ holds a zero count for " +
+                            check::hex(addr));
+            auto it = recount.find(addr);
+            ctx.require(it != recount.end() && it->second == count,
+                        "filter",
+                        "present_ count for " + check::hex(addr) +
+                            " disagrees with the FIFO");
+        }
+        for (const auto &[addr, count] : recount) {
+            (void)count;
+            ctx.require(present_.count(addr) != 0, "filter",
+                        "FIFO entry " + check::hex(addr) +
+                            " missing from present_");
+        }
+    }
+
   private:
+    friend struct check::CheckTestPeer;
+
     std::uint32_t capacity_;
     std::deque<sim::Addr> fifo_;
     std::unordered_map<sim::Addr, std::uint32_t> present_;

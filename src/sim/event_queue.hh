@@ -37,6 +37,8 @@ enum class EventKind : std::uint32_t {
     MemPfArrival,      //!< MemorySystem prefetch arrival
                        //!< (arg0=line, arg1=arrival cycle)
     UlmtProcess,       //!< UlmtEngine::processNext kick (no args)
+    MemCpuPfDone,      //!< MemorySystem CPU-prefetch completion
+                       //!< (arg0=line)
 };
 
 /** A pending event in serializable form. */
@@ -94,6 +96,34 @@ class EventQueue
     {
         ticker_ = nullptr;
         tickDue_ = neverCycle;
+    }
+
+    /**
+     * Install a passive inspector that fires between events every
+     * @p every_events executed events.  Like the ticker it runs at a
+     * consistent instant (no action half-applied) and MUST NOT mutate
+     * simulated state; unlike the ticker it is keyed to the event
+     * count, not the clock, so a fixed cadence costs the same work on
+     * sparse and dense timelines.  The invariant checker hangs off
+     * this hook; it may throw to abort a run that failed a check.
+     * The disabled path costs a single comparison per event.
+     */
+    void
+    setInspector(std::uint64_t every_events, std::function<void()> fn)
+    {
+        SIM_ASSERT(every_events > 0, "inspector needs a nonzero cadence");
+        SIM_ASSERT(fn != nullptr, "null inspector");
+        inspector_ = std::move(fn);
+        inspectEvery_ = every_events;
+        inspectDue_ = executed_ + every_events;
+    }
+
+    /** Remove the inspector (one compare per event when disabled). */
+    void
+    clearInspector()
+    {
+        inspector_ = nullptr;
+        inspectDue_ = UINT64_MAX;
     }
 
     /**
@@ -181,6 +211,8 @@ class EventQueue
         // ticker is passive observability, excluded from fingerprints.)
         if (ticker_)
             tickDue_ = now_ + tickInterval_;
+        if (inspector_)
+            inspectDue_ = executed_ + inspectEvery_;
     }
 
     /**
@@ -225,6 +257,10 @@ class EventQueue
             if (now_ >= tickDue_) {
                 ticker_(now_);
                 tickDue_ = now_ + tickInterval_;
+            }
+            if (executed_ >= inspectDue_) {
+                inspector_();
+                inspectDue_ = executed_ + inspectEvery_;
             }
             if (breakCheck_ && breakCheck_(now_)) {
                 breakHit_ = true;
@@ -319,6 +355,10 @@ class EventQueue
     Cycle tickDue_ = neverCycle;
     Cycle tickInterval_ = 0;
     std::function<void(Cycle)> ticker_;
+    /** Passive event-count inspector (UINT64_MAX = disabled). */
+    std::uint64_t inspectDue_ = UINT64_MAX;
+    std::uint64_t inspectEvery_ = 0;
+    std::function<void()> inspector_;
     /** Between-event stop predicate (checkpoint trigger). */
     std::function<bool(Cycle)> breakCheck_;
     bool breakHit_ = false;
