@@ -28,6 +28,7 @@ parseArgs(int argc, char **argv, double default_scale)
     Options opt;
     opt.scale = default_scale;
     bool scale_seen = false;
+    bool cores_seen = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--jobs=", 7) == 0) {
@@ -88,6 +89,18 @@ parseArgs(int argc, char **argv, double default_scale)
             if (arg[15] == '\0')
                 sim::fatal("empty --restore-from path");
             opt.restoreFrom = arg + 15;
+        } else if (std::strncmp(arg, "--cores=", 8) == 0) {
+            char *end = nullptr;
+            const long v = std::strtol(arg + 8, &end, 10);
+            if (*end != '\0' || v < 1 ||
+                v > static_cast<long>(sim::maxCores))
+                sim::fatal("bad --cores value '%s' (expected 1..%u)",
+                           arg + 8, unsigned(sim::maxCores));
+            opt.cores = static_cast<unsigned>(v);
+            cores_seen = true;
+        } else if (std::strncmp(arg, "--ulmt-mode=", 12) == 0) {
+            opt.ulmtMode = core::parseUlmtMode(arg + 12);
+            cores_seen = true;
         } else if (std::strcmp(arg, "--list-workloads") == 0) {
             for (const std::string &w : driver::listWorkloads())
                 std::printf("%s\n", w.c_str());
@@ -102,7 +115,9 @@ parseArgs(int argc, char **argv, double default_scale)
                        "[--trace-events=PATH] [--metrics-interval=N] "
                        "[--check[=basic|deep]] [--check-interval=N] "
                        "[--checkpoint-at=SPEC] [--checkpoint-to=DIR] "
-                       "[--restore-from=PATH] [--list-workloads])",
+                       "[--restore-from=PATH] [--cores=N] "
+                       "[--ulmt-mode=shared|percore|sharded] "
+                       "[--list-workloads])",
                        arg);
         }
     }
@@ -119,6 +134,8 @@ parseArgs(int argc, char **argv, double default_scale)
         driver::setCheckpointAt(opt.checkpointAt);
     if (!opt.checkpointTo.empty())
         driver::setCheckpointTo(opt.checkpointTo);
+    if (cores_seen)
+        driver::setCoresOverride(opt.cores, opt.ulmtMode);
     if (!opt.restoreFrom.empty()) {
         // Validate up front so a bad path or corrupt snapshot fails
         // before the sweep starts, with a clean diagnostic.
@@ -141,9 +158,13 @@ Harness::Harness(std::string name, const Options &opt)
 void
 Harness::record(const driver::RunResult &r)
 {
+    const unsigned cores =
+        r.coreProc.empty() ? 1u
+                           : static_cast<unsigned>(r.coreProc.size());
     runs_.push_back(Run{r.workload, r.label, r.source, r.wallSeconds,
                         r.eventsExecuted, r.cycles, r.ckptSaveSeconds,
-                        r.ckptRestoreSeconds, r.ckptBytes, r.metrics});
+                        r.ckptRestoreSeconds, r.ckptBytes, cores,
+                        r.metrics});
 }
 
 void
@@ -297,6 +318,10 @@ Harness::writeJson() const
                               : 0.0);
         out += sim::strformat(", \"sim_cycles\": %llu",
                               (unsigned long long)r.simCycles);
+        // Core count only on multicore runs, so single-core benches
+        // keep the established schema byte-for-byte.
+        if (r.cores > 1)
+            out += sim::strformat(", \"cores\": %u", r.cores);
         // Checkpoint costs only when the run actually checkpointed,
         // so runs without one keep the established schema.
         if (r.ckptSaveSeconds > 0.0 || r.ckptRestoreSeconds > 0.0 ||
@@ -384,9 +409,70 @@ Harness::writeJson() const
     }
     std::fwrite(out.data(), 1, out.size(), f);
     std::fclose(f);
+    writeThroughputJson();
     std::printf("\n[bench] wrote %s (%.2fs total, %u jobs)\n",
                 path.c_str(), total, driver::runnerJobs());
     return path;
+}
+
+void
+Harness::writeThroughputJson() const
+{
+    // The host-side throughput summary of this bench invocation: how
+    // fast the simulator itself ran each configuration.  Every bench
+    // rewrites the file, so it always describes the latest invocation
+    // (CI archives it next to the bench's own JSON).
+    std::uint64_t total_events = 0;
+    double total_wall = 0.0;
+    std::string out = "{\n  \"bench\": ";
+    appendEscaped(out, name_);
+    out += ",\n";
+    out += provenanceJson();
+    out += "  \"throughput\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        const Run &r = runs_[i];
+        total_events += r.events;
+        total_wall += r.wallSeconds;
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"workload\": ";
+        appendEscaped(out, r.workload);
+        out += ", \"config\": ";
+        appendEscaped(out, r.label);
+        if (r.cores > 1)
+            out += sim::strformat(", \"cores\": %u", r.cores);
+        out += sim::strformat(", \"events\": %llu",
+                              (unsigned long long)r.events);
+        out += ", \"wall_seconds\": " + jsonNumber(r.wallSeconds);
+        out += ", \"events_per_sec\": " +
+               jsonNumber(r.wallSeconds > 0.0
+                              ? static_cast<double>(r.events) /
+                                    r.wallSeconds
+                              : 0.0);
+        out += "}";
+    }
+    out += runs_.empty() ? "],\n" : "\n  ],\n";
+    out += sim::strformat("  \"events_total\": %llu,\n",
+                          (unsigned long long)total_events);
+    out += "  \"wall_seconds_sim\": " + jsonNumber(total_wall) + ",\n";
+    out += "  \"events_per_sec_overall\": " +
+           jsonNumber(total_wall > 0.0
+                          ? static_cast<double>(total_events) /
+                                total_wall
+                          : 0.0) +
+           "\n}\n";
+
+    std::string path = "BENCH_throughput.json";
+    if (const char *dir = std::getenv("ULMT_BENCH_DIR")) {
+        if (*dir)
+            path = std::string(dir) + "/" + path;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        sim::warn("cannot write %s", path.c_str());
+        return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
 }
 
 } // namespace bench

@@ -76,6 +76,10 @@ struct Options
     std::string checkpointTo;
     /** Restore every run from this snapshot; empty = off. */
     std::string restoreFrom;
+    /** Main processors per simulated machine (`--cores=N`). */
+    unsigned cores = 1;
+    /** ULMT serving mode (`--ulmt-mode=shared|percore|sharded`). */
+    core::UlmtMode ulmtMode = core::UlmtMode::Shared;
 
     /** The bench's workload list: the override, or the nine apps. */
     const std::vector<std::string> &appList() const;
@@ -96,6 +100,9 @@ struct Options
  * `--checkpoint-at=SPEC` snapshots every run after SPEC ("<N>" demand
  * L2 misses, "<N>c" at cycle N) into `--checkpoint-to=DIR`;
  * `--restore-from=PATH` resumes every run from a snapshot;
+ * `--cores=N` runs every configuration on an N-core machine and
+ * `--ulmt-mode=shared|percore|sharded` picks how its memory-side
+ * service is shared among the cores;
  * `--list-workloads` prints the registered workload names and exits.
  */
 Options parseArgs(int argc, char **argv, double default_scale);
@@ -116,7 +123,12 @@ class Harness
     /** Report a figure-level metric (average speedup, coverage, ...). */
     void metric(const std::string &key, double value);
 
-    /** Write BENCH_<name>.json; returns the path written. */
+    /**
+     * Write BENCH_<name>.json; returns the path written.  Also emits
+     * BENCH_throughput.json, the host-side throughput summary of this
+     * invocation: one {workload, config, events, wall_seconds,
+     * events_per_sec} row per run plus the aggregate events/sec.
+     */
     std::string writeJson() const;
 
   private:
@@ -131,8 +143,11 @@ class Harness
         double ckptSaveSeconds;
         double ckptRestoreSeconds;
         std::uint64_t ckptBytes;
+        unsigned cores;
         sim::TimeSeriesData metrics;
     };
+
+    void writeThroughputJson() const;
 
     std::string name_;
     Options opt_;

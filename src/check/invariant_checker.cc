@@ -1,6 +1,7 @@
 #include "check/invariant_checker.hh"
 
 #include <string>
+#include <utility>
 
 namespace check {
 
@@ -9,7 +10,19 @@ InvariantChecker::InvariantChecker(const CheckOptions &opts,
                                    mem::MemorySystem &ms,
                                    cpu::Hierarchy &hier,
                                    core::UlmtEngine *engine)
-    : opts_(opts), eq_(eq), ms_(ms), hier_(hier), engine_(engine)
+    : InvariantChecker(
+          opts, eq, ms, std::vector<cpu::Hierarchy *>{&hier},
+          engine ? std::vector<core::UlmtEngine *>{engine}
+                 : std::vector<core::UlmtEngine *>{})
+{
+}
+
+InvariantChecker::InvariantChecker(
+    const CheckOptions &opts, sim::EventQueue &eq,
+    mem::MemorySystem &ms, std::vector<cpu::Hierarchy *> hiers,
+    std::vector<core::UlmtEngine *> engines)
+    : opts_(opts), eq_(eq), ms_(ms), hiers_(std::move(hiers)),
+      engines_(std::move(engines))
 {
 }
 
@@ -18,11 +31,13 @@ InvariantChecker::~InvariantChecker()
     if (!installed_)
         return;
     eq_.clearInspector();
-    hier_.l1().setShadow(nullptr);
-    hier_.l2().setShadow(nullptr);
-    if (engine_) {
-        engine_->mpCache().setShadow(nullptr);
-        engine_->setMissHook(nullptr);
+    for (cpu::Hierarchy *h : hiers_) {
+        h->l1().setShadow(nullptr);
+        h->l2().setShadow(nullptr);
+    }
+    for (core::UlmtEngine *e : engines_) {
+        e->mpCache().setShadow(nullptr);
+        e->setMissHook(nullptr);
     }
 }
 
@@ -34,18 +49,33 @@ InvariantChecker::install()
     if (!opts_.deep())
         return;
 
-    l1Ref_ = std::make_unique<RefLruCache>(hier_.l1(), "l1");
-    l2Ref_ = std::make_unique<RefLruCache>(hier_.l2(), "l2");
-    hier_.l1().setShadow(l1Ref_.get());
-    hier_.l2().setShadow(l2Ref_.get());
-    if (engine_) {
-        mpRef_ = std::make_unique<RefLruCache>(engine_->mpCache(),
-                                               "mp_cache");
-        engine_->mpCache().setShadow(mpRef_.get());
-        // The pair-table oracle understands the plain Base/Chain
-        // access pattern; wrapped or replicated algorithms keep the
-        // structural walks only.
-        core::CorrelationPrefetcher &algo = engine_->algorithm();
+    const bool multi = hiers_.size() > 1;
+    for (std::size_t c = 0; c < hiers_.size(); ++c) {
+        const std::string p =
+            multi ? "cpu." + std::to_string(c) + "." : "";
+        l1Refs_.push_back(
+            std::make_unique<RefLruCache>(hiers_[c]->l1(), p + "l1"));
+        l2Refs_.push_back(
+            std::make_unique<RefLruCache>(hiers_[c]->l2(), p + "l2"));
+        hiers_[c]->l1().setShadow(l1Refs_[c].get());
+        hiers_[c]->l2().setShadow(l2Refs_[c].get());
+    }
+    for (core::UlmtEngine *e : engines_) {
+        const std::string p =
+            engines_.size() > 1
+                ? "ulmt." + std::to_string(e->engineId()) + "."
+                : "";
+        mpRefs_.push_back(std::make_unique<RefLruCache>(
+            e->mpCache(), p + "mp_cache"));
+        e->mpCache().setShadow(mpRefs_.back().get());
+    }
+    // The pair-table oracle understands the plain Base/Chain access
+    // pattern of one table fed by one observation stream; sharded or
+    // per-core configurations (and wrapped algorithms: Seq*,
+    // composites, Repl) keep the structural walks only.
+    if (engines_.size() == 1 && engines_[0]->numShards() == 1) {
+        core::UlmtEngine *e = engines_[0];
+        core::CorrelationPrefetcher &algo = e->algorithm();
         if (auto *base = dynamic_cast<core::BasePrefetcher *>(&algo))
             pairRef_ = std::make_unique<RefPairTable>(base->table(), 0);
         else if (auto *chain =
@@ -53,7 +83,7 @@ InvariantChecker::install()
             pairRef_ = std::make_unique<RefPairTable>(chain->table(),
                                                       chain->levels());
         if (pairRef_) {
-            engine_->setMissHook([this](sim::Addr miss_line) {
+            e->setMissHook([this](sim::Addr miss_line) {
                 pairRef_->observeMiss(miss_line);
             });
         }
@@ -64,14 +94,14 @@ InvariantChecker::install()
 void
 InvariantChecker::resyncDeep()
 {
-    if (l1Ref_)
-        l1Ref_->resync(hier_.l1());
-    if (l2Ref_)
-        l2Ref_->resync(hier_.l2());
-    if (mpRef_ && engine_)
-        mpRef_->resync(engine_->mpCache());
-    if (pairRef_ && engine_) {
-        core::CorrelationPrefetcher &algo = engine_->algorithm();
+    for (std::size_t c = 0; c < l1Refs_.size(); ++c) {
+        l1Refs_[c]->resync(hiers_[c]->l1());
+        l2Refs_[c]->resync(hiers_[c]->l2());
+    }
+    for (std::size_t i = 0; i < mpRefs_.size(); ++i)
+        mpRefs_[i]->resync(engines_[i]->mpCache());
+    if (pairRef_) {
+        core::CorrelationPrefetcher &algo = engines_[0]->algorithm();
         if (auto *base = dynamic_cast<core::BasePrefetcher *>(&algo))
             pairRef_->resync(base->table(), base->learner());
         else if (auto *chain =
@@ -85,19 +115,21 @@ InvariantChecker::runChecks()
 {
     CheckContext ctx;
     ms_.checkInvariants(ctx, eq_.saveEvents());
-    hier_.checkInvariants(ctx);
-    if (engine_)
-        engine_->checkInvariants(ctx);
+    for (cpu::Hierarchy *h : hiers_)
+        h->checkInvariants(ctx);
+    for (core::UlmtEngine *e : engines_)
+        e->checkInvariants(ctx);
 
     if (opts_.deep()) {
-        if (l1Ref_)
-            l1Ref_->diff(hier_.l1(), ctx);
-        if (l2Ref_)
-            l2Ref_->diff(hier_.l2(), ctx);
-        if (mpRef_ && engine_)
-            mpRef_->diff(engine_->mpCache(), ctx);
-        if (pairRef_ && engine_) {
-            core::CorrelationPrefetcher &algo = engine_->algorithm();
+        for (std::size_t c = 0; c < l1Refs_.size(); ++c) {
+            l1Refs_[c]->diff(hiers_[c]->l1(), ctx);
+            l2Refs_[c]->diff(hiers_[c]->l2(), ctx);
+        }
+        for (std::size_t i = 0; i < mpRefs_.size(); ++i)
+            mpRefs_[i]->diff(engines_[i]->mpCache(), ctx);
+        if (pairRef_) {
+            core::CorrelationPrefetcher &algo =
+                engines_[0]->algorithm();
             if (auto *base =
                     dynamic_cast<core::BasePrefetcher *>(&algo))
                 pairRef_->diff(base->table(), ctx);

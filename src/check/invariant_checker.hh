@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "check/check.hh"
 #include "check/ref_models.hh"
@@ -51,6 +52,17 @@ class InvariantChecker
     InvariantChecker(const CheckOptions &opts, sim::EventQueue &eq,
                      mem::MemorySystem &ms, cpu::Hierarchy &hier,
                      core::UlmtEngine *engine);
+
+    /**
+     * Multicore form: one hierarchy per core and any number of ULMT
+     * engines (empty for no-ULMT configurations).  The deep pair-table
+     * oracle attaches only in the single-engine single-shard case;
+     * every other structure is shadowed and diffed per instance.
+     */
+    InvariantChecker(const CheckOptions &opts, sim::EventQueue &eq,
+                     mem::MemorySystem &ms,
+                     std::vector<cpu::Hierarchy *> hiers,
+                     std::vector<core::UlmtEngine *> engines);
 
     /** Detaches the inspector, shadows and hooks. */
     ~InvariantChecker();
@@ -84,13 +96,14 @@ class InvariantChecker
     CheckOptions opts_;
     sim::EventQueue &eq_;
     mem::MemorySystem &ms_;
-    cpu::Hierarchy &hier_;
-    core::UlmtEngine *engine_;
+    std::vector<cpu::Hierarchy *> hiers_;
+    std::vector<core::UlmtEngine *> engines_;
 
-    // Deep-mode reference models (null in Basic mode).
-    std::unique_ptr<RefLruCache> l1Ref_;
-    std::unique_ptr<RefLruCache> l2Ref_;
-    std::unique_ptr<RefLruCache> mpRef_;
+    // Deep-mode reference models (empty in Basic mode); indexed like
+    // hiers_ / engines_.
+    std::vector<std::unique_ptr<RefLruCache>> l1Refs_;
+    std::vector<std::unique_ptr<RefLruCache>> l2Refs_;
+    std::vector<std::unique_ptr<RefLruCache>> mpRefs_;
     std::unique_ptr<RefPairTable> pairRef_;
 
     std::uint64_t passes_ = 0;

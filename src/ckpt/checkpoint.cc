@@ -90,6 +90,8 @@ CheckpointImage::writeFile(const std::string &path) const
     putLe<double>(out, header.scale);
     putLe<std::uint64_t>(out, header.cycle);
     putLe<std::uint64_t>(out, header.misses);
+    putLe<std::uint32_t>(out, header.cores);
+    putLe<std::uint32_t>(out, header.ulmtMode);
     putString(out, header.workload);
     putString(out, header.label);
 
@@ -173,6 +175,8 @@ CheckpointImage::readFile(const std::string &path)
         img.header.scale = getLe<double>(data, size, pos);
         img.header.cycle = getLe<std::uint64_t>(data, size, pos);
         img.header.misses = getLe<std::uint64_t>(data, size, pos);
+        img.header.cores = getLe<std::uint32_t>(data, size, pos);
+        img.header.ulmtMode = getLe<std::uint32_t>(data, size, pos);
         img.header.workload = getString(path, data, size, pos);
         img.header.label = getString(path, data, size, pos);
 

@@ -34,6 +34,9 @@ struct CkptHeader
     double scale = 1.0;       //!< workload construction scale
     std::uint64_t cycle = 0;  //!< simulated time at the snapshot
     std::uint64_t misses = 0; //!< demand L2 misses at the snapshot
+    std::uint32_t cores = 1;  //!< main processors in the machine
+    /** ULMT serving mode as core::UlmtMode's underlying value. */
+    std::uint32_t ulmtMode = 0;
     std::string workload;     //!< registry name (or trace:<path>)
     std::string label;        //!< configuration label
 };

@@ -59,8 +59,12 @@ inline constexpr char fileMagic[8] = {'U', 'L', 'M', 'T',
 
 /** Bumped on any incompatible layout change.  Version 2: the memory
  *  system's state gained the CPU-prefetch in-flight map and its
- *  cross-match drop counter (queue-1 attribution split). */
-inline constexpr std::uint32_t formatVersion = 2;
+ *  cross-match drop counter (queue-1 attribution split).  Version 3:
+ *  multicore -- the header records the core count and ULMT serving
+ *  mode, component sections exist per core, the ULMT state carries
+ *  per-core sub-queues, and the memory system carries per-tenant QoS
+ *  counters. */
+inline constexpr std::uint32_t formatVersion = 3;
 
 /** "CSEC" as a little-endian u32. */
 inline constexpr std::uint32_t sectionMagic = 0x43455343u;

@@ -57,6 +57,33 @@ parseUlmtAlgo(const std::string &name)
     sim::fatal("unknown ULMT algorithm '%s'", name.c_str());
 }
 
+std::string
+to_string(UlmtMode mode)
+{
+    switch (mode) {
+      case UlmtMode::Shared:
+        return "shared";
+      case UlmtMode::PerCore:
+        return "percore";
+      case UlmtMode::Sharded:
+        return "sharded";
+    }
+    return "?";
+}
+
+UlmtMode
+parseUlmtMode(const std::string &name)
+{
+    for (UlmtMode m :
+         {UlmtMode::Shared, UlmtMode::PerCore, UlmtMode::Sharded}) {
+        if (to_string(m) == name)
+            return m;
+    }
+    sim::fatal("unknown ULMT serving mode '%s' (expected shared, "
+               "percore or sharded)",
+               name.c_str());
+}
+
 namespace {
 
 SeqParams
@@ -84,20 +111,25 @@ compose(std::unique_ptr<CorrelationPrefetcher> a,
 } // namespace
 
 std::unique_ptr<CorrelationPrefetcher>
-makeAlgorithm(const UlmtSpec &spec)
+makeAlgorithm(const UlmtSpec &spec, std::uint64_t table_base)
 {
+    const auto based = [table_base](CorrelationParams p) {
+        if (table_base)
+            p.tableBase = table_base;
+        return p;
+    };
     switch (spec.algo) {
       case UlmtAlgo::None:
         return nullptr;
       case UlmtAlgo::Base:
         return std::make_unique<BasePrefetcher>(
-            baseDefaults(spec.numRows));
+            based(baseDefaults(spec.numRows)));
       case UlmtAlgo::Chain:
         return std::make_unique<ChainPrefetcher>(
-            chainReplDefaults(spec.numRows, spec.numLevels));
+            based(chainReplDefaults(spec.numRows, spec.numLevels)));
       case UlmtAlgo::Repl:
         return std::make_unique<ReplicatedPrefetcher>(
-            chainReplDefaults(spec.numRows, spec.numLevels));
+            based(chainReplDefaults(spec.numRows, spec.numLevels)));
       case UlmtAlgo::Seq1:
         return std::make_unique<SeqPrefetcher>(seqParams(1));
       case UlmtAlgo::Seq4:
@@ -105,12 +137,12 @@ makeAlgorithm(const UlmtSpec &spec)
       case UlmtAlgo::Seq4Base:
         return compose(std::make_unique<SeqPrefetcher>(seqParams(4)),
                        std::make_unique<BasePrefetcher>(
-                           baseDefaults(spec.numRows)));
+                           based(baseDefaults(spec.numRows))));
       case UlmtAlgo::Seq4Repl:
         return compose(std::make_unique<SeqPrefetcher>(seqParams(4)),
                        std::make_unique<ReplicatedPrefetcher>(
-                           chainReplDefaults(spec.numRows,
-                                             spec.numLevels)));
+                           based(chainReplDefaults(spec.numRows,
+                                                   spec.numLevels))));
       case UlmtAlgo::Seq1Repl: {
         // The CG customization: the cheap sequential check runs first
         // and fully owns the misses it recognizes, pushing far enough
@@ -120,20 +152,21 @@ makeAlgorithm(const UlmtSpec &spec)
         sp.lookaheadLines = 2 * sp.numPref;
         return compose(std::make_unique<SeqPrefetcher>(sp),
                        std::make_unique<ReplicatedPrefetcher>(
-                           chainReplDefaults(spec.numRows,
-                                             spec.numLevels)),
+                           based(chainReplDefaults(spec.numRows,
+                                                   spec.numLevels))),
                        /*short_circuit=*/true);
       }
       case UlmtAlgo::Adaptive:
         return std::make_unique<AdaptivePrefetcher>(
-            seqParams(4), chainReplDefaults(spec.numRows,
-                                            spec.numLevels));
+            seqParams(4), based(chainReplDefaults(spec.numRows,
+                                                  spec.numLevels)));
       case UlmtAlgo::ReplCA:
         // Conflict-elimination customization (Section 7): Replicated
         // with pushes into saturated L2 sets suppressed.
         return std::make_unique<ConflictAwarePrefetcher>(
             std::make_unique<ReplicatedPrefetcher>(
-                chainReplDefaults(spec.numRows, spec.numLevels)),
+                based(chainReplDefaults(spec.numRows,
+                                        spec.numLevels))),
             /*l2_sets=*/2048, /*l2_line_bytes=*/64);
       case UlmtAlgo::Profile:
         return std::make_unique<ProfilingUlmt>(4096, 2048, 64);

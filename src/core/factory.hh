@@ -38,6 +38,22 @@ std::string to_string(UlmtAlgo algo);
 /** Parse an algorithm name ("Base", "Repl", "Seq4+Repl", ...). */
 UlmtAlgo parseUlmtAlgo(const std::string &name);
 
+/**
+ * How the memory-side service is shared among --cores=N tenants
+ * (single-core machines always behave as Shared).
+ */
+enum class UlmtMode : std::uint8_t {
+    Shared,  //!< one ULMT + one table, serving all cores round-robin
+    PerCore, //!< one ULMT and one table per core
+    Sharded  //!< one ULMT, but the table is sharded by core id
+};
+
+/** Printable mode name ("shared", "percore", "sharded"). */
+std::string to_string(UlmtMode mode);
+
+/** Parse a serving-mode name. */
+UlmtMode parseUlmtMode(const std::string &name);
+
 /** Full specification of a ULMT (algorithm + table geometry + mode). */
 struct UlmtSpec
 {
@@ -56,8 +72,22 @@ struct UlmtSpec
  * Build the algorithm described by @p spec with Table 4 parameter
  * defaults (Base: NumSucc=4/Assoc=4; Chain/Repl: NumSucc=2/Assoc=2;
  * Seq: NumSeq streams, NumPref=6).
+ *
+ * @param table_base simulated base address of the correlation table;
+ *        0 keeps the CorrelationParams default.  Multicore sharded and
+ *        per-core tables pass distinct bases so shards never alias in
+ *        the memory processor's cache or the DRAM banks.
  */
-std::unique_ptr<CorrelationPrefetcher> makeAlgorithm(const UlmtSpec &spec);
+std::unique_ptr<CorrelationPrefetcher>
+makeAlgorithm(const UlmtSpec &spec, std::uint64_t table_base = 0);
+
+/** Table base of shard @p shard (4 GB of table space per shard). */
+constexpr std::uint64_t
+shardTableBase(unsigned shard)
+{
+    return 0x40'0000'0000ULL +
+           static_cast<std::uint64_t>(shard) * 0x1'0000'0000ULL;
+}
 
 } // namespace core
 

@@ -14,13 +14,51 @@ constexpr sim::Cycle mpCacheHitCharge = 2;
 
 } // namespace
 
+namespace {
+
+std::vector<std::unique_ptr<CorrelationPrefetcher>>
+oneShard(std::unique_ptr<CorrelationPrefetcher> algo)
+{
+    std::vector<std::unique_ptr<CorrelationPrefetcher>> shards;
+    shards.push_back(std::move(algo));
+    return shards;
+}
+
+} // namespace
+
 UlmtEngine::UlmtEngine(sim::EventQueue &eq, const mem::TimingParams &tp,
                        mem::MemorySystem &ms,
                        std::unique_ptr<CorrelationPrefetcher> algo)
-    : eq_(eq), tp_(tp), ms_(ms), algo_(std::move(algo)),
+    : UlmtEngine(eq, tp, ms, oneShard(std::move(algo)),
+                 /*num_cores=*/1, /*base_core=*/0, /*engine_id=*/0)
+{
+}
+
+UlmtEngine::UlmtEngine(
+    sim::EventQueue &eq, const mem::TimingParams &tp,
+    mem::MemorySystem &ms,
+    std::vector<std::unique_ptr<CorrelationPrefetcher>> shards,
+    unsigned num_cores, unsigned base_core, unsigned engine_id)
+    : eq_(eq), tp_(tp), ms_(ms), shards_(std::move(shards)),
+      numCores_(num_cores), baseCore_(base_core), engineId_(engine_id),
+      queues2_(num_cores), servedPerCore_(num_cores, 0),
       mpCache_("MemProcL1", tp.memProcL1)
 {
-    SIM_ASSERT(algo_ != nullptr, "UlmtEngine needs an algorithm");
+    SIM_ASSERT(!shards_.empty(), "UlmtEngine needs an algorithm");
+    SIM_ASSERT(num_cores >= 1, "UlmtEngine must serve a core");
+    SIM_ASSERT(shards_.size() == 1 || shards_.size() == num_cores,
+               "shard count must be 1 or one per served core");
+    for (const auto &s : shards_)
+        SIM_ASSERT(s != nullptr, "UlmtEngine shard is null");
+}
+
+std::uint32_t
+UlmtEngine::traceTid() const
+{
+    // Engine 0 keeps the classic ULMT track; extra engines (percore
+    // mode) get tids above the fixed component tracks.
+    return engineId_ == 0 ? sim::traceTidUlmt
+                          : sim::traceTidSampler + engineId_;
 }
 
 void
@@ -85,12 +123,17 @@ UlmtEngine::observeMiss(sim::Cycle when, sim::Addr line_addr,
 {
     ++stats_.missesObserved;
     // Queue 2 overflow: the memory processor simply drops the request
-    // (Section 3.2).
-    if (queue2_.size() >= tp_.queueDepth) {
+    // (Section 3.2).  The depth limit is the single physical queue's,
+    // shared by all per-core sub-queues.
+    if (queue2Depth() >= tp_.queueDepth) {
         ++stats_.missesDroppedQueueFull;
         return;
     }
-    queue2_.push_back({when, line_addr, ms_.observedFlowId()});
+    const unsigned core = ms_.observedCore();
+    SIM_ASSERT(core >= baseCore_ && core - baseCore_ < numCores_,
+               "miss from a core this engine does not serve");
+    queues2_[core - baseCore_].push_back(
+        {when, line_addr, ms_.observedFlowId(), core});
     kick(when);
 }
 
@@ -102,26 +145,43 @@ UlmtEngine::kick(sim::Cycle earliest)
     processingScheduled_ = true;
     sim::Cycle at = std::max(earliest, busyUntil_);
     at = std::max(at, eq_.now());
-    eq_.schedule(at, sim::EventKind::UlmtProcess, 0, 0, processAction());
+    eq_.schedule(at, sim::EventKind::UlmtProcess, engineId_, 0,
+                 processAction());
 }
 
 void
 UlmtEngine::processNext()
 {
     processingScheduled_ = false;
-    if (queue2_.empty())
+    // Round-robin over the per-core sub-queues: the first non-empty
+    // queue at or after the cursor supplies the next miss, so no
+    // tenant can monopolize the thread.
+    unsigned idx = rrCursor_;
+    bool found = false;
+    for (unsigned i = 0; i < numCores_; ++i) {
+        const unsigned cand = (rrCursor_ + i) % numCores_;
+        if (!queues2_[cand].empty()) {
+            idx = cand;
+            found = true;
+            break;
+        }
+    }
+    if (!found)
         return;
-    const Observation obs = queue2_.front();
-    queue2_.pop_front();
+    const Observation obs = queues2_[idx].front();
+    queues2_[idx].pop_front();
+    rrCursor_ = (idx + 1) % numCores_;
+    ++servedPerCore_[idx];
 
     const sim::Cycle start =
         std::max({eq_.now(), obs.when, busyUntil_});
     ExecCost cost(*this, start);
+    CorrelationPrefetcher &algo = algoFor(obs.core);
 
     // ---- Prefetching step (executed first: it is the critical one).
     cost.instr(cost::loopOverhead);
     scratch_.clear();
-    algo_->prefetchStep(obs.line, scratch_, cost);
+    algo.prefetchStep(obs.line, scratch_, cost);
     const sim::Cycle response = cost.elapsed();
     stats_.responseTime.sample(static_cast<double>(response));
     stats_.responseBusy.sample(static_cast<double>(cost.busy()));
@@ -143,11 +203,11 @@ UlmtEngine::processNext()
             continue;
         scratch_[emitted++] = line;
         ++stats_.prefetchesGenerated;
-        ms_.ulmtPrefetch(issue_at, line, obs.flow);
+        ms_.ulmtPrefetch(issue_at, line, obs.flow, obs.core);
     }
 
     // ---- Learning step.
-    algo_->learnStep(obs.line, cost);
+    algo.learnStep(obs.line, cost);
     if (missHook_)
         missHook_(obs.line);
     const sim::Cycle occupancy = cost.elapsed();
@@ -162,20 +222,19 @@ UlmtEngine::processNext()
     if (trace_) {
         // One episode span per observed miss, with the response-time
         // (prefetch) and learning portions nested inside it.
-        trace_->complete("miss_episode", "ulmt", start, occupancy,
-                         sim::traceTidUlmt);
-        trace_->complete("prefetch_step", "ulmt", start, response,
-                         sim::traceTidUlmt);
+        const std::uint32_t tid = traceTid();
+        trace_->complete("miss_episode", "ulmt", start, occupancy, tid);
+        trace_->complete("prefetch_step", "ulmt", start, response, tid);
         if (occupancy > response)
             trace_->complete("learn_step", "ulmt", start + response,
-                             occupancy - response, sim::traceTidUlmt);
+                             occupancy - response, tid);
         if (obs.flow)
             trace_->flow(sim::TracePhase::FlowStep, obs.flow, start,
-                         sim::traceTidUlmt);
+                         tid);
     }
 
     busyUntil_ = start + occupancy;
-    if (!queue2_.empty())
+    if (queue2Depth() > 0)
         kick(busyUntil_);
 }
 
@@ -185,25 +244,34 @@ UlmtEngine::pageRemap(sim::Addr old_page, sim::Addr new_page,
 {
     const sim::Cycle start = std::max(eq_.now(), busyUntil_);
     ExecCost cost(*this, start);
-    algo_->onPageRemap(old_page, new_page, page_bytes, cost);
+    for (const auto &s : shards_)
+        s->onPageRemap(old_page, new_page, page_bytes, cost);
     stats_.busyCycles += cost.busy();
     stats_.memStallCycles += cost.memStall();
     stats_.instructions += cost.instructions();
     busyUntil_ = start + cost.elapsed();
     if (trace_ && cost.elapsed() > 0)
         trace_->complete("page_remap", "ulmt", start, cost.elapsed(),
-                         sim::traceTidUlmt);
+                         traceTid());
 }
 
 void
 UlmtEngine::saveState(ckpt::StateWriter &w) const
 {
-    w.u64(queue2_.size());
-    for (const Observation &obs : queue2_) {
-        w.u64(obs.when);
-        w.u64(obs.line);
-        w.u64(obs.flow);
+    // Sub-queue count is configuration-derived (numCores_), so it is
+    // implied; each sub-queue is written in order.
+    for (const auto &q : queues2_) {
+        w.u64(q.size());
+        for (const Observation &obs : q) {
+            w.u64(obs.when);
+            w.u64(obs.line);
+            w.u64(obs.flow);
+            w.u32(obs.core);
+        }
     }
+    w.u32(rrCursor_);
+    for (std::uint64_t served : servedPerCore_)
+        w.u64(served);
     mpCache_.saveState(w);
     w.u64(busyUntil_);
     w.b(processingScheduled_);
@@ -222,23 +290,35 @@ UlmtEngine::saveState(ckpt::StateWriter &w) const
     w.u64(stats_.memStallCycles);
     w.u64(stats_.instructions);
 
-    algo_->saveState(w);
+    for (const auto &s : shards_)
+        s->saveState(w);
 }
 
 void
 UlmtEngine::restoreState(ckpt::StateReader &r)
 {
-    queue2_.clear();
-    const std::uint64_t depth = r.u64();
-    if (depth > tp_.queueDepth)
-        throw ckpt::CkptError("queue-2 depth exceeds the configuration");
-    for (std::uint64_t i = 0; i < depth; ++i) {
-        Observation obs{};
-        obs.when = r.u64();
-        obs.line = r.u64();
-        obs.flow = r.u64();
-        queue2_.push_back(obs);
+    std::uint64_t depth = 0;
+    for (auto &q : queues2_) {
+        q.clear();
+        const std::uint64_t n = r.u64();
+        depth += n;
+        if (depth > tp_.queueDepth)
+            throw ckpt::CkptError(
+                "queue-2 depth exceeds the configuration");
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Observation obs{};
+            obs.when = r.u64();
+            obs.line = r.u64();
+            obs.flow = r.u64();
+            obs.core = r.u32();
+            q.push_back(obs);
+        }
     }
+    rrCursor_ = r.u32();
+    if (rrCursor_ >= numCores_)
+        throw ckpt::CkptError("round-robin cursor out of range");
+    for (std::uint64_t &served : servedPerCore_)
+        served = r.u64();
     mpCache_.restoreState(r);
     busyUntil_ = r.u64();
     processingScheduled_ = r.b();
@@ -257,34 +337,61 @@ UlmtEngine::restoreState(ckpt::StateReader &r)
     stats_.memStallCycles = r.u64();
     stats_.instructions = r.u64();
 
-    algo_->restoreState(r);
+    for (const auto &s : shards_)
+        s->restoreState(r);
 }
 
 void
-UlmtEngine::registerStats(sim::StatRegistry &reg) const
+UlmtEngine::registerStats(sim::StatRegistry &reg,
+                          const std::string &prefix) const
 {
-    reg.addCounter("ulmt.misses_observed", &stats_.missesObserved);
-    reg.addCounter("ulmt.misses_processed", &stats_.missesProcessed);
-    reg.addCounter("ulmt.queue2.drops",
-                   &stats_.missesDroppedQueueFull);
-    reg.addCounter("ulmt.prefetches_generated",
+    const auto n = [&prefix](const char *name) {
+        return prefix + name;
+    };
+    reg.addCounter(n("misses_observed"), &stats_.missesObserved);
+    reg.addCounter(n("misses_processed"), &stats_.missesProcessed);
+    reg.addCounter(n("queue2.drops"), &stats_.missesDroppedQueueFull);
+    reg.addCounter(n("prefetches_generated"),
                    &stats_.prefetchesGenerated);
-    reg.addCounter("ulmt.busy_cycles", &stats_.busyCycles);
-    reg.addCounter("ulmt.mem_stall_cycles", &stats_.memStallCycles);
-    reg.addCounter("ulmt.instructions", &stats_.instructions);
-    reg.addSample("ulmt.response_cycles", &stats_.responseTime);
-    reg.addSample("ulmt.occupancy_cycles", &stats_.occupancyTime);
-    reg.addSample("ulmt.response_busy", &stats_.responseBusy);
-    reg.addSample("ulmt.response_mem", &stats_.responseMem);
-    reg.addSample("ulmt.occupancy_busy", &stats_.occupancyBusy);
-    reg.addSample("ulmt.occupancy_mem", &stats_.occupancyMem);
-    reg.addGauge("ulmt.ipc", [this] { return stats_.ipc(); });
-    reg.addGauge("ulmt.table.bytes",
-                 [this] { return double(algo_->tableBytes()); });
-    reg.addGauge("ulmt.table.insertions",
-                 [this] { return double(algo_->insertions()); });
-    reg.addGauge("ulmt.table.replacements",
-                 [this] { return double(algo_->replacements()); });
+    reg.addCounter(n("busy_cycles"), &stats_.busyCycles);
+    reg.addCounter(n("mem_stall_cycles"), &stats_.memStallCycles);
+    reg.addCounter(n("instructions"), &stats_.instructions);
+    reg.addSample(n("response_cycles"), &stats_.responseTime);
+    reg.addSample(n("occupancy_cycles"), &stats_.occupancyTime);
+    reg.addSample(n("response_busy"), &stats_.responseBusy);
+    reg.addSample(n("response_mem"), &stats_.responseMem);
+    reg.addSample(n("occupancy_busy"), &stats_.occupancyBusy);
+    reg.addSample(n("occupancy_mem"), &stats_.occupancyMem);
+    reg.addGauge(n("ipc"), [this] { return stats_.ipc(); });
+    // Table gauges aggregate across shards (one shard = that table).
+    reg.addGauge(n("table.bytes"), [this] {
+        double b = 0;
+        for (const auto &s : shards_)
+            b += double(s->tableBytes());
+        return b;
+    });
+    reg.addGauge(n("table.insertions"), [this] {
+        double v = 0;
+        for (const auto &s : shards_)
+            v += double(s->insertions());
+        return v;
+    });
+    reg.addGauge(n("table.replacements"), [this] {
+        double v = 0;
+        for (const auto &s : shards_)
+            v += double(s->replacements());
+        return v;
+    });
+    // Per-tenant fairness: misses served per core, only on multi-core
+    // engines so single-core stat output is unchanged.
+    if (numCores_ > 1) {
+        for (unsigned c = 0; c < numCores_; ++c) {
+            reg.addCounter(prefix + "core." +
+                               std::to_string(baseCore_ + c) +
+                               ".served",
+                           &servedPerCore_[c]);
+        }
+    }
 }
 
 } // namespace core

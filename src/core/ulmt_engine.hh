@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/check.hh"
@@ -83,6 +84,22 @@ class UlmtEngine : public mem::MissObserver
                mem::MemorySystem &ms,
                std::unique_ptr<CorrelationPrefetcher> algo);
 
+    /**
+     * Multicore form.  @p shards holds either one algorithm serving
+     * every tenant (shared mode) or one algorithm per served core
+     * (sharded tables, each built with a distinct table base).  The
+     * engine serves cores [@p base_core, @p base_core + @p num_cores)
+     * round-robin from per-core sub-queues of queue 2; percore mode
+     * instantiates one engine per core with num_cores = 1.
+     * @p engine_id is carried in the arg0 of UlmtProcess events so the
+     * driver can resolve them to the right engine on restore.
+     */
+    UlmtEngine(sim::EventQueue &eq, const mem::TimingParams &tp,
+               mem::MemorySystem &ms,
+               std::vector<std::unique_ptr<CorrelationPrefetcher>> shards,
+               unsigned num_cores, unsigned base_core,
+               unsigned engine_id);
+
     /** mem::MissObserver: a miss became visible in queue 2. */
     void observeMiss(sim::Cycle when, sim::Addr line_addr,
                      sim::RequestKind kind) override;
@@ -92,11 +109,40 @@ class UlmtEngine : public mem::MissObserver
                    std::uint32_t page_bytes);
 
     const UlmtStats &stats() const { return stats_; }
-    CorrelationPrefetcher &algorithm() { return *algo_; }
-    const CorrelationPrefetcher &algorithm() const { return *algo_; }
+    /** The first (or only) algorithm shard. */
+    CorrelationPrefetcher &algorithm() { return *shards_[0]; }
+    const CorrelationPrefetcher &algorithm() const { return *shards_[0]; }
+
+    /** Number of algorithm shards (1 unless sharded mode). */
+    std::size_t numShards() const { return shards_.size(); }
+    CorrelationPrefetcher &shard(std::size_t i) { return *shards_[i]; }
+    const CorrelationPrefetcher &shard(std::size_t i) const
+    {
+        return *shards_[i];
+    }
+
+    /** Id carried in this engine's UlmtProcess events. */
+    unsigned engineId() const { return engineId_; }
+    /** First core this engine serves. */
+    unsigned baseCore() const { return baseCore_; }
+    /** Number of cores this engine serves. */
+    unsigned numCoresServed() const { return numCores_; }
+
+    /** Misses served per core (sized numCoresServed). */
+    const std::vector<std::uint64_t> &servedPerCore() const
+    {
+        return servedPerCore_;
+    }
 
     /** Misses currently waiting in queue 2 (sampling only). */
-    std::size_t queue2Depth() const { return queue2_.size(); }
+    std::size_t
+    queue2Depth() const
+    {
+        std::size_t n = 0;
+        for (const auto &q : queues2_)
+            n += q.size();
+        return n;
+    }
 
     /** The memory processor's L1 (deep-checker shadow attachment). */
     mem::Cache &mpCache() { return mpCache_; }
@@ -123,16 +169,22 @@ class UlmtEngine : public mem::MissObserver
     void
     checkInvariants(check::CheckContext &ctx) const
     {
-        ctx.require(queue2_.size() <= tp_.queueDepth, "ulmt",
-                    "queue 2 holds " + std::to_string(queue2_.size()) +
+        const std::size_t depth = queue2Depth();
+        ctx.require(depth <= tp_.queueDepth, "ulmt",
+                    "queue 2 holds " + std::to_string(depth) +
                         " observations, depth limit " +
                         std::to_string(tp_.queueDepth));
         mpCache_.checkInvariants(ctx, sim::ServedBy::Memory);
-        algo_->checkInvariants(ctx);
+        for (const auto &s : shards_)
+            s->checkInvariants(ctx);
     }
 
-    /** Register thread/table stats under "ulmt.*". */
-    void registerStats(sim::StatRegistry &reg) const;
+    /**
+     * Register thread/table stats, prepending @p prefix ("ulmt." by
+     * default; multi-engine machines use "ulmt.<engine>.").
+     */
+    void registerStats(sim::StatRegistry &reg,
+                       const std::string &prefix = "ulmt.") const;
 
     /** Emit prefetch/learn-step spans into @p t (nullptr disables). */
     void setTrace(sim::TraceEventBuffer *t) { trace_ = t; }
@@ -190,10 +242,25 @@ class UlmtEngine : public mem::MissObserver
     /** Schedule processNext if idle and work is pending. */
     void kick(sim::Cycle earliest);
 
+    /** Trace track of this engine (distinct per engine id). */
+    std::uint32_t traceTid() const;
+
+    /** The shard serving @p core (the single shard in shared mode). */
+    CorrelationPrefetcher &
+    algoFor(unsigned core)
+    {
+        return shards_.size() == 1 ? *shards_[0]
+                                   : *shards_[core - baseCore_];
+    }
+
     sim::EventQueue &eq_;
     const mem::TimingParams &tp_;
     mem::MemorySystem &ms_;
-    std::unique_ptr<CorrelationPrefetcher> algo_;
+    /** One algorithm, or one per served core (sharded tables). */
+    std::vector<std::unique_ptr<CorrelationPrefetcher>> shards_;
+    unsigned numCores_ = 1;   //!< cores served by this engine
+    unsigned baseCore_ = 0;   //!< first served core id
+    unsigned engineId_ = 0;   //!< arg0 of this engine's events
 
     /** Queue 2: observed misses waiting for the thread. */
     struct Observation
@@ -201,8 +268,18 @@ class UlmtEngine : public mem::MissObserver
         sim::Cycle when;
         sim::Addr line;
         std::uint64_t flow;  //!< trace flow id of the miss (0 = none)
+        unsigned core;       //!< requesting core
     };
-    std::deque<Observation> queue2_;
+    /**
+     * One sub-queue per served core; the thread drains them
+     * round-robin so no tenant can starve the others.  Their combined
+     * occupancy is bounded by the single physical queue-2 depth.
+     */
+    std::vector<std::deque<Observation>> queues2_;
+    /** Round-robin scan start for the next processed miss. */
+    unsigned rrCursor_ = 0;
+    /** Misses served per core (fairness accounting). */
+    std::vector<std::uint64_t> servedPerCore_;
 
     /** The memory processor's L1 cache (holds the table's hot rows). */
     mem::Cache mpCache_;

@@ -15,8 +15,10 @@ constexpr sim::Cycle wbQueueResidency = 96;
 } // namespace
 
 Hierarchy::Hierarchy(sim::EventQueue &eq, const mem::TimingParams &tp,
-                     mem::MemorySystem &ms, bool enable_stream_pf)
-    : eq_(eq), tp_(tp), ms_(ms), l1_("L1", tp.l1), l2_("L2", tp.l2),
+                     mem::MemorySystem &ms, bool enable_stream_pf,
+                     unsigned core)
+    : eq_(eq), tp_(tp), ms_(ms), core_(core), l1_("L1", tp.l1),
+      l2_("L2", tp.l2),
       l2Mshrs_(tp.l2Mshrs), streamPfEnabled_(enable_stream_pf),
       streamPf_(StreamPrefetcherParams{tp.streamNumSeq,
                                        tp.streamNumPref,
@@ -129,7 +131,8 @@ Hierarchy::accessL2(sim::Cycle when, sim::Addr addr, bool count_demand)
 
     // A ULMT prefetch for this line is in flight: the reply will steal
     // the MSHR and service this miss (a DelayedHit, Section 2.1).
-    const sim::Cycle pf_arrival = ms_.inflightPrefetchArrival(line_addr);
+    const sim::Cycle pf_arrival =
+        ms_.inflightPrefetchArrival(line_addr, core_);
     if (pf_arrival != sim::neverCycle) {
         if (count_demand)
             ++stats_.ulmtDelayedHits;
@@ -151,7 +154,7 @@ Hierarchy::accessL2(sim::Cycle when, sim::Addr addr, bool count_demand)
     const sim::Cycle start = l2Mshrs_.acquire(when);
     recordMissAtMemory(start);
     const sim::Cycle complete =
-        ms_.fetchLine(start, line_addr, sim::RequestKind::Demand);
+        ms_.fetchLine(start, line_addr, sim::RequestKind::Demand, core_);
     l2Mshrs_.add(complete);
     if (count_demand)
         ++stats_.nonPrefMisses;
@@ -177,7 +180,8 @@ Hierarchy::issueCpuPrefetch(sim::Cycle when, sim::Addr addr)
     }
 
     // A ULMT push in flight covers the L2 fill; just stage the L1 copy.
-    const sim::Cycle pf_arrival = ms_.inflightPrefetchArrival(line_addr);
+    const sim::Cycle pf_arrival =
+        ms_.inflightPrefetchArrival(line_addr, core_);
     if (pf_arrival != sim::neverCycle) {
         fillL1(when, addr, pf_arrival, sim::ServedBy::Memory, true);
         return;
@@ -189,7 +193,8 @@ Hierarchy::issueCpuPrefetch(sim::Cycle when, sim::Addr addr)
 
     ++stats_.cpuPfToMemory;
     const sim::Cycle complete =
-        ms_.fetchLine(when, line_addr, sim::RequestKind::CpuPrefetch);
+        ms_.fetchLine(when, line_addr, sim::RequestKind::CpuPrefetch,
+                      core_);
     l2Mshrs_.add(complete);
     fillL2(when, line_addr, complete, sim::ServedBy::Memory, false,
            false);
@@ -287,35 +292,39 @@ Hierarchy::acceptPush(sim::Cycle when, sim::Addr line_addr)
 }
 
 void
-Hierarchy::registerStats(sim::StatRegistry &reg) const
+Hierarchy::registerStats(sim::StatRegistry &reg,
+                         const std::string &prefix) const
 {
-    reg.addCounter("proc.loads", &stats_.loads);
-    reg.addCounter("proc.stores", &stats_.stores);
-    reg.addCounter("l1.hits", &stats_.l1Hits);
-    reg.addCounter("l1.misses", &stats_.l1Misses);
-    reg.addCounter("l2.hits", &stats_.l2Hits);
-    reg.addCounter("l2.misses", &stats_.l2Misses);
-    reg.addCounter("l2.mshr.merges", &stats_.l2MshrMerges);
-    reg.addCounter("l2.push.hits", &stats_.ulmtHits);
-    reg.addCounter("l2.push.delayed_hits", &stats_.ulmtDelayedHits);
-    reg.addCounter("l2.push.non_pref_misses", &stats_.nonPrefMisses);
-    reg.addCounter("l2.push.replaced", &stats_.ulmtReplaced);
-    reg.addCounter("l2.push.redundant_present",
+    const auto n = [&prefix](const char *name) {
+        return prefix + name;
+    };
+    reg.addCounter(n("proc.loads"), &stats_.loads);
+    reg.addCounter(n("proc.stores"), &stats_.stores);
+    reg.addCounter(n("l1.hits"), &stats_.l1Hits);
+    reg.addCounter(n("l1.misses"), &stats_.l1Misses);
+    reg.addCounter(n("l2.hits"), &stats_.l2Hits);
+    reg.addCounter(n("l2.misses"), &stats_.l2Misses);
+    reg.addCounter(n("l2.mshr.merges"), &stats_.l2MshrMerges);
+    reg.addCounter(n("l2.push.hits"), &stats_.ulmtHits);
+    reg.addCounter(n("l2.push.delayed_hits"), &stats_.ulmtDelayedHits);
+    reg.addCounter(n("l2.push.non_pref_misses"), &stats_.nonPrefMisses);
+    reg.addCounter(n("l2.push.replaced"), &stats_.ulmtReplaced);
+    reg.addCounter(n("l2.push.redundant_present"),
                    &stats_.pushRedundantPresent);
-    reg.addCounter("l2.push.redundant_wb", &stats_.pushRedundantWb);
-    reg.addCounter("l2.push.dropped_mshr_full",
+    reg.addCounter(n("l2.push.redundant_wb"), &stats_.pushRedundantWb);
+    reg.addCounter(n("l2.push.dropped_mshr_full"),
                    &stats_.pushDroppedMshrFull);
-    reg.addCounter("l2.push.dropped_set_pending",
+    reg.addCounter(n("l2.push.dropped_set_pending"),
                    &stats_.pushDroppedSetPending);
-    reg.addCounter("l2.push.installed", &stats_.pushInstalled);
-    reg.addCounter("l2.push.delayed_hit_saved_cycles",
+    reg.addCounter(n("l2.push.installed"), &stats_.pushInstalled);
+    reg.addCounter(n("l2.push.delayed_hit_saved_cycles"),
                    &stats_.delayedHitSavedCycles);
-    reg.addCounter("cpu_pf.issued", &stats_.cpuPfIssued);
-    reg.addCounter("cpu_pf.to_memory", &stats_.cpuPfToMemory);
-    reg.addCounter("cpu_pf.useful", &stats_.cpuPfUseful);
-    reg.addCounter("cpu_pf.timely", &stats_.cpuPfTimely);
-    reg.addCounter("cpu_pf.replaced", &stats_.cpuPfReplaced);
-    reg.addHistogram("l2.miss_gap_cycles", &missGaps_);
+    reg.addCounter(n("cpu_pf.issued"), &stats_.cpuPfIssued);
+    reg.addCounter(n("cpu_pf.to_memory"), &stats_.cpuPfToMemory);
+    reg.addCounter(n("cpu_pf.useful"), &stats_.cpuPfUseful);
+    reg.addCounter(n("cpu_pf.timely"), &stats_.cpuPfTimely);
+    reg.addCounter(n("cpu_pf.replaced"), &stats_.cpuPfReplaced);
+    reg.addHistogram(n("l2.miss_gap_cycles"), &missGaps_);
 }
 
 void

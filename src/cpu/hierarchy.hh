@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -163,9 +164,14 @@ class Hierarchy
      * @param tp machine parameters
      * @param ms memory system below the L2
      * @param enable_stream_pf enable the Conven4 prefetcher
+     * @param core id of the owning main processor (0 on single-core)
      */
     Hierarchy(sim::EventQueue &eq, const mem::TimingParams &tp,
-              mem::MemorySystem &ms, bool enable_stream_pf);
+              mem::MemorySystem &ms, bool enable_stream_pf,
+              unsigned core = 0);
+
+    /** Id of the owning main processor. */
+    unsigned core() const { return core_; }
 
     /**
      * A demand reference from the processor.
@@ -216,8 +222,12 @@ class Hierarchy
         return l2Mshrs_.inUse(now);
     }
 
-    /** Register cache/push/prefetcher stats under "l1.*"/"l2.*". */
-    void registerStats(sim::StatRegistry &reg) const;
+    /**
+     * Register cache/push/prefetcher stats under "l1.*"/"l2.*",
+     * prepending @p prefix (e.g. "cpu.2." on multicore machines).
+     */
+    void registerStats(sim::StatRegistry &reg,
+                       const std::string &prefix = "") const;
 
     /** Serialize both tag arrays, MSHRs, stream prefetcher, queues. */
     void saveState(ckpt::StateWriter &w) const;
@@ -252,6 +262,7 @@ class Hierarchy
     sim::EventQueue &eq_;
     const mem::TimingParams &tp_;
     mem::MemorySystem &ms_;
+    unsigned core_;
     mem::Cache l1_;
     mem::Cache l2_;
     MshrFile l2Mshrs_;

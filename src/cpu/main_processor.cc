@@ -123,7 +123,7 @@ MainProcessor::step()
             // yield and resume at the access's issue cycle.
             if (c > now + maxSkew) {
                 stats_.totalCycles = c;
-                eq_.schedule(c, sim::EventKind::ProcStep, 0, 0,
+                eq_.schedule(c, sim::EventKind::ProcStep, core_, 0,
                              stepAction());
                 return;
             }
@@ -141,7 +141,7 @@ MainProcessor::step()
         if (c > now + maxSkew || ++processed >= 64) {
             stats_.totalCycles = c;
             eq_.schedule(c > now ? c : now + 1, sim::EventKind::ProcStep,
-                         0, 0, stepAction());
+                         core_, 0, stepAction());
             return;
         }
     }

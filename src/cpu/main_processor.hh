@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "ckpt/state.hh"
 #include "cpu/hierarchy.hh"
@@ -66,18 +67,25 @@ class MainProcessor
      * @param tp machine parameters
      * @param hierarchy the processor's cache hierarchy
      * @param source the workload's dynamic trace
+     * @param core id of this processor; carried in the arg0 of its
+     *        ProcStep events so the driver can resolve them on restore
      */
     MainProcessor(sim::EventQueue &eq, const mem::TimingParams &tp,
-                  Hierarchy &hierarchy, TraceSource &source)
-        : eq_(eq), tp_(tp), hierarchy_(hierarchy), source_(source)
+                  Hierarchy &hierarchy, TraceSource &source,
+                  unsigned core = 0)
+        : eq_(eq), tp_(tp), hierarchy_(hierarchy), source_(source),
+          core_(core)
     {
     }
+
+    /** Id of this processor. */
+    unsigned core() const { return core_; }
 
     /** Schedule the first fetch; the run ends when the trace drains. */
     void
     start()
     {
-        eq_.schedule(eq_.now(), sim::EventKind::ProcStep, 0, 0,
+        eq_.schedule(eq_.now(), sim::EventKind::ProcStep, core_, 0,
                      stepAction());
     }
 
@@ -101,24 +109,33 @@ class MainProcessor
     void saveState(ckpt::StateWriter &w) const;
     void restoreState(ckpt::StateReader &r);
 
-    /** Register core cycle/stall stats under "proc.*". */
+    /**
+     * Register core cycle/stall stats under "proc.*", prepending
+     * @p prefix (e.g. "cpu.2." on multicore machines).
+     */
     void
-    registerStats(sim::StatRegistry &reg) const
+    registerStats(sim::StatRegistry &reg,
+                  const std::string &prefix = "") const
     {
-        reg.addCounter("proc.total_cycles", &stats_.totalCycles);
-        reg.addCounter("proc.busy_cycles", &stats_.busyCycles);
-        reg.addCounter("proc.stall.upto_l2", &stats_.uptoL2Stall);
-        reg.addCounter("proc.stall.beyond_l2", &stats_.beyondL2Stall);
-        reg.addCounter("proc.stall.dependence", &stats_.stallDependence);
-        reg.addCounter("proc.stall.load_window",
+        const auto n = [&prefix](const char *name) {
+            return prefix + name;
+        };
+        reg.addCounter(n("proc.total_cycles"), &stats_.totalCycles);
+        reg.addCounter(n("proc.busy_cycles"), &stats_.busyCycles);
+        reg.addCounter(n("proc.stall.upto_l2"), &stats_.uptoL2Stall);
+        reg.addCounter(n("proc.stall.beyond_l2"),
+                       &stats_.beyondL2Stall);
+        reg.addCounter(n("proc.stall.dependence"),
+                       &stats_.stallDependence);
+        reg.addCounter(n("proc.stall.load_window"),
                        &stats_.stallLoadWindow);
-        reg.addCounter("proc.stall.store_window",
+        reg.addCounter(n("proc.stall.store_window"),
                        &stats_.stallStoreWindow);
-        reg.addCounter("proc.stall.drain", &stats_.stallDrain);
-        reg.addCounter("proc.records", &stats_.records);
-        reg.addCounter("proc.ops", &stats_.ops);
-        reg.addSample("proc.wait.beyond_l2", &stats_.beyondWaits);
-        reg.addSample("proc.wait.upto_l2", &stats_.uptoWaits);
+        reg.addCounter(n("proc.stall.drain"), &stats_.stallDrain);
+        reg.addCounter(n("proc.records"), &stats_.records);
+        reg.addCounter(n("proc.ops"), &stats_.ops);
+        reg.addSample(n("proc.wait.beyond_l2"), &stats_.beyondWaits);
+        reg.addSample(n("proc.wait.upto_l2"), &stats_.uptoWaits);
     }
 
     /** Invoked once when the trace drains and all loads complete. */
@@ -166,6 +183,7 @@ class MainProcessor
     const mem::TimingParams &tp_;
     Hierarchy &hierarchy_;
     TraceSource &source_;
+    unsigned core_ = 0;
 
     PendingQueue pendingLoads_;
     PendingQueue pendingStores_;

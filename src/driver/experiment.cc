@@ -3,6 +3,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
+
+#include "workloads/offset.hh"
 
 namespace driver {
 
@@ -22,6 +25,7 @@ std::mutex obsMutex;
 std::unique_ptr<sim::TraceEventWriter> traceWriter;
 std::optional<sim::Cycle> metricsOverride;
 std::optional<check::CheckOptions> checkOverride;
+std::optional<std::pair<unsigned, core::UlmtMode>> coresOverride;
 
 // Process-wide checkpoint hooks (same pattern as the trace writer).
 std::string ckptAtSpec;
@@ -93,6 +97,44 @@ clearCheckOverride()
 {
     std::lock_guard<std::mutex> lock(obsMutex);
     checkOverride.reset();
+}
+
+void
+setCoresOverride(unsigned cores, core::UlmtMode mode)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    coresOverride = {cores, mode};
+}
+
+void
+clearCoresOverride()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    coresOverride.reset();
+}
+
+std::vector<std::unique_ptr<workloads::Workload>>
+makeCoreWorkloads(const std::string &app, std::uint64_t seed,
+                  double scale, unsigned cores)
+{
+    std::vector<std::unique_ptr<workloads::Workload>> ws;
+    for (unsigned c = 0; c < cores; ++c) {
+        workloads::WorkloadParams wp;
+        // Core 0 keeps the base seed (and offset 0), so its trace is
+        // bit-identical to the single-core run; the other tenants are
+        // independently seeded so the mix is multiprogrammed, not N
+        // lockstep copies.
+        wp.seed = c ? seed ^ (0x9E3779B97F4A7C15ULL * c) : seed;
+        wp.scale = scale;
+        auto w = workloads::makeWorkload(app, wp);
+        if (c) {
+            ws.push_back(std::make_unique<workloads::OffsetWorkload>(
+                std::move(w), c));
+        } else {
+            ws.push_back(std::move(w));
+        }
+    }
+    return ws;
 }
 
 SystemConfig
@@ -188,16 +230,46 @@ listWorkloads()
     return workloads::applicationNames();
 }
 
+namespace {
+
+/** Single-core systems hold a caller-owned workload; multicore ones
+ *  own their per-core set.  This keeps both alive together. */
+struct BuiltSystem
+{
+    std::unique_ptr<workloads::Workload> workload;
+    std::unique_ptr<System> sys;
+};
+
+BuiltSystem
+buildSystem(const SystemConfig &cfg, const std::string &app,
+            std::uint64_t seed, double scale)
+{
+    BuiltSystem b;
+    if (cfg.cores > 1) {
+        auto ws = makeCoreWorkloads(app, seed, scale, cfg.cores);
+        const std::string name = ws[0]->name();
+        b.sys = std::make_unique<System>(cfg, std::move(ws), name);
+    } else {
+        workloads::WorkloadParams wp;
+        wp.seed = seed;
+        wp.scale = scale;
+        b.workload = workloads::makeWorkload(app, wp);
+        b.sys = std::make_unique<System>(cfg, *b.workload);
+    }
+    b.sys->setCheckpointMeta(app, seed, scale);
+    return b;
+}
+
+} // namespace
+
 RunResult
 runSampled(const SystemConfig &cfg, const std::string &ckpt_path)
 {
-    // The header carries the workload identity: rebuilding from it
-    // guarantees the restored cursor lands in the same trace.
+    // The header carries the workload identity AND the machine shape:
+    // rebuilding from it guarantees the restored cursors land in the
+    // same traces on the same number of cores in the same serving
+    // mode.
     const ckpt::CkptHeader h = ckpt::CheckpointImage::readHeader(ckpt_path);
-    workloads::WorkloadParams wp;
-    wp.seed = h.seed;
-    wp.scale = h.scale;
-    auto workload = workloads::makeWorkload(h.workload, wp);
 
     SystemConfig effective = cfg;
     {
@@ -207,22 +279,24 @@ runSampled(const SystemConfig &cfg, const std::string &ckpt_path)
         if (checkOverride)
             effective.check = *checkOverride;
     }
+    effective.cores = h.cores;
+    if (h.ulmtMode >
+        static_cast<std::uint32_t>(core::UlmtMode::Sharded)) {
+        throw ckpt::CkptError("checkpoint '" + ckpt_path +
+                              "' names an unknown ULMT serving mode");
+    }
+    effective.ulmtMode = static_cast<core::UlmtMode>(h.ulmtMode);
 
-    System sys(effective, *workload);
-    sys.setCheckpointMeta(h.workload, h.seed, h.scale);
-    sys.restoreCheckpoint(ckpt_path);
-    return sys.run();
+    BuiltSystem b =
+        buildSystem(effective, h.workload, h.seed, h.scale);
+    b.sys->restoreCheckpoint(ckpt_path);
+    return b.sys->run();
 }
 
 RunResult
 runOne(const std::string &app, const SystemConfig &cfg,
        const ExperimentOptions &opt)
 {
-    workloads::WorkloadParams wp;
-    wp.seed = opt.seed;
-    wp.scale = opt.scale;
-    auto workload = workloads::makeWorkload(app, wp);
-
     SystemConfig effective = cfg;
     sim::TraceEventWriter *writer = nullptr;
     std::string ckpt_at, ckpt_dir, restore_from;
@@ -232,14 +306,18 @@ runOne(const std::string &app, const SystemConfig &cfg,
             effective.metricsInterval = *metricsOverride;
         if (checkOverride)
             effective.check = *checkOverride;
+        if (coresOverride) {
+            effective.cores = coresOverride->first;
+            effective.ulmtMode = coresOverride->second;
+        }
         writer = traceWriter.get();
         ckpt_at = ckptAtSpec;
         ckpt_dir = ckptToDir;
         restore_from = restoreFromPath;
     }
 
-    System sys(effective, *workload);
-    sys.setCheckpointMeta(app, opt.seed, opt.scale);
+    BuiltSystem b = buildSystem(effective, app, opt.seed, opt.scale);
+    System &sys = *b.sys;
     if (!restore_from.empty())
         sys.restoreCheckpoint(restore_from);
     if (!ckpt_at.empty()) {

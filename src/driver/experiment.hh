@@ -95,6 +95,27 @@ void setCheckOverride(const check::CheckOptions &opts);
 /** Drop the check override. */
 void clearCheckOverride();
 
+/**
+ * Override SystemConfig::cores / ulmtMode for all subsequent runOne
+ * calls (the bench harness's `--cores` / `--ulmt-mode` flags), so an
+ * entire sweep of single-core configurations runs on a multicore
+ * machine without touching each config.
+ */
+void setCoresOverride(unsigned cores, core::UlmtMode mode);
+
+/** Drop the cores override. */
+void clearCoresOverride();
+
+/**
+ * The per-core workload set of a multicore run: core 0 replays the
+ * exact single-core trace of (@p app, @p seed, @p scale); every other
+ * core runs an independently seeded instance of the same kernel,
+ * translated into its own private address slice (workloads/offset.hh).
+ */
+std::vector<std::unique_ptr<workloads::Workload>>
+makeCoreWorkloads(const std::string &app, std::uint64_t seed,
+                  double scale, unsigned cores);
+
 // --- Checkpointing ---------------------------------------------------
 
 /**

@@ -220,6 +220,46 @@ resultFingerprint(const RunResult &r)
         hash *= 1099511628211ULL;
     }
     fp.add("missStream.hash", hash);
+
+    // Per-core and per-engine slices are populated only on multicore
+    // machines, so single-core fingerprints stay what they always
+    // were.
+    for (std::size_t c = 0; c < r.coreProc.size(); ++c) {
+        const std::string pre = sim::strformat("core%zu.", c);
+        fp.add((pre + "cycles").c_str(), r.coreProc[c].totalCycles);
+        fp.add((pre + "ops").c_str(), r.coreProc[c].ops);
+        fp.add((pre + "records").c_str(), r.coreProc[c].records);
+    }
+    for (std::size_t c = 0; c < r.coreHier.size(); ++c) {
+        const std::string pre = sim::strformat("core%zu.", c);
+        fp.add((pre + "l1Misses").c_str(), r.coreHier[c].l1Misses);
+        fp.add((pre + "l2Misses").c_str(), r.coreHier[c].l2Misses);
+        fp.add((pre + "pushInstalled").c_str(),
+               r.coreHier[c].pushInstalled);
+        fp.add((pre + "ulmtHits").c_str(), r.coreHier[c].ulmtHits);
+    }
+    for (std::size_t i = 0; i < r.engineUlmt.size(); ++i) {
+        const std::string pre = sim::strformat("engine%zu.", i);
+        fp.add((pre + "missesObserved").c_str(),
+               r.engineUlmt[i].missesObserved);
+        fp.add((pre + "missesProcessed").c_str(),
+               r.engineUlmt[i].missesProcessed);
+        fp.add((pre + "prefetchesGenerated").c_str(),
+               r.engineUlmt[i].prefetchesGenerated);
+    }
+    if (r.coreQos.size() > 1) {
+        for (std::size_t c = 0; c < r.coreQos.size(); ++c) {
+            const std::string pre = sim::strformat("qos%zu.", c);
+            fp.add((pre + "demandFetches").c_str(),
+                   r.coreQos[c].demandFetches);
+            fp.add((pre + "pfIssued").c_str(),
+                   r.coreQos[c].ulmtPrefetchesIssued);
+            fp.add((pre + "q1WaitSum").c_str(),
+                   std::uint64_t(r.coreQos[c].q1Wait.sum()));
+            fp.add((pre + "q1WaitCount").c_str(),
+                   r.coreQos[c].q1Wait.count());
+        }
+    }
     return fp.take();
 }
 

@@ -1,7 +1,9 @@
 #include "driver/system.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "ckpt/sim_state.hh"
 #include "sim/logging.hh"
@@ -34,57 +36,167 @@ effectiveCheckOptions(const SystemConfig &cfg)
     return opts;
 }
 
+/** Section name of core/engine @p i: instance 0 keeps the
+ *  pre-multicore unsuffixed name. */
+std::string
+sectionName(const char *base, std::size_t i)
+{
+    return i ? base + std::to_string(i) : base;
+}
+
 } // namespace
 
 System::System(const SystemConfig &cfg, workloads::Workload &workload)
     : System(cfg, workload, workload.name())
 {
     workloadSource_ = workload.source();
-    workload_ = &workload;
+    coreWorkloads_[0] = &workload;
     ckptApp_ = workload.name();
 }
 
 System::System(const SystemConfig &cfg, cpu::TraceSource &source,
                std::string name)
-    : cfg_(cfg), source_(source), workloadName_(std::move(name))
+    : cfg_(cfg), workloadName_(std::move(name))
 {
+    if (cfg_.cores != 1) {
+        throw std::invalid_argument(
+            "System: a multicore machine needs one workload per core "
+            "(use the vector-of-workloads constructor)");
+    }
+    sources_.push_back(&source);
+    coreWorkloads_.assign(1, nullptr);
+    init();
+}
+
+System::System(const SystemConfig &cfg,
+               std::vector<std::unique_ptr<workloads::Workload>> workloads,
+               std::string name)
+    : cfg_(cfg), workloadName_(std::move(name))
+{
+    if (workloads.size() != cfg_.cores) {
+        throw std::invalid_argument(
+            "System: got " + std::to_string(workloads.size()) +
+            " workloads for " + std::to_string(cfg_.cores) + " cores");
+    }
+    ownedWorkloads_ = std::move(workloads);
+    for (auto &w : ownedWorkloads_) {
+        sources_.push_back(w.get());
+        coreWorkloads_.push_back(w.get());
+    }
+    workloadSource_ = ownedWorkloads_[0]->source();
+    ckptApp_ = ownedWorkloads_[0]->name();
+    init();
+}
+
+void
+System::init()
+{
+    if (cfg_.cores < 1 || cfg_.cores > sim::maxCores) {
+        throw std::invalid_argument(
+            "System: cores must be in [1, " +
+            std::to_string(sim::maxCores) + "]");
+    }
+    SIM_ASSERT(sources_.size() == cfg_.cores,
+               "one trace source per core");
+
     ms_ = std::make_unique<mem::MemorySystem>(eq_, cfg_.timing);
-    hier_ = std::make_unique<cpu::Hierarchy>(eq_, cfg_.timing, *ms_,
-                                             cfg_.conven4);
-    ms_->setPushCallback([this](sim::Cycle when, sim::Addr line) {
-        hier_->acceptPush(when, line);
-    });
+    // Size the per-tenant QoS counters before registerStats() runs:
+    // the registry keeps raw pointers into the vector.
+    ms_->setNumCores(cfg_.cores);
+
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        hiers_.push_back(std::make_unique<cpu::Hierarchy>(
+            eq_, cfg_.timing, *ms_, cfg_.conven4, c));
+    }
+    ms_->setPushCallback(
+        [this](sim::Cycle when, sim::Addr line, unsigned core) {
+            hiers_[core]->acceptPush(when, line);
+        });
 
     if (cfg_.ulmt.enabled()) {
-        auto algo = core::makeAlgorithm(cfg_.ulmt);
-        engine_ = std::make_unique<core::UlmtEngine>(eq_, cfg_.timing,
-                                                     *ms_,
-                                                     std::move(algo));
-        ms_->setObserver(engine_.get(), cfg_.ulmt.verbose);
+        using Shards =
+            std::vector<std::unique_ptr<core::CorrelationPrefetcher>>;
+        switch (cfg_.ulmtMode) {
+          case core::UlmtMode::Shared: {
+            // One thread, one table, every tenant round-robin.
+            Shards shards;
+            shards.push_back(core::makeAlgorithm(cfg_.ulmt));
+            engines_.push_back(std::make_unique<core::UlmtEngine>(
+                eq_, cfg_.timing, *ms_, std::move(shards), cfg_.cores,
+                /*base_core=*/0, /*engine_id=*/0));
+            ms_->setObserver(engines_[0].get(), cfg_.ulmt.verbose);
+            break;
+          }
+          case core::UlmtMode::Sharded: {
+            // One thread, one table shard per tenant (disjoint table
+            // address ranges so shards never alias in DRAM).
+            Shards shards;
+            for (unsigned c = 0; c < cfg_.cores; ++c) {
+                shards.push_back(core::makeAlgorithm(
+                    cfg_.ulmt, core::shardTableBase(c)));
+            }
+            engines_.push_back(std::make_unique<core::UlmtEngine>(
+                eq_, cfg_.timing, *ms_, std::move(shards), cfg_.cores,
+                /*base_core=*/0, /*engine_id=*/0));
+            ms_->setObserver(engines_[0].get(), cfg_.ulmt.verbose);
+            break;
+          }
+          case core::UlmtMode::PerCore: {
+            // One thread (and table) per tenant; each observes only
+            // its own core's misses.
+            for (unsigned c = 0; c < cfg_.cores; ++c) {
+                Shards shards;
+                shards.push_back(core::makeAlgorithm(
+                    cfg_.ulmt, core::shardTableBase(c)));
+                engines_.push_back(std::make_unique<core::UlmtEngine>(
+                    eq_, cfg_.timing, *ms_, std::move(shards),
+                    /*num_cores=*/1, /*base_core=*/c,
+                    /*engine_id=*/c));
+                ms_->setCoreObserver(c, engines_[c].get(),
+                                     cfg_.ulmt.verbose);
+            }
+            break;
+          }
+        }
     }
 
     if (cfg_.hwCorrSramBytes > 0) {
+        if (cfg_.cores > 1) {
+            throw std::invalid_argument(
+                "the hardware correlation baseline is single-core "
+                "only");
+        }
         hwCorr_ = std::make_unique<HwCorrelationEngine>(
             *ms_, cfg_.hwCorrSramBytes, cfg_.hwCorrReplicated);
     }
 
     if (cfg_.recordMissStream || hwCorr_) {
-        hier_->onDemandL2Miss = [this](sim::Cycle when,
+        for (auto &h : hiers_) {
+            h->onDemandL2Miss = [this](sim::Cycle when,
                                        sim::Addr line) {
-            if (cfg_.recordMissStream)
-                missStream_.push_back(line);
-            if (hwCorr_)
-                hwCorr_->observeMiss(when, line);
-        };
+                if (cfg_.recordMissStream)
+                    missStream_.push_back(line);
+                if (hwCorr_)
+                    hwCorr_->observeMiss(when, line);
+            };
+        }
     }
 
-    cpu_ = std::make_unique<cpu::MainProcessor>(eq_, cfg_.timing,
-                                                *hier_, source_);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        cpus_.push_back(std::make_unique<cpu::MainProcessor>(
+            eq_, cfg_.timing, *hiers_[c], *sources_[c], c));
+    }
 
     const check::CheckOptions chk = effectiveCheckOptions(cfg_);
     if (chk.enabled()) {
+        std::vector<cpu::Hierarchy *> hs;
+        for (auto &h : hiers_)
+            hs.push_back(h.get());
+        std::vector<core::UlmtEngine *> es;
+        for (auto &e : engines_)
+            es.push_back(e.get());
         checker_ = std::make_unique<check::InvariantChecker>(
-            chk, eq_, *ms_, *hier_, engine_.get());
+            chk, eq_, *ms_, std::move(hs), std::move(es));
         checker_->install();
     }
 
@@ -94,12 +206,24 @@ System::System(const SystemConfig &cfg, cpu::TraceSource &source,
 void
 System::initObservability()
 {
-    // One dotted namespace over every component's counters.
+    // One dotted namespace over every component's counters.  A
+    // multicore machine prefixes per-core components with "cpu.<c>."
+    // and its engines with "ulmt.<id>."; single-core names are
+    // unchanged.
     ms_->registerStats(registry_);
-    hier_->registerStats(registry_);
-    cpu_->registerStats(registry_);
-    if (engine_)
-        engine_->registerStats(registry_);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        const std::string p =
+            cfg_.cores > 1 ? "cpu." + std::to_string(c) + "." : "";
+        hiers_[c]->registerStats(registry_, p);
+        cpus_[c]->registerStats(registry_, p);
+    }
+    for (auto &e : engines_) {
+        const std::string p =
+            engines_.size() > 1
+                ? "ulmt." + std::to_string(e->engineId()) + "."
+                : "ulmt.";
+        e->registerStats(registry_, p);
+    }
     if (checker_)
         checker_->registerStats(registry_);
 
@@ -114,10 +238,13 @@ System::initObservability()
     if (cfg_.metricsInterval == 0)
         return;
 
+    // The sampled channels stay on core 0 / engine 0: the time series
+    // is a dashboard of the machine's representative tenant, and the
+    // per-core registries above carry the full breakdown.
     sampler_ = std::make_unique<sim::TimeSeriesSampler>(
         cfg_.metricsInterval);
     sampler_->addChannel("l2.mshr_occupancy", [this] {
-        return double(hier_->mshrInUse(eq_.now()));
+        return double(hiers_[0]->mshrInUse(eq_.now()));
     });
     sampler_->addChannel("memsys.queue1_inflight", [this] {
         return double(ms_->inflightDemandCount() +
@@ -142,18 +269,21 @@ System::initObservability()
         return d.accesses ? double(d.rowHits) / double(d.accesses)
                           : 0.0;
     });
-    if (engine_) {
+    if (!engines_.empty()) {
         sampler_->addChannel("ulmt.queue2_depth", [this] {
-            return double(engine_->queue2Depth());
+            return double(engines_[0]->queue2Depth());
         });
         sampler_->addChannel("ulmt.table_bytes", [this] {
-            return double(engine_->algorithm().tableBytes());
+            double b = 0.0;
+            for (std::size_t i = 0; i < engines_[0]->numShards(); ++i)
+                b += double(engines_[0]->shard(i).tableBytes());
+            return b;
         });
         sampler_->addChannel("ulmt.response_mean", [this] {
-            return engine_->stats().responseTime.mean();
+            return engines_[0]->stats().responseTime.mean();
         });
         sampler_->addChannel("ulmt.occupancy_mean", [this] {
-            return engine_->stats().occupancyTime.mean();
+            return engines_[0]->stats().occupancyTime.mean();
         });
     }
     // Passive ticker: the sampler only reads state, so timing and
@@ -253,6 +383,12 @@ System::configFingerprint() const
     w.b(cfg_.recordMissStream);
     w.str(cfg_.label);
     w.str(workloadName_);
+    // Appended only for non-default machines so every pre-multicore
+    // fingerprint (one core, shared serving) stays bit-identical.
+    if (cfg_.cores > 1 || cfg_.ulmtMode != core::UlmtMode::Shared) {
+        w.u32(cfg_.cores);
+        w.u32(static_cast<std::uint32_t>(cfg_.ulmtMode));
+    }
 
     const std::string &buf = w.buffer();
     return ckpt::fnv1a64(buf.data(), buf.size());
@@ -263,7 +399,12 @@ System::resolveEvent(const sim::SavedEvent &s)
 {
     switch (static_cast<sim::EventKind>(s.kind)) {
       case sim::EventKind::ProcStep:
-        return cpu_->stepAction();
+        if (s.arg0 >= cpus_.size()) {
+            throw ckpt::CkptError(
+                "checkpoint step event names a core this machine "
+                "does not have");
+        }
+        return cpus_[s.arg0]->stepAction();
       case sim::EventKind::MemDemandDone:
         return ms_->demandDoneAction(s.arg0);
       case sim::EventKind::MemCpuPfDone:
@@ -271,11 +412,12 @@ System::resolveEvent(const sim::SavedEvent &s)
       case sim::EventKind::MemPfArrival:
         return ms_->prefetchArrivalAction(s.arg0, s.arg1);
       case sim::EventKind::UlmtProcess:
-        if (!engine_)
+        if (s.arg0 >= engines_.size()) {
             throw ckpt::CkptError(
                 "checkpoint has a pending ULMT event but this "
-                "configuration has no ULMT");
-        return engine_->processAction();
+                "configuration has no matching engine");
+        }
+        return engines_[s.arg0]->processAction();
       default:
         throw ckpt::CkptError("unresolvable event kind in checkpoint");
     }
@@ -295,7 +437,12 @@ System::saveCheckpoint(const std::string &path)
     img.header.seed = ckptSeed_;
     img.header.scale = ckptScale_;
     img.header.cycle = eq_.now();
-    img.header.misses = hier_->stats().l2Misses;
+    std::uint64_t misses = 0;
+    for (const auto &h : hiers_)
+        misses += h->stats().l2Misses;
+    img.header.misses = misses;
+    img.header.cores = cfg_.cores;
+    img.header.ulmtMode = static_cast<std::uint32_t>(cfg_.ulmtMode);
     img.header.workload = ckptApp_;
     img.header.label = cfg_.label;
 
@@ -321,25 +468,25 @@ System::saveCheckpoint(const std::string &path)
         }
         img.addSection("events", w.take());
     }
-    {
+    for (std::size_t c = 0; c < cpus_.size(); ++c) {
         ckpt::StateWriter w;
-        cpu_->saveState(w);
-        img.addSection("cpu", w.take());
+        cpus_[c]->saveState(w);
+        img.addSection(sectionName("cpu", c), w.take());
     }
-    {
+    for (std::size_t c = 0; c < hiers_.size(); ++c) {
         ckpt::StateWriter w;
-        hier_->saveState(w);
-        img.addSection("hier", w.take());
+        hiers_[c]->saveState(w);
+        img.addSection(sectionName("hier", c), w.take());
     }
     {
         ckpt::StateWriter w;
         ms_->saveState(w);
         img.addSection("memsys", w.take());
     }
-    if (engine_) {
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
         ckpt::StateWriter w;
-        engine_->saveState(w);
-        img.addSection("ulmt", w.take());
+        engines_[i]->saveState(w);
+        img.addSection(sectionName("ulmt", i), w.take());
     }
     {
         ckpt::StateWriter w;
@@ -367,12 +514,28 @@ System::restoreCheckpoint(const std::string &path)
         throw ckpt::CkptError(
             "the hardware correlation baseline is not checkpointable");
     }
-    if (!workload_) {
-        throw ckpt::CkptError(
-            "restore needs a rewindable workload (raw trace sources "
-            "have no fast-forwardable cursor)");
+    for (workloads::Workload *w : coreWorkloads_) {
+        if (!w) {
+            throw ckpt::CkptError(
+                "restore needs a rewindable workload (raw trace "
+                "sources have no fast-forwardable cursor)");
+        }
     }
     const ckpt::CheckpointImage img = ckpt::CheckpointImage::readFile(path);
+    // The machine-shape checks come before the fingerprint check so a
+    // cores or serving-mode mismatch is reported as exactly that.
+    if (img.header.cores != cfg_.cores) {
+        throw ckpt::CkptError(
+            "checkpoint '" + path + "' was taken on a " +
+            std::to_string(img.header.cores) + "-core machine, not " +
+            std::to_string(cfg_.cores) + " cores");
+    }
+    if (img.header.ulmtMode !=
+        static_cast<std::uint32_t>(cfg_.ulmtMode)) {
+        throw ckpt::CkptError(
+            "checkpoint '" + path +
+            "' was taken under a different ULMT serving mode");
+    }
     if (img.header.configFingerprint != configFingerprint()) {
         throw ckpt::CkptError(
             "checkpoint '" + path +
@@ -384,14 +547,14 @@ System::restoreCheckpoint(const std::string &path)
                               "'");
     }
 
-    {
-        ckpt::StateReader r(img.section("cpu"));
-        cpu_->restoreState(r);
+    for (std::size_t c = 0; c < cpus_.size(); ++c) {
+        ckpt::StateReader r(img.section(sectionName("cpu", c)));
+        cpus_[c]->restoreState(r);
         r.finish();
     }
-    {
-        ckpt::StateReader r(img.section("hier"));
-        hier_->restoreState(r);
+    for (std::size_t c = 0; c < hiers_.size(); ++c) {
+        ckpt::StateReader r(img.section(sectionName("hier", c)));
+        hiers_[c]->restoreState(r);
         r.finish();
     }
     {
@@ -399,9 +562,9 @@ System::restoreCheckpoint(const std::string &path)
         ms_->restoreState(r);
         r.finish();
     }
-    if (engine_) {
-        ckpt::StateReader r(img.section("ulmt"));
-        engine_->restoreState(r);
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        ckpt::StateReader r(img.section(sectionName("ulmt", i)));
+        engines_[i]->restoreState(r);
         r.finish();
     }
     {
@@ -415,14 +578,18 @@ System::restoreCheckpoint(const std::string &path)
         r.finish();
     }
 
-    // Fast-forward the workload cursor: the processor has consumed
-    // stats().records records (including the in-progress one).
-    workload_->reset();
-    cpu::TraceRecord rec;
-    for (std::uint64_t i = 0; i < cpu_->stats().records; ++i) {
-        if (!workload_->next(rec)) {
-            throw ckpt::CkptError(
-                "workload ended before the checkpoint's trace cursor");
+    // Fast-forward each core's workload cursor: its processor has
+    // consumed stats().records records (including the in-progress
+    // one).
+    for (std::size_t c = 0; c < cpus_.size(); ++c) {
+        coreWorkloads_[c]->reset();
+        cpu::TraceRecord rec;
+        for (std::uint64_t i = 0; i < cpus_[c]->stats().records; ++i) {
+            if (!coreWorkloads_[c]->next(rec)) {
+                throw ckpt::CkptError(
+                    "workload ended before the checkpoint's trace "
+                    "cursor");
+            }
         }
     }
 
@@ -475,8 +642,8 @@ System::setTraceEvents(sim::TraceEventBuffer *buf)
 {
     trace_ = buf;
     ms_->setTrace(buf);
-    if (engine_)
-        engine_->setTrace(buf);
+    for (auto &e : engines_)
+        e->setTrace(buf);
     if (sampler_)
         sampler_->setTrace(buf);
 }
@@ -484,10 +651,12 @@ System::setTraceEvents(sim::TraceEventBuffer *buf)
 RunResult
 System::run()
 {
-    // After a restore the step event is already pending in the queue;
-    // scheduling a second one would double-step the core.
-    if (!restored_)
-        cpu_->start();
+    // After a restore the step events are already pending in the
+    // queue; scheduling more would double-step the cores.
+    if (!restored_) {
+        for (auto &c : cpus_)
+            c->start();
+    }
     if (!ckptPath_.empty()) {
         if (ckptTriggerCycle_ > 0) {
             eq_.setBreakCheck([this](sim::Cycle now) {
@@ -495,7 +664,10 @@ System::run()
             });
         } else {
             eq_.setBreakCheck([this](sim::Cycle) {
-                return hier_->stats().l2Misses >= ckptTriggerMisses_;
+                std::uint64_t misses = 0;
+                for (const auto &h : hiers_)
+                    misses += h->stats().l2Misses;
+                return misses >= ckptTriggerMisses_;
             });
         }
     }
@@ -509,7 +681,10 @@ System::run()
         drained = eq_.run(maxEvents);
     }
     const auto wall_end = std::chrono::steady_clock::now();
-    SIM_ASSERT(drained && cpu_->finished(),
+    bool finished = true;
+    for (const auto &c : cpus_)
+        finished = finished && c->finished();
+    SIM_ASSERT(drained && finished,
                "simulation did not complete (event limit hit?)");
     if (checker_)
         checker_->runChecks();  // final end-of-run walk
@@ -525,23 +700,37 @@ System::run()
     r.ckptRestoreSeconds = ckptRestoreSeconds_;
     r.ckptBytes = ckptBytes_;
 
-    const cpu::ProcessorStats &ps = cpu_->stats();
-    r.cycles = ps.totalCycles;
+    // The scalar fields describe core 0 (the whole machine when
+    // cores=1); cycles is the makespan and records the machine total.
+    const cpu::ProcessorStats &ps = cpus_[0]->stats();
     r.busyCycles = ps.busyCycles;
     r.uptoL2Stall = ps.uptoL2Stall;
     r.beyondL2Stall = ps.beyondL2Stall;
-    r.records = ps.records;
     r.proc = ps;
+    for (const auto &c : cpus_) {
+        r.cycles = std::max(r.cycles, c->stats().totalCycles);
+        r.records += c->stats().records;
+    }
 
-    r.hier = hier_->stats();
-    if (engine_)
-        r.ulmt = engine_->stats();
+    r.hier = hiers_[0]->stats();
+    if (!engines_.empty())
+        r.ulmt = engines_[0]->stats();
     r.memsys = ms_->stats();
     r.dram = ms_->dram().stats();
     r.busBusyTotal = ms_->bus().busyTotal();
     r.busBusyPrefetch = ms_->bus().busyPrefetch();
 
-    const sim::BinnedHistogram &gaps = hier_->missGapHistogram();
+    r.coreQos = ms_->coreQos();
+    if (cfg_.cores > 1) {
+        for (const auto &c : cpus_)
+            r.coreProc.push_back(c->stats());
+        for (const auto &h : hiers_)
+            r.coreHier.push_back(h->stats());
+        for (const auto &e : engines_)
+            r.engineUlmt.push_back(e->stats());
+    }
+
+    const sim::BinnedHistogram &gaps = hiers_[0]->missGapHistogram();
     r.missGapFractions.resize(gaps.numBins());
     for (std::size_t i = 0; i < gaps.numBins(); ++i)
         r.missGapFractions[i] = gaps.binFraction(i);
@@ -558,8 +747,8 @@ void
 System::pageRemap(sim::Addr old_page, sim::Addr new_page,
                   std::uint32_t page_bytes)
 {
-    if (engine_)
-        engine_->pageRemap(old_page, new_page, page_bytes);
+    for (auto &e : engines_)
+        e->pageRemap(old_page, new_page, page_bytes);
     // A remap rewrites table tags in place; the pair-table oracle has
     // no notification stream for it, so rebuild from the real state.
     if (checker_)

@@ -52,6 +52,15 @@ struct SystemConfig
     /** The memory-side ULMT (algo None = no memory-side prefetching). */
     core::UlmtSpec ulmt;
     /**
+     * Number of main processors (--cores).  Each core gets a private
+     * L1/L2 hierarchy and its own workload; all share the bus, the
+     * DRAM and the memory-side queues.  1 (the default) is the paper's
+     * machine and is bit-identical to the pre-multicore simulator.
+     */
+    unsigned cores = 1;
+    /** How the memory-side service is shared among the cores. */
+    core::UlmtMode ulmtMode = core::UlmtMode::Shared;
+    /**
      * SRAM budget of a hardware correlation engine at the L2 (bytes);
      * 0 disables it.  A baseline for the ULMT comparison.
      */
@@ -103,6 +112,15 @@ struct RunResult
     core::UlmtStats ulmt;
     mem::MemorySystemStats memsys;
     mem::DramStats dram;
+
+    // --- Multicore (populated only when the machine has > 1 core;
+    // --- the scalar fields above then refer to core/engine 0) --------
+    std::vector<cpu::ProcessorStats> coreProc;
+    std::vector<cpu::HierarchyStats> coreHier;
+    std::vector<core::UlmtStats> engineUlmt;
+    /** Per-tenant controller QoS counters -- always one entry per
+     *  core, including the single-core machine. */
+    std::vector<mem::CoreQos> coreQos;
 
     /** Bus busy cycles: total and prefetch-attributable. */
     sim::Cycle busBusyTotal = 0;
@@ -185,9 +203,19 @@ class System
 
     /**
      * Run an arbitrary trace source (e.g. a multiprogrammed
-     * interleaving) under @p name.
+     * interleaving) under @p name.  Single-core only: a multicore
+     * machine needs one source per core.
      */
     System(const SystemConfig &cfg, cpu::TraceSource &source,
+           std::string name);
+
+    /**
+     * Multicore form: one workload per core (workloads.size() must
+     * equal cfg.cores).  The System owns the workloads, so checkpoint
+     * restore can rewind and fast-forward each core's trace cursor.
+     */
+    System(const SystemConfig &cfg,
+           std::vector<std::unique_ptr<workloads::Workload>> workloads,
            std::string name);
 
     /** Run the workload to completion and harvest the statistics. */
@@ -238,10 +266,22 @@ class System
 
     // Component access (tests, examples).
     sim::EventQueue &eventQueue() { return eq_; }
-    cpu::Hierarchy &hierarchy() { return *hier_; }
+    cpu::Hierarchy &hierarchy(unsigned core = 0)
+    {
+        return *hiers_[core];
+    }
     mem::MemorySystem &memorySystem() { return *ms_; }
-    core::UlmtEngine *ulmtEngine() { return engine_.get(); }
-    cpu::MainProcessor &processor() { return *cpu_; }
+    /** Engine @p idx, or nullptr when no ULMT is configured. */
+    core::UlmtEngine *ulmtEngine(unsigned idx = 0)
+    {
+        return idx < engines_.size() ? engines_[idx].get() : nullptr;
+    }
+    cpu::MainProcessor &processor(unsigned core = 0)
+    {
+        return *cpus_[core];
+    }
+    unsigned numCores() const { return cfg_.cores; }
+    std::size_t numEngines() const { return engines_.size(); }
     const SystemConfig &config() const { return cfg_; }
 
     /** Every component statistic under one dotted namespace. */
@@ -258,6 +298,9 @@ class System
     void setTraceEvents(sim::TraceEventBuffer *buf);
 
   private:
+    /** Wire every component for cfg_ (shared by all constructors). */
+    void init();
+
     /** Register all component stats and set up the sampler. */
     void initObservability();
 
@@ -265,10 +308,14 @@ class System
     sim::EventQueue::Action resolveEvent(const sim::SavedEvent &s);
 
     SystemConfig cfg_;
-    cpu::TraceSource &source_;
-    /** Non-null when constructed from a Workload: enables the
-     *  checkpoint layer to fast-forward the trace cursor on restore. */
-    workloads::Workload *workload_ = nullptr;
+    /** One trace source per core (non-owning). */
+    std::vector<cpu::TraceSource *> sources_;
+    /** Per-core workloads when known (enables the checkpoint layer to
+     *  fast-forward each trace cursor on restore); empty entries when
+     *  constructed from a bare TraceSource. */
+    std::vector<workloads::Workload *> coreWorkloads_;
+    /** Workloads the System owns (multicore constructor). */
+    std::vector<std::unique_ptr<workloads::Workload>> ownedWorkloads_;
     std::string workloadName_;
     std::string workloadSource_ = "synthetic";
     bool restored_ = false;
@@ -283,10 +330,10 @@ class System
     std::uint64_t ckptBytes_ = 0;
     sim::EventQueue eq_;
     std::unique_ptr<mem::MemorySystem> ms_;
-    std::unique_ptr<cpu::Hierarchy> hier_;
-    std::unique_ptr<core::UlmtEngine> engine_;
+    std::vector<std::unique_ptr<cpu::Hierarchy>> hiers_;
+    std::vector<std::unique_ptr<core::UlmtEngine>> engines_;
     std::unique_ptr<HwCorrelationEngine> hwCorr_;
-    std::unique_ptr<cpu::MainProcessor> cpu_;
+    std::vector<std::unique_ptr<cpu::MainProcessor>> cpus_;
     std::vector<sim::Addr> missStream_;
     sim::StatRegistry registry_;
     std::unique_ptr<sim::TimeSeriesSampler> sampler_;

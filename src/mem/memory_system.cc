@@ -1,6 +1,7 @@
 #include "mem/memory_system.hh"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "ckpt/sim_state.hh"
@@ -18,11 +19,12 @@ constexpr sim::Cycle respPathFixed = 32;  //!< fill after bus transfer
 
 sim::Cycle
 MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
-                        sim::RequestKind kind)
+                        sim::RequestKind kind, unsigned core)
 {
     SIM_ASSERT(kind != sim::RequestKind::UlmtPrefetch,
                "ULMT prefetches use ulmtPrefetch()");
     const bool demand = kind == sim::RequestKind::Demand;
+    const sim::Addr key = sim::packCoreLine(core, line_addr);
     if (demand)
         ++stats_.demandFetches;
     else
@@ -37,15 +39,22 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
         reqPathFixed;
 
     // The request is now visible in queue 2.  In Non-Verbose mode the
-    // ULMT only sees demand misses (Section 3.2).
-    if (observer_ && (demand || verbose_)) {
+    // ULMT only sees demand misses (Section 3.2).  Per-core observers
+    // (percore serving mode) take precedence over the shared one.
+    MissObserver *obs =
+        core < coreObservers_.size() && coreObservers_[core]
+            ? coreObservers_[core]
+            : observer_;
+    if (obs && (demand || verbose_)) {
         if (trace_ && demand) {
             observedFlowId_ = trace_->newFlowId();
             trace_->flow(sim::TracePhase::FlowStart, observedFlowId_,
                          at_controller, sim::traceTidMemsys);
         }
-        observer_->observeMiss(at_controller, line_addr, kind);
+        observedCore_ = core;
+        obs->observeMiss(at_controller, line_addr, kind);
         observedFlowId_ = 0;
+        observedCore_ = 0;
     }
 
     // Track queue-1 occupancy for the prefetch cross-match.  Demand
@@ -53,9 +62,9 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
     // cross-match drop is attributed to the right cause (Figure 3)
     // and completions carry the matching event tag.
     if (demand)
-        ++inflightDemand_[line_addr];
+        ++inflightDemand_[key];
     else
-        ++inflightCpuPf_[line_addr];
+        ++inflightCpuPf_[key];
 
     // Demand fetches outrank all prefetch traffic at the DRAM.
     const DramAccessResult dram =
@@ -72,20 +81,26 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
                          "memsys", issue, complete - issue,
                          sim::traceTidMemsys);
 
+    if (demand && core < coreQos_.size()) {
+        ++coreQos_[core].demandFetches;
+        coreQos_[core].q1Wait.sample(
+            static_cast<double>(complete - issue));
+    }
+
     if (demand)
-        eq_.schedule(complete, sim::EventKind::MemDemandDone, line_addr,
-                     0, demandDoneAction(line_addr));
+        eq_.schedule(complete, sim::EventKind::MemDemandDone, key, 0,
+                     demandDoneAction(key));
     else
-        eq_.schedule(complete, sim::EventKind::MemCpuPfDone, line_addr,
-                     0, cpuPfDoneAction(line_addr));
+        eq_.schedule(complete, sim::EventKind::MemCpuPfDone, key, 0,
+                     cpuPfDoneAction(key));
     return complete;
 }
 
 sim::EventQueue::Action
-MemorySystem::demandDoneAction(sim::Addr line_addr)
+MemorySystem::demandDoneAction(sim::Addr key)
 {
-    return [this, line_addr] {
-        auto it = inflightDemand_.find(line_addr);
+    return [this, key] {
+        auto it = inflightDemand_.find(key);
         SIM_ASSERT(it != inflightDemand_.end(),
                    "in-flight demand entry vanished");
         if (--it->second == 0)
@@ -94,10 +109,10 @@ MemorySystem::demandDoneAction(sim::Addr line_addr)
 }
 
 sim::EventQueue::Action
-MemorySystem::cpuPfDoneAction(sim::Addr line_addr)
+MemorySystem::cpuPfDoneAction(sim::Addr key)
 {
-    return [this, line_addr] {
-        auto it = inflightCpuPf_.find(line_addr);
+    return [this, key] {
+        auto it = inflightCpuPf_.find(key);
         SIM_ASSERT(it != inflightCpuPf_.end(),
                    "in-flight CPU-prefetch entry vanished");
         if (--it->second == 0)
@@ -107,9 +122,11 @@ MemorySystem::cpuPfDoneAction(sim::Addr line_addr)
 
 bool
 MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
-                           std::uint64_t flow)
+                           std::uint64_t flow, unsigned core)
 {
-    // Queue 3 capacity: bounded number of prefetches in flight.
+    const sim::Addr key = sim::packCoreLine(core, line_addr);
+    // Queue 3 capacity: bounded number of prefetches in flight.  The
+    // depth limit is shared by all tenants (one physical queue).
     if (inflightPf_.size() >= tp_.queueDepth) {
         ++stats_.ulmtPrefetchesDroppedQueueFull;
         if (trace_)
@@ -118,8 +135,9 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         return false;
     }
     // Cross-match against queue 1: a higher-priority demand fetch for
-    // the same line is already in flight, so the prefetch is redundant.
-    if (inflightDemand_.count(line_addr)) {
+    // the same line (from the same core) is already in flight, so the
+    // prefetch is redundant.
+    if (inflightDemand_.count(key)) {
         ++stats_.ulmtPrefetchesDroppedDemandMatch;
         if (trace_)
             trace_->instant("pf_drop_demand_match", "memsys", ready,
@@ -128,15 +146,15 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
     }
     // The same cross-match against an in-flight CPU prefetch: equally
     // redundant, but attributed to its own cause.
-    if (inflightCpuPf_.count(line_addr)) {
+    if (inflightCpuPf_.count(key)) {
         ++stats_.ulmtPrefetchesDroppedCpuPfMatch;
         if (trace_)
             trace_->instant("pf_drop_cpu_pf_match", "memsys", ready,
                             sim::traceTidMemsys);
         return false;
     }
-    // A prefetch for this line is already in flight.
-    if (inflightPf_.count(line_addr)) {
+    // A prefetch for this line is already in flight to the same core.
+    if (inflightPf_.count(key)) {
         ++stats_.ulmtPrefetchesDroppedFilter;
         if (trace_)
             trace_->instant("pf_drop_filter", "memsys", ready,
@@ -144,8 +162,10 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         return false;
     }
     // Filter module: drop addresses prefetched very recently.  Only
-    // requests that actually issue are recorded in the FIFO.
-    if (!filter_.admit(line_addr)) {
+    // requests that actually issue are recorded in the FIFO.  Keyed by
+    // (core, line): the same line pushed to two different L2s is two
+    // useful prefetches, not a repeat.
+    if (!filter_.admit(key)) {
         ++stats_.ulmtPrefetchesDroppedFilter;
         if (trace_)
             trace_->instant("pf_drop_filter", "memsys", ready,
@@ -154,6 +174,8 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
     }
 
     ++stats_.ulmtPrefetchesIssued;
+    if (core < coreQos_.size())
+        ++coreQos_[core].ulmtPrefetchesIssued;
 
     sim::Cycle start = ready;
     if (tp_.placement == MemProcPlacement::NorthBridge)
@@ -173,20 +195,19 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
                          sim::traceTidMemsys);
     }
 
-    inflightPf_[line_addr] = arrival;
-    eq_.schedule(arrival, sim::EventKind::MemPfArrival, line_addr,
-                 arrival, prefetchArrivalAction(line_addr, arrival));
+    inflightPf_[key] = arrival;
+    eq_.schedule(arrival, sim::EventKind::MemPfArrival, key, arrival,
+                 prefetchArrivalAction(key, arrival));
     return true;
 }
 
 sim::EventQueue::Action
-MemorySystem::prefetchArrivalAction(sim::Addr line_addr,
-                                    sim::Cycle arrival)
+MemorySystem::prefetchArrivalAction(sim::Addr key, sim::Cycle arrival)
 {
-    return [this, line_addr, arrival] {
-        inflightPf_.erase(line_addr);
+    return [this, key, arrival] {
+        inflightPf_.erase(key);
         if (push_)
-            push_(arrival, line_addr);
+            push_(arrival, sim::lineOfKey(key), sim::coreOfKey(key));
     };
 }
 
@@ -258,6 +279,20 @@ MemorySystem::registerStats(sim::StatRegistry &reg) const
                  [this] { return double(filter_.admits()); });
     reg.addGauge("memsys.filter.drops",
                  [this] { return double(filter_.drops()); });
+    // Per-tenant QoS counters only appear on multicore machines so the
+    // single-core stat namespace is unchanged.  setNumCores() must run
+    // before registration (resizing would invalidate the pointers).
+    if (numCores_ > 1) {
+        for (unsigned c = 0; c < coreQos_.size(); ++c) {
+            const std::string p =
+                "memsys.core." + std::to_string(c) + ".";
+            reg.addCounter(p + "demand_fetches",
+                           &coreQos_[c].demandFetches);
+            reg.addCounter(p + "pf_issued",
+                           &coreQos_[c].ulmtPrefetchesIssued);
+            reg.addSample(p + "q1_wait_cycles", &coreQos_[c].q1Wait);
+        }
+    }
     bus_.registerStats(reg);
     dram_.registerStats(reg);
 }
@@ -276,6 +311,12 @@ MemorySystem::saveState(ckpt::StateWriter &w) const
     w.u64(stats_.tableReads);
     w.u64(stats_.tableWrites);
     ckpt::save(w, tableWait_);
+    w.u64(coreQos_.size());
+    for (const CoreQos &q : coreQos_) {
+        w.u64(q.demandFetches);
+        w.u64(q.ulmtPrefetchesIssued);
+        ckpt::save(w, q.q1Wait);
+    }
     filter_.saveState(w);
 
     // Unordered maps are written sorted by key so identical simulator
@@ -325,6 +366,14 @@ MemorySystem::restoreState(ckpt::StateReader &r)
     stats_.tableReads = r.u64();
     stats_.tableWrites = r.u64();
     ckpt::restore(r, tableWait_);
+    const std::uint64_t nQos = r.u64();
+    SIM_ASSERT(nQos == coreQos_.size(),
+               "checkpoint core count does not match this machine");
+    for (CoreQos &q : coreQos_) {
+        q.demandFetches = r.u64();
+        q.ulmtPrefetchesIssued = r.u64();
+        ckpt::restore(r, q.q1Wait);
+    }
     filter_.restoreState(r);
 
     inflightDemand_.clear();

@@ -57,6 +57,20 @@ class MissObserver
                              sim::RequestKind kind) = 0;
 };
 
+/**
+ * Per-tenant (per-core) QoS counters kept by the controller.  Passive:
+ * they never feed back into timing, so they are excluded from config
+ * fingerprints, but they are checkpointed so restored runs keep exact
+ * fairness accounting.
+ */
+struct CoreQos
+{
+    std::uint64_t demandFetches = 0;
+    std::uint64_t ulmtPrefetchesIssued = 0;
+    /** Queue-1 residency of each demand fetch (complete - issue). */
+    sim::SampleStat q1Wait;
+};
+
 /** Controller-side statistics. */
 struct MemorySystemStats
 {
@@ -78,8 +92,9 @@ struct MemorySystemStats
 class MemorySystem
 {
   public:
-    /** Invoked when a pushed line arrives at the L2. */
-    using PushCallback = std::function<void(sim::Cycle, sim::Addr)>;
+    /** Invoked when a pushed line arrives at the L2 of @p core. */
+    using PushCallback =
+        std::function<void(sim::Cycle, sim::Addr, unsigned core)>;
 
     MemorySystem(sim::EventQueue &eq, const TimingParams &tp)
         : eq_(eq), tp_(tp), dram_(tp), filter_(tp.filterEntries)
@@ -94,6 +109,37 @@ class MemorySystem
         verbose_ = verbose;
     }
 
+    /**
+     * Attach a per-core ULMT observer (percore serving mode).  Misses
+     * from @p core go to @p observer; cores without one fall back to
+     * the default observer set by setObserver().
+     */
+    void
+    setCoreObserver(unsigned core, MissObserver *observer, bool verbose)
+    {
+        if (coreObservers_.size() <= core)
+            coreObservers_.resize(core + 1, nullptr);
+        coreObservers_[core] = observer;
+        verbose_ = verbose;
+    }
+
+    /**
+     * Declare the number of main processors sharing this controller.
+     * Sizes the per-tenant QoS counters; 1 (the default) keeps the
+     * single-core behavior and stat namespace.
+     */
+    void
+    setNumCores(unsigned cores)
+    {
+        numCores_ = cores;
+        coreQos_.resize(cores);
+    }
+
+    unsigned numCores() const { return numCores_; }
+
+    /** Per-tenant QoS counters (sized by setNumCores). */
+    const std::vector<CoreQos> &coreQos() const { return coreQos_; }
+
     /** Set the sink for pushed prefetch lines (the L2). */
     void setPushCallback(PushCallback cb) { push_ = std::move(cb); }
 
@@ -104,10 +150,11 @@ class MemorySystem
      * @param issue cycle the L2 miss is detected
      * @param line_addr L2-line-aligned address
      * @param kind Demand or CpuPrefetch
+     * @param core requesting main processor (0 on single-core)
      * @return cycle at which the fill completes at the L2
      */
     sim::Cycle fetchLine(sim::Cycle issue, sim::Addr line_addr,
-                         sim::RequestKind kind);
+                         sim::RequestKind kind, unsigned core = 0);
 
     /**
      * Inject a ULMT push prefetch for @p line_addr, generated at cycle
@@ -116,10 +163,11 @@ class MemorySystem
      *
      * @param flow trace-event flow id of the demand miss that triggered
      *             this prefetch (0 = none / tracing off)
+     * @param core main processor the push is destined for
      * @return true if the prefetch was issued to DRAM
      */
     bool ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
-                      std::uint64_t flow = 0);
+                      std::uint64_t flow = 0, unsigned core = 0);
 
     /**
      * One correlation-table access by the memory processor (on a miss
@@ -137,14 +185,15 @@ class MemorySystem
     void writeback(sim::Cycle when, sim::Addr line_addr);
 
     /**
-     * Arrival cycle of an in-flight ULMT prefetch for @p line_addr, or
-     * sim::neverCycle when none is in flight.  Used by the L2 to model
-     * a prefetch reply stealing the MSHR of a matching demand miss.
+     * Arrival cycle of an in-flight ULMT prefetch for @p line_addr
+     * destined for @p core, or sim::neverCycle when none is in flight.
+     * Used by the L2 to model a prefetch reply stealing the MSHR of a
+     * matching demand miss.
      */
     sim::Cycle
-    inflightPrefetchArrival(sim::Addr line_addr) const
+    inflightPrefetchArrival(sim::Addr line_addr, unsigned core = 0) const
     {
-        auto it = inflightPf_.find(line_addr);
+        auto it = inflightPf_.find(sim::packCoreLine(core, line_addr));
         return it == inflightPf_.end() ? sim::neverCycle : it->second;
     }
 
@@ -181,6 +230,14 @@ class MemorySystem
      */
     std::uint64_t observedFlowId() const { return observedFlowId_; }
 
+    /**
+     * Core id of the miss currently being delivered through
+     * observeMiss (0 outside that call).  Same synchronous side-channel
+     * pattern as observedFlowId(): it lets the engine tag its queue-2
+     * entries per tenant without widening the MissObserver interface.
+     */
+    unsigned observedCore() const { return observedCore_; }
+
     /** Register controller/bus/DRAM/filter stats under "memsys.*". */
     void registerStats(sim::StatRegistry &reg) const;
 
@@ -192,14 +249,17 @@ class MemorySystem
     void saveState(ckpt::StateWriter &w) const;
     void restoreState(ckpt::StateReader &r);
 
-    /** The queue-1 demand completion closure (run and restore). */
-    sim::EventQueue::Action demandDoneAction(sim::Addr line_addr);
+    /**
+     * The queue-1 demand completion closure (run and restore).  @p key
+     * is the packed (core, line) map key carried in the event's arg0.
+     */
+    sim::EventQueue::Action demandDoneAction(sim::Addr key);
 
     /** The queue-1 CPU-prefetch completion closure (run and restore). */
-    sim::EventQueue::Action cpuPfDoneAction(sim::Addr line_addr);
+    sim::EventQueue::Action cpuPfDoneAction(sim::Addr key);
 
     /** The queue-3 arrival closure (shared by run and restore). */
-    sim::EventQueue::Action prefetchArrivalAction(sim::Addr line_addr,
+    sim::EventQueue::Action prefetchArrivalAction(sim::Addr key,
                                                   sim::Cycle arrival);
 
     /**
@@ -232,22 +292,33 @@ class MemorySystem
     Dram dram_;
     PrefetchFilter filter_;
     MissObserver *observer_ = nullptr;
+    /** Per-core observers (percore mode); fall back to observer_. */
+    std::vector<MissObserver *> coreObservers_;
     bool verbose_ = false;
     PushCallback push_;
+
+    // All three in-flight maps (and the Filter) are keyed by the packed
+    // (core, line) key of sim::packCoreLine so the cross-match and
+    // dedup logic is naturally per tenant; core 0's key equals the raw
+    // line address.  Bus and DRAM always see the raw line address.
 
     /** Demand fetches currently in flight (queue 1). */
     std::unordered_map<sim::Addr, std::uint32_t> inflightDemand_;
     /** CPU-prefetch fetches in flight (queue 1, tracked separately so
      *  cross-match drops are attributed per Figure 3). */
     std::unordered_map<sim::Addr, std::uint32_t> inflightCpuPf_;
-    /** ULMT prefetches in flight: line -> arrival cycle (queue 3). */
+    /** ULMT prefetches in flight: key -> arrival cycle (queue 3). */
     std::unordered_map<sim::Addr, sim::Cycle> inflightPf_;
 
     MemorySystemStats stats_;
+    unsigned numCores_ = 1;
+    /** Per-tenant QoS counters (sized by setNumCores). */
+    std::vector<CoreQos> coreQos_;
     /** Queueing delay seen by correlation-table accesses at the DRAM. */
     sim::SampleStat tableWait_;
     sim::TraceEventBuffer *trace_ = nullptr;
     std::uint64_t observedFlowId_ = 0;
+    unsigned observedCore_ = 0;
 
   public:
     const sim::SampleStat &tableWait() const { return tableWait_; }

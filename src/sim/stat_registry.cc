@@ -70,10 +70,20 @@ StatRegistry::addHistogram(const std::string &name,
 void
 StatRegistry::visit(StatVisitor &v) const
 {
+    visit(v, [](const std::string &) { return true; });
+}
+
+void
+StatRegistry::visit(
+    StatVisitor &v,
+    const std::function<bool(const std::string &)> &keep) const
+{
     std::vector<const Entry *> order;
     order.reserve(entries_.size());
-    for (const Entry &e : entries_)
-        order.push_back(&e);
+    for (const Entry &e : entries_) {
+        if (keep(e.name))
+            order.push_back(&e);
+    }
     std::sort(order.begin(), order.end(),
               [](const Entry *a, const Entry *b) {
                   return a->name < b->name;
@@ -208,6 +218,15 @@ StatRegistry::dumpJson() const
 {
     JsonDumper d;
     visit(d);
+    return d.take();
+}
+
+std::string
+StatRegistry::dumpJson(
+    const std::function<bool(const std::string &)> &keep) const
+{
+    JsonDumper d;
+    visit(d, keep);
     return d.take();
 }
 

@@ -77,6 +77,11 @@ class StatRegistry
     /** Walk every entry in byte order of the dotted names. */
     void visit(StatVisitor &v) const;
 
+    /** Walk only the entries whose name @p keep accepts. */
+    void
+    visit(StatVisitor &v,
+          const std::function<bool(const std::string &)> &keep) const;
+
     /**
      * The JSON dump visitor: one object keyed by dotted path.
      * Counters and gauges render as numbers; samples as
@@ -85,6 +90,11 @@ class StatRegistry
      * part of the dump, not silently dropped).
      */
     std::string dumpJson() const;
+
+    /** The JSON dump restricted to names @p keep accepts (the backing
+     *  of `ulmt-stats --core=<id>` / `--filter=<glob>`). */
+    std::string
+    dumpJson(const std::function<bool(const std::string &)> &keep) const;
 
   private:
     enum class Kind { Counter, Gauge, Sample, Histogram };

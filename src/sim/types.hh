@@ -44,6 +44,44 @@ memProcCyclesToMain(Cycle mem_proc_cycles)
     return mem_proc_cycles * mainCyclesPerMemProcCycle;
 }
 
+// --- Multicore tagging ------------------------------------------------
+//
+// With --cores=N every miss/prefetch in flight below the L2 belongs to
+// one core.  Rather than widening every map, event argument and filter
+// key with a second field, the core id is packed into the upper bits of
+// the line address: real addresses never reach bit 56 (workload address
+// spaces sit below 2^42), so bits [63:56] are free.  Core 0's key is
+// numerically identical to the raw line address, which keeps every
+// single-core data structure, event payload and checkpoint byte
+// bit-identical to the pre-multicore simulator.
+
+/** Maximum number of main processors (--cores). */
+inline constexpr unsigned maxCores = 64;
+
+/** Bit position of the core-id tag inside a packed (core,line) key. */
+inline constexpr unsigned coreKeyShift = 56;
+
+/** Pack a (core, L2-line address) pair into one map/event key. */
+constexpr Addr
+packCoreLine(unsigned core, Addr line)
+{
+    return line | (static_cast<Addr>(core) << coreKeyShift);
+}
+
+/** The core id of a packed key (0 for untagged single-core keys). */
+constexpr unsigned
+coreOfKey(Addr key)
+{
+    return static_cast<unsigned>(key >> coreKeyShift);
+}
+
+/** The raw line address of a packed key. */
+constexpr Addr
+lineOfKey(Addr key)
+{
+    return key & ((static_cast<Addr>(1) << coreKeyShift) - 1);
+}
+
 /**
  * Classification of the agent that generated a memory request.  Used to
  * implement the Verbose / Non-Verbose observation modes of Section 3.2:

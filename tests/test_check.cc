@@ -116,7 +116,7 @@ struct CheckTestPeer
     stuffQueue2(core::UlmtEngine &e, std::size_t n)
     {
         for (std::size_t i = 0; i < n; ++i)
-            e.queue2_.push_back({0, 0x40 * (i + 1), 0});
+            e.queues2_[0].push_back({0, 0x40 * (i + 1), 0, 0});
     }
 };
 

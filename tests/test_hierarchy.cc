@@ -15,7 +15,7 @@ struct Fixture : public ::testing::Test
 {
     Fixture() : ms(eq, tp), hier(eq, tp, ms, /*stream_pf=*/false)
     {
-        ms.setPushCallback([this](sim::Cycle when, sim::Addr line) {
+        ms.setPushCallback([this](sim::Cycle when, sim::Addr line, unsigned) {
             hier.acceptPush(when, line);
         });
     }
@@ -207,7 +207,7 @@ TEST(HierarchyStreamPf, StreamPrefetcherCoversSequentialMisses)
     mem::TimingParams tp;
     mem::MemorySystem ms(eq, tp);
     cpu::Hierarchy hier(eq, tp, ms, /*stream_pf=*/true);
-    ms.setPushCallback([&](sim::Cycle when, sim::Addr line) {
+    ms.setPushCallback([&](sim::Cycle when, sim::Addr line, unsigned) {
         hier.acceptPush(when, line);
     });
 

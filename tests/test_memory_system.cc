@@ -79,7 +79,7 @@ TEST_F(Fixture, NonVerboseHidesCpuPrefetches)
 TEST_F(Fixture, PrefetchDeliveredToPushCallback)
 {
     std::vector<std::pair<sim::Cycle, sim::Addr>> pushes;
-    ms.setPushCallback([&](sim::Cycle when, sim::Addr line) {
+    ms.setPushCallback([&](sim::Cycle when, sim::Addr line, unsigned) {
         pushes.emplace_back(when, line);
     });
     EXPECT_TRUE(ms.ulmtPrefetch(0, 0x1000));

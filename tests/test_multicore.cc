@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the multicore machine: N main processors over one shared
+ * memory system, the three ULMT serving modes (shared / percore /
+ * sharded), per-tenant QoS accounting, the per-core address-slice
+ * workloads, the core-sliced stat registry dump, and the v3
+ * checkpoint round trip -- a restored N=4 run must finish
+ * bit-identical to the uninterrupted one in every serving mode, and a
+ * snapshot must be loudly rejected by a machine with a different core
+ * count or serving mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+#include "ckpt/checkpoint.hh"
+#include "core/factory.hh"
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+#include "driver/system.hh"
+#include "workloads/offset.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+driver::SystemConfig
+mcConfig(unsigned cores, core::UlmtMode mode,
+         const std::string &app = "MST")
+{
+    driver::ExperimentOptions opt;
+    opt.scale = 0.01;
+    driver::SystemConfig cfg =
+        driver::ulmtConfig(opt, core::UlmtAlgo::Repl, app);
+    cfg.cores = cores;
+    cfg.ulmtMode = mode;
+    return cfg;
+}
+
+std::unique_ptr<driver::System>
+makeSystem(const driver::SystemConfig &cfg,
+           const std::string &app = "MST", double scale = 0.01)
+{
+    const driver::ExperimentOptions defaults;
+    auto ws = driver::makeCoreWorkloads(app, defaults.seed, scale,
+                                        cfg.cores);
+    const std::string name = ws[0]->name();
+    auto sys = std::make_unique<driver::System>(cfg, std::move(ws),
+                                                name);
+    sys->setCheckpointMeta(app, defaults.seed, scale);
+    return sys;
+}
+
+const std::vector<core::UlmtMode> kModes = {core::UlmtMode::Shared,
+                                            core::UlmtMode::PerCore,
+                                            core::UlmtMode::Sharded};
+
+TEST(Multicore, FourCoreRunCompletesInEveryMode)
+{
+    // Sparse is the workload whose miss pairs actually repeat, so the
+    // ULMT issues prefetches for every tenant (MST/Tree/CG's synthetic
+    // traces learn pairs but re-encounter none at small scales).
+    for (core::UlmtMode mode : kModes) {
+        SCOPED_TRACE(core::to_string(mode));
+        auto sys = makeSystem(mcConfig(4, mode, "Sparse"), "Sparse");
+        const driver::RunResult r = sys->run();
+
+        ASSERT_EQ(r.coreProc.size(), 4u);
+        ASSERT_EQ(r.coreHier.size(), 4u);
+        ASSERT_EQ(r.coreQos.size(), 4u);
+        EXPECT_EQ(r.engineUlmt.size(),
+                  mode == core::UlmtMode::PerCore ? 4u : 1u);
+        EXPECT_EQ(sys->numCores(), 4u);
+
+        for (unsigned c = 0; c < 4; ++c) {
+            SCOPED_TRACE(c);
+            // Every tenant ran its whole trace and touched memory.
+            EXPECT_GT(r.coreProc[c].records, 0u);
+            EXPECT_GT(r.coreProc[c].totalCycles, 0u);
+            EXPECT_GT(r.coreHier[c].l2Misses, 0u);
+            EXPECT_GT(r.coreQos[c].demandFetches, 0u);
+            EXPECT_GT(r.coreQos[c].ulmtPrefetchesIssued, 0u);
+        }
+        // The headline cycle count is the slowest tenant.
+        sim::Cycle slowest = 0;
+        for (const cpu::ProcessorStats &p : r.coreProc)
+            slowest = std::max(slowest, p.totalCycles);
+        EXPECT_EQ(r.cycles, slowest);
+    }
+}
+
+TEST(Multicore, DeterministicAcrossRuns)
+{
+    for (core::UlmtMode mode : kModes) {
+        SCOPED_TRACE(core::to_string(mode));
+        const driver::SystemConfig cfg = mcConfig(4, mode);
+        const driver::RunResult a = makeSystem(cfg)->run();
+        const driver::RunResult b = makeSystem(cfg)->run();
+        EXPECT_EQ(driver::resultFingerprint(a),
+                  driver::resultFingerprint(b));
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    }
+}
+
+/**
+ * The vector-of-workloads constructor with one core and shared
+ * serving IS the machine the repo always simulated: same fingerprint
+ * as the classic single-workload constructor.
+ */
+TEST(Multicore, SingleCoreMachineMatchesLegacyConstruction)
+{
+    const driver::ExperimentOptions opt;
+    driver::SystemConfig cfg =
+        mcConfig(1, core::UlmtMode::Shared);
+
+    workloads::WorkloadParams wp;
+    wp.seed = opt.seed;
+    wp.scale = 0.01;
+    auto wl = workloads::makeWorkload("MST", wp);
+    driver::System legacy(cfg, *wl);
+    const driver::RunResult a = legacy.run();
+
+    const driver::RunResult b = makeSystem(cfg)->run();
+    EXPECT_EQ(driver::resultFingerprint(a),
+              driver::resultFingerprint(b));
+    // Single-core machines publish no per-core slices (beyond the
+    // always-present QoS row) so their fingerprint stays pre-multicore.
+    EXPECT_TRUE(a.coreProc.empty());
+    EXPECT_EQ(a.coreQos.size(), 1u);
+}
+
+TEST(Multicore, OffsetWorkloadShiftsEveryReference)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = 0.01;
+    auto plain = workloads::makeWorkload("MST", wp);
+    workloads::OffsetWorkload shifted(workloads::makeWorkload("MST", wp),
+                                      /*core=*/2);
+
+    cpu::TraceRecord a, b;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_EQ(plain->next(a), shifted.next(b));
+        EXPECT_EQ(a.computeOps, b.computeOps);
+        EXPECT_EQ(a.isWrite, b.isWrite);
+        if (a.addr == sim::invalidAddr)
+            EXPECT_EQ(b.addr, sim::invalidAddr);
+        else
+            EXPECT_EQ(b.addr, a.addr + 2 * workloads::coreAddrStride);
+    }
+}
+
+TEST(Multicore, StatRegistryFilterSelectsOneCoreSlice)
+{
+    auto sys = makeSystem(mcConfig(2, core::UlmtMode::PerCore));
+    (void)sys->run();
+    const auto keep = [](const std::string &path) {
+        return path.rfind("cpu.1.", 0) == 0;
+    };
+    const std::string json = sys->statRegistry().dumpJson(keep);
+    EXPECT_NE(json.find("cpu.1.l2.misses"), std::string::npos);
+    EXPECT_EQ(json.find("cpu.0."), std::string::npos);
+    EXPECT_EQ(json.find("memsys."), std::string::npos);
+}
+
+/** Deep invariant checking stays clean on a 4-core machine. */
+TEST(Multicore, DeepCheckCleanInEveryMode)
+{
+    for (core::UlmtMode mode : kModes) {
+        SCOPED_TRACE(core::to_string(mode));
+        driver::SystemConfig cfg = mcConfig(4, mode);
+        cfg.check.mode = check::CheckMode::Deep;
+        cfg.check.everyEvents = 4096;
+        // Deep mode diffs reference models at every cadence tick; keep
+        // the run short.
+        EXPECT_NO_THROW((void)makeSystem(cfg, "MST", 0.003)->run());
+    }
+}
+
+class MulticoreCkpt : public ::testing::TestWithParam<core::UlmtMode>
+{
+};
+
+/**
+ * Snapshot an N=4 machine mid-flight and restore it: the resumed run
+ * must finish with a result fingerprint (which includes every
+ * per-core and per-engine slice) bit-identical to both the
+ * uninterrupted run and the run that paused to snapshot.
+ */
+TEST_P(MulticoreCkpt, RestoreMatchesStraightRun)
+{
+    const core::UlmtMode mode = GetParam();
+    const driver::SystemConfig cfg = mcConfig(4, mode);
+
+    const driver::RunResult straight = makeSystem(cfg)->run();
+    const std::string fp = driver::resultFingerprint(straight);
+
+    const std::string path = tmpPath("mc_" + core::to_string(mode) +
+                                     ".ulmtckp");
+    auto through_sys = makeSystem(cfg);
+    through_sys->setCheckpointTrigger("400", path);
+    const driver::RunResult through = through_sys->run();
+    ASSERT_GT(through.ckptBytes, 0u) << "trigger never fired";
+    EXPECT_EQ(driver::resultFingerprint(through), fp);
+
+    const ckpt::CkptHeader h = ckpt::CheckpointImage::readHeader(path);
+    EXPECT_EQ(h.cores, 4u);
+    EXPECT_EQ(h.ulmtMode, static_cast<std::uint32_t>(mode));
+
+    auto resumed_sys = makeSystem(cfg);
+    resumed_sys->restoreCheckpoint(path);
+    const driver::RunResult resumed = resumed_sys->run();
+    EXPECT_EQ(driver::resultFingerprint(resumed), fp);
+    ASSERT_EQ(resumed.coreProc.size(), straight.coreProc.size());
+    for (std::size_t c = 0; c < straight.coreProc.size(); ++c) {
+        EXPECT_EQ(resumed.coreProc[c].totalCycles,
+                  straight.coreProc[c].totalCycles)
+            << "core " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MulticoreCkpt,
+                         ::testing::ValuesIn(kModes),
+                         [](const auto &info) {
+                             return core::to_string(info.param);
+                         });
+
+TEST(MulticoreCkpt, RejectsCoreCountMismatch)
+{
+    const std::string path = tmpPath("mc_shape.ulmtckp");
+    auto sys = makeSystem(mcConfig(4, core::UlmtMode::Shared));
+    sys->setCheckpointTrigger("400", path);
+    ASSERT_GT(sys->run().ckptBytes, 0u);
+
+    auto two = makeSystem(mcConfig(2, core::UlmtMode::Shared));
+    try {
+        two->restoreCheckpoint(path);
+        FAIL() << "restore accepted a 4-core snapshot on 2 cores";
+    } catch (const ckpt::CkptError &e) {
+        EXPECT_NE(std::string(e.what()).find("4-core machine"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(MulticoreCkpt, RejectsServingModeMismatch)
+{
+    const std::string path = tmpPath("mc_mode.ulmtckp");
+    auto sys = makeSystem(mcConfig(4, core::UlmtMode::Shared));
+    sys->setCheckpointTrigger("400", path);
+    ASSERT_GT(sys->run().ckptBytes, 0u);
+
+    auto sharded = makeSystem(mcConfig(4, core::UlmtMode::Sharded));
+    try {
+        sharded->restoreCheckpoint(path);
+        FAIL() << "restore accepted a shared-mode snapshot when "
+                  "sharded";
+    } catch (const ckpt::CkptError &e) {
+        EXPECT_NE(std::string(e.what()).find("serving mode"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace

@@ -54,7 +54,7 @@ struct Harness
         : trace(std::move(recs)), ms(eq, tp),
           hier(eq, tp, ms, false), proc(eq, tp, hier, trace)
     {
-        ms.setPushCallback([this](sim::Cycle when, sim::Addr line) {
+        ms.setPushCallback([this](sim::Cycle when, sim::Addr line, unsigned) {
             hier.acceptPush(when, line);
         });
     }

@@ -3,14 +3,17 @@
  * ulmt-ckpt: create, inspect and compare checkpoint snapshots.
  *
  *   ulmt-ckpt create <app> <out.ulmtckp> [--algo=NAME] [--at=SPEC]
- *                    [--scale=S] [--seed=N] [--conven4]
+ *                    [--scale=S] [--seed=N] [--conven4] [--cores=N]
+ *                    [--ulmt-mode=shared|percore|sharded]
  *       Run <app> under the named ULMT algorithm (default Repl;
  *       "None" = no ULMT), snapshotting after SPEC ("<N>" demand L2
  *       misses, default 1000, or "<N>c" at cycle N), and report the
- *       run's result fingerprint.
+ *       run's result fingerprint.  --cores/--ulmt-mode snapshot a
+ *       multicore machine; restoring needs the same shape.
  *
  *   ulmt-ckpt info <file>
- *       Print header provenance and the section table.
+ *       Print header provenance (including the machine shape) and the
+ *       section table.
  *
  *   ulmt-ckpt verify <file>
  *       Fully validate the file (magic, version, every section
@@ -48,7 +51,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s <subcommand> ...\n"
         "  create <app> <out.ulmtckp> [--algo=NAME] [--at=SPEC]\n"
-        "         [--scale=S] [--seed=N] [--conven4]\n"
+        "         [--scale=S] [--seed=N] [--conven4] [--cores=N]\n"
+        "         [--ulmt-mode=shared|percore|sharded]\n"
         "  info <file>\n"
         "  verify <file>\n"
         "  diff <a> <b>\n"
@@ -84,6 +88,8 @@ cmdCreate(const std::vector<std::string> &args)
     std::string algo_name = "Repl";
     std::string at = "1000";
     bool conven4 = false;
+    unsigned cores = 1;
+    core::UlmtMode mode = core::UlmtMode::Shared;
     for (std::size_t i = 2; i < args.size(); ++i) {
         if (const char *v = flagValue(args[i].c_str(), "--algo="))
             algo_name = v;
@@ -95,6 +101,11 @@ cmdCreate(const std::vector<std::string> &args)
             opt.seed = std::strtoull(n, nullptr, 0);
         else if (args[i] == "--conven4")
             conven4 = true;
+        else if (const char *c = flagValue(args[i].c_str(), "--cores="))
+            cores = unsigned(std::strtoul(c, nullptr, 10));
+        else if (const char *m =
+                     flagValue(args[i].c_str(), "--ulmt-mode="))
+            mode = core::parseUlmtMode(m);
         else
             badFlag(args[i].c_str());
     }
@@ -107,12 +118,13 @@ cmdCreate(const std::vector<std::string> &args)
                        : driver::ulmtConfig(opt, algo, app));
     if (algo == core::UlmtAlgo::None && conven4)
         cfg = driver::conven4Config(opt);
+    cfg.cores = cores;
+    cfg.ulmtMode = mode;
 
-    workloads::WorkloadParams wp;
-    wp.seed = opt.seed;
-    wp.scale = opt.scale;
-    auto wl = workloads::makeWorkload(app, wp);
-    driver::System sys(cfg, *wl);
+    auto ws =
+        driver::makeCoreWorkloads(app, opt.seed, opt.scale, cores);
+    const std::string name = ws[0]->name();
+    driver::System sys(cfg, std::move(ws), name);
     sys.setCheckpointMeta(app, opt.seed, opt.scale);
     sys.setCheckpointTrigger(at, out);
     const driver::RunResult r = sys.run();
@@ -153,6 +165,12 @@ cmdInfo(const std::vector<std::string> &args)
                 (unsigned long long)h.configFingerprint);
     std::printf("seed:        %#llx\n", (unsigned long long)h.seed);
     std::printf("scale:       %g\n", h.scale);
+    std::printf("machine:     %u core%s, %s serving\n", h.cores,
+                h.cores == 1 ? "" : "s",
+                h.ulmtMode <= std::uint32_t(core::UlmtMode::Sharded)
+                    ? core::to_string(core::UlmtMode(h.ulmtMode))
+                          .c_str()
+                    : "unknown");
     std::printf("cycle:       %llu\n", (unsigned long long)h.cycle);
     std::printf("misses:      %llu\n", (unsigned long long)h.misses);
     std::printf("sections:    %zu (%llu payload bytes)\n",
@@ -213,6 +231,8 @@ cmdDiff(const std::vector<std::string> &args)
     num("config_fingerprint", a.header.configFingerprint,
         b.header.configFingerprint);
     num("seed", a.header.seed, b.header.seed);
+    num("cores", a.header.cores, b.header.cores);
+    num("ulmt_mode", a.header.ulmtMode, b.header.ulmtMode);
     num("cycle", a.header.cycle, b.header.cycle);
     num("misses", a.header.misses, b.header.misses);
     if (a.header.scale != b.header.scale) {

@@ -8,7 +8,8 @@
  *
  * Each seed deterministically derives one machine configuration
  * (algorithm, table geometry, queue depth, filter size, placement,
- * Conven4, Verbose) and one short workload, then runs it to completion
+ * Conven4, Verbose, core count, ULMT serving mode) and one short
+ * workload, then runs it to completion
  * with the invariant checker armed -- by default in Deep mode, so the
  * lockstep reference models are diffed too.  The same seed always
  * produces the same configuration, on every host.
@@ -48,6 +49,8 @@ struct Scenario
     std::uint32_t queueDepth = 16;
     std::uint32_t filterEntries = 32;
     double scale = 0.005;
+    unsigned cores = 1;
+    core::UlmtMode mode = core::UlmtMode::Shared;
 
     std::string
     describe() const
@@ -56,12 +59,14 @@ struct Scenario
         std::snprintf(
             buf, sizeof(buf),
             "app=%s algo=%s rows=%u levels=%u verbose=%d conven4=%d "
-            "placement=%s queueDepth=%u filterEntries=%u scale=%g",
+            "placement=%s queueDepth=%u filterEntries=%u scale=%g "
+            "cores=%u mode=%s",
             app.c_str(), core::to_string(algo).c_str(), numRows,
             numLevels, verbose, conven4,
             placement == mem::MemProcPlacement::InDram ? "InDram"
                                                        : "NorthBridge",
-            queueDepth, filterEntries, scale);
+            queueDepth, filterEntries, scale, cores,
+            core::to_string(mode).c_str());
         return buf;
     }
 };
@@ -96,6 +101,19 @@ deriveScenario(std::uint64_t seed, double scale)
     s.queueDepth = 1 + (std::uint32_t)rng.below(24);  // 1 .. 24
     static const std::uint32_t filters[] = {0, 1, 2, 8, 32};
     s.filterEntries = filters[rng.below(5)];
+
+    // Multicore draws come last so the single-core dimensions of a
+    // seed stay what they were before the machine grew cores.
+    static const unsigned coreCounts[] = {1, 1, 2, 4};
+    s.cores = coreCounts[rng.below(4)];
+    static const core::UlmtMode serving[] = {core::UlmtMode::Shared,
+                                             core::UlmtMode::PerCore,
+                                             core::UlmtMode::Sharded};
+    s.mode = serving[rng.below(3)];
+    // N cores replay N workload copies; divide the trace down so every
+    // seed costs about the same and the sweep's wall time stays flat.
+    if (s.cores > 1)
+        s.scale = scale / s.cores;
     return s;
 }
 
@@ -120,6 +138,8 @@ buildConfig(const Scenario &s)
     }
     cfg.timing.queueDepth = s.queueDepth;
     cfg.timing.filterEntries = s.filterEntries;
+    cfg.cores = s.cores;
+    cfg.ulmtMode = s.mode;
     cfg.metricsInterval = 0;  // fuzzing needs no time series
     return cfg;
 }
@@ -133,6 +153,9 @@ runScenario(const Scenario &s, const check::CheckOptions &chk)
     opt.placement = s.placement;
     driver::SystemConfig cfg = buildConfig(s);
     cfg.check = chk;
+    // The checker's walk visits every per-core structure, so a tick
+    // costs cores x more; stretch the cadence to keep overhead flat.
+    cfg.check.everyEvents = chk.everyEvents * s.cores;
     try {
         (void)driver::runOne(s.app, cfg, opt);
     } catch (const std::exception &e) {
@@ -164,6 +187,9 @@ shrink(Scenario s, const check::CheckOptions &chk, bool verbose_log)
                 changed = true;
             }
         };
+        trial([&](Scenario &t) { t.cores = 1; }, "cores=1");
+        trial([&](Scenario &t) { t.mode = core::UlmtMode::Shared; },
+              "mode=shared");
         trial([&](Scenario &t) { t.conven4 = false; }, "conven4=0");
         trial([&](Scenario &t) { t.verbose = false; }, "verbose=0");
         trial([&](Scenario &t) { t.placement = defaults.placement; },

@@ -5,7 +5,9 @@
  *
  *   ulmt-stats dump <app> [--config=NAME] [--scale=S] [--seed=N]
  *                   [--placement=dram|nb] [--metrics-interval=N]
- *                   [--trace-events=PATH]
+ *                   [--trace-events=PATH] [--cores=N]
+ *                   [--ulmt-mode=shared|percore|sharded]
+ *                   [--core=ID] [--filter=GLOB]
  *       Run <app> (an application name or trace:<path>) under the
  *       named configuration and print every registered statistic --
  *       counters, gauges, samples and histograms -- as one JSON
@@ -14,6 +16,14 @@
  *   --config accepts: nopref, conven4, custom, or an algorithm name
  *   (Base, Chain, Repl, Seq1, Seq4, Seq1+Repl, Seq4+Repl) optionally
  *   prefixed with "conven4+".  Default: conven4+Repl.
+ *
+ *   --cores/--ulmt-mode simulate a multicore machine; its per-core
+ *   statistics land under "cpu.<id>.*", "ulmt.<id>.*" and
+ *   "memsys.core.<id>.*".  --core=ID restricts the dump to the paths
+ *   with the dotted segment <id> (core ID's slice of the registry);
+ *   --filter=GLOB restricts it to paths matching a *?-glob (e.g.
+ *   --filter='cpu.3.*').  Both filters may repeat; a path is kept if
+ *   any filter accepts it.
  *
  * The same registry backs the `metrics` time series in the bench
  * JSON; this tool is the quickest way to see which dotted names
@@ -29,6 +39,7 @@
 
 #include "core/factory.hh"
 #include "driver/experiment.hh"
+#include "sim/types.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -40,12 +51,45 @@ usage(const char *argv0)
         stderr,
         "usage: %s dump <app> [--config=NAME] [--scale=S] [--seed=N]\n"
         "       [--placement=dram|nb] [--metrics-interval=N]\n"
-        "       [--trace-events=PATH]\n"
+        "       [--trace-events=PATH] [--cores=N]\n"
+        "       [--ulmt-mode=shared|percore|sharded]\n"
+        "       [--core=ID] [--filter=GLOB]\n"
         "  config names: nopref, conven4, custom, <algo>,\n"
         "  conven4+<algo>  (algo: Base, Chain, Repl, Seq1, Seq4,\n"
         "  Seq1+Repl, Seq4+Repl; default conven4+Repl)\n",
         argv0);
     return 2;
+}
+
+/** Classic *?-glob over a full dotted path. */
+bool
+globMatch(const char *pat, const char *s)
+{
+    if (*pat == '\0')
+        return *s == '\0';
+    if (*pat == '*')
+        return globMatch(pat + 1, s) ||
+               (*s != '\0' && globMatch(pat, s + 1));
+    if (*s != '\0' && (*pat == '?' || *pat == *s))
+        return globMatch(pat + 1, s + 1);
+    return false;
+}
+
+/** True when any dotted segment of @p name equals @p id. */
+bool
+hasSegment(const std::string &name, const std::string &id)
+{
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t dot = name.find('.', start);
+        const std::size_t len =
+            (dot == std::string::npos ? name.size() : dot) - start;
+        if (name.compare(start, len, id) == 0)
+            return true;
+        if (dot == std::string::npos)
+            return false;
+        start = dot + 1;
+    }
 }
 
 /** --key= prefix match; returns the value part or nullptr. */
@@ -87,6 +131,10 @@ cmdDump(const std::vector<std::string> &args)
     const std::string &app = args[0];
     std::string config = "conven4+Repl";
     std::string trace_path;
+    unsigned cores = 1;
+    core::UlmtMode mode = core::UlmtMode::Shared;
+    std::vector<std::string> core_ids;
+    std::vector<std::string> globs;
     driver::ExperimentOptions opt;
     opt.scale = 0.25;
 
@@ -112,21 +160,35 @@ cmdDump(const std::vector<std::string> &args)
                 std::strtoull(v5, nullptr, 10));
         } else if (const char *v6 = flagValue(arg, "--trace-events=")) {
             trace_path = v6;
+        } else if (const char *v7 = flagValue(arg, "--cores=")) {
+            const unsigned long n = std::strtoul(v7, nullptr, 10);
+            if (n < 1 || n > sim::maxCores)
+                throw std::invalid_argument(
+                    "bad --cores (want 1.." +
+                    std::to_string(sim::maxCores) + "): " + args[i]);
+            cores = unsigned(n);
+        } else if (const char *v8 = flagValue(arg, "--ulmt-mode=")) {
+            mode = core::parseUlmtMode(v8);
+        } else if (const char *v9 = flagValue(arg, "--core=")) {
+            core_ids.emplace_back(v9);
+        } else if (const char *v10 = flagValue(arg, "--filter=")) {
+            globs.emplace_back(v10);
         } else {
             throw std::invalid_argument("unknown argument '" +
                                         args[i] + "'");
         }
     }
 
-    const driver::SystemConfig cfg = configByName(config, opt, app);
+    driver::SystemConfig cfg = configByName(config, opt, app);
+    cfg.cores = cores;
+    cfg.ulmtMode = mode;
     if (!trace_path.empty())
         driver::setTraceEventsPath(trace_path);
 
-    workloads::WorkloadParams wp;
-    wp.seed = opt.seed;
-    wp.scale = opt.scale;
-    auto workload = workloads::makeWorkload(app, wp);
-    driver::System sys(cfg, *workload);
+    auto ws =
+        driver::makeCoreWorkloads(app, opt.seed, opt.scale, cores);
+    const std::string name = ws[0]->name();
+    driver::System sys(cfg, std::move(ws), name);
 
     sim::TraceEventBuffer buf;
     if (driver::traceEventWriter())
@@ -137,7 +199,20 @@ cmdDump(const std::vector<std::string> &args)
         driver::finishTraceEvents();
     }
 
-    std::fputs(sys.statRegistry().dumpJson().c_str(), stdout);
+    if (core_ids.empty() && globs.empty()) {
+        std::fputs(sys.statRegistry().dumpJson().c_str(), stdout);
+        return 0;
+    }
+    const auto keep = [&](const std::string &path) {
+        for (const std::string &id : core_ids)
+            if (hasSegment(path, id))
+                return true;
+        for (const std::string &g : globs)
+            if (globMatch(g.c_str(), path.c_str()))
+                return true;
+        return false;
+    };
+    std::fputs(sys.statRegistry().dumpJson(keep).c_str(), stdout);
     return 0;
 }
 
