@@ -77,6 +77,13 @@ parseArgs(int argc, char **argv, double default_scale)
             if (*end != '\0' || v < 1)
                 sim::fatal("bad --check-interval value '%s'", arg + 17);
             opt.check.everyEvents = static_cast<std::uint64_t>(v);
+        } else if (std::strcmp(arg, "--audit=on") == 0) {
+            opt.audit = 1;
+        } else if (std::strcmp(arg, "--audit=off") == 0) {
+            opt.audit = 0;
+        } else if (std::strncmp(arg, "--audit", 7) == 0) {
+            sim::fatal("bad --audit value '%s' (expected on or off)",
+                       arg);
         } else if (std::strncmp(arg, "--checkpoint-at=", 16) == 0) {
             if (arg[16] == '\0')
                 sim::fatal("empty --checkpoint-at spec");
@@ -114,6 +121,7 @@ parseArgs(int argc, char **argv, double default_scale)
                        "[scale] [--jobs=N] [--apps=A,B,...] "
                        "[--trace-events=PATH] [--metrics-interval=N] "
                        "[--check[=basic|deep]] [--check-interval=N] "
+                       "[--audit=on|off] "
                        "[--checkpoint-at=SPEC] [--checkpoint-to=DIR] "
                        "[--restore-from=PATH] [--cores=N] "
                        "[--ulmt-mode=shared|percore|sharded] "
@@ -130,6 +138,8 @@ parseArgs(int argc, char **argv, double default_scale)
             static_cast<sim::Cycle>(opt.metricsInterval));
     if (opt.check.enabled())
         driver::setCheckOverride(opt.check);
+    if (opt.audit >= 0)
+        driver::setAuditOverride(opt.audit != 0);
     if (!opt.checkpointAt.empty())
         driver::setCheckpointAt(opt.checkpointAt);
     if (!opt.checkpointTo.empty())
@@ -158,13 +168,11 @@ Harness::Harness(std::string name, const Options &opt)
 void
 Harness::record(const driver::RunResult &r)
 {
-    const unsigned cores =
-        r.coreProc.empty() ? 1u
-                           : static_cast<unsigned>(r.coreProc.size());
+    const unsigned cores = r.cores ? r.cores : 1u;
     runs_.push_back(Run{r.workload, r.label, r.source, r.wallSeconds,
                         r.eventsExecuted, r.cycles, r.ckptSaveSeconds,
                         r.ckptRestoreSeconds, r.ckptBytes, cores,
-                        r.metrics});
+                        r.ulmtMode, r.audit, r.metrics});
 }
 
 void
@@ -280,6 +288,100 @@ provenanceJson()
     return out;
 }
 
+/** One push-outcome counter set as a JSON object. */
+std::string
+outcomeJson(const mem::AuditOutcomeCounts &c)
+{
+    return sim::strformat(
+        "{\"issued\": %llu, \"useful_timely\": %llu, "
+        "\"useful_late\": %llu, \"evicted_unused\": %llu, "
+        "\"redundant\": %llu, \"dropped_filter\": %llu, "
+        "\"dropped_queue_full\": %llu, \"dropped_demand_match\": %llu, "
+        "\"dropped_cpu_pf_match\": %llu}",
+        (unsigned long long)c.issued, (unsigned long long)c.usefulTimely,
+        (unsigned long long)c.usefulLate,
+        (unsigned long long)c.evictedUnused,
+        (unsigned long long)c.redundant,
+        (unsigned long long)c.droppedFilter,
+        (unsigned long long)c.droppedQueueFull,
+        (unsigned long long)c.droppedDemandMatch,
+        (unsigned long long)c.droppedCpuPfMatch);
+}
+
+/**
+ * The per-run "effectiveness" block: the audit layer's lifecycle
+ * outcome taxonomy, lead-time histogram, per-tenant bus/DRAM split and
+ * the blocked_by interference matrix.  Fully deterministic (no host
+ * times), so regression gates may compare it exactly.
+ */
+std::string
+effectivenessJson(const mem::AuditReport &a)
+{
+    std::string out = "{\"cores\": [";
+    for (std::size_t c = 0; c < a.cores.size(); ++c) {
+        const mem::AuditCoreReport &cr = a.cores[c];
+        out += c ? ",\n        " : "\n        ";
+        out += "{\"push\": " + outcomeJson(cr.push);
+        out += ", \"coverage\": " + jsonNumber(cr.coverage);
+        out += ", \"accuracy\": " + jsonNumber(cr.accuracy);
+        out += ", \"timeliness\": " + jsonNumber(cr.timeliness);
+        out += sim::strformat(
+            ",\n         \"cpu_pf\": {\"issued\": %llu, "
+            "\"to_memory\": %llu, \"useful_timely\": %llu, "
+            "\"useful_late\": %llu, \"replaced\": %llu}",
+            (unsigned long long)cr.cpuPfIssued,
+            (unsigned long long)cr.cpuPfToMemory,
+            (unsigned long long)cr.cpuPfUsefulTimely,
+            (unsigned long long)cr.cpuPfUsefulLate,
+            (unsigned long long)cr.cpuPfReplaced);
+        out += ",\n         \"lead_time\": {\"edges\": [";
+        for (std::size_t i = 0; i < cr.leadEdges.size(); ++i)
+            out += (i ? ", " : "") + jsonNumber(cr.leadEdges[i]);
+        out += "], \"counts\": [";
+        for (std::size_t i = 0; i < cr.leadCounts.size(); ++i)
+            out += sim::strformat("%s%llu", i ? ", " : "",
+                                  (unsigned long long)cr.leadCounts[i]);
+        out += sim::strformat("], \"below\": %llu",
+                              (unsigned long long)cr.leadBelow);
+        out += ", \"p50\": " + jsonNumber(cr.leadP50);
+        out += ", \"p95\": " + jsonNumber(cr.leadP95) + "}";
+        out += sim::strformat(",\n         \"late\": {\"count\": %llu",
+                              (unsigned long long)cr.lateCount);
+        out += ", \"mean\": " + jsonNumber(cr.lateMean) + "}";
+        out += sim::strformat(
+            ",\n         \"bus_cycles\": {\"demand\": %llu, "
+            "\"prefetch\": %llu, \"other\": %llu}",
+            (unsigned long long)cr.busDemandCycles,
+            (unsigned long long)cr.busPrefetchCycles,
+            (unsigned long long)cr.busOtherCycles);
+        out += sim::strformat(
+            ", \"dram_cycles\": {\"demand\": %llu, "
+            "\"prefetch\": %llu, \"other\": %llu}",
+            (unsigned long long)cr.dramDemandCycles,
+            (unsigned long long)cr.dramPrefetchCycles,
+            (unsigned long long)cr.dramOtherCycles);
+        out += ",\n         \"blocked_by\": [";
+        for (std::size_t i = 0; i < cr.blockedBy.size(); ++i)
+            out += sim::strformat("%s%llu", i ? ", " : "",
+                                  (unsigned long long)cr.blockedBy[i]);
+        out += "]}";
+    }
+    out += "],\n       \"engines\": [";
+    for (std::size_t e = 0; e < a.engines.size(); ++e) {
+        out += e ? ", " : "";
+        out += sim::strformat("{\"engine\": %u, \"push\": ",
+                              a.engines[e].engine);
+        out += outcomeJson(a.engines[e].push) + "}";
+    }
+    out += sim::strformat(
+        "],\n       \"table_dram_cycles\": %llu, "
+        "\"open_inflight\": %llu, \"open_installed\": %llu}",
+        (unsigned long long)a.tableDramCycles,
+        (unsigned long long)a.openInflight,
+        (unsigned long long)a.openInstalled);
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -332,6 +434,12 @@ Harness::writeJson() const
                    jsonNumber(r.ckptRestoreSeconds);
             out += sim::strformat(", \"ckpt_bytes\": %llu",
                                   (unsigned long long)r.ckptBytes);
+        }
+        // Lifecycle audit (ISSUE 8): present only when the auditor ran,
+        // so audit-off invocations keep the established schema.
+        if (r.audit.enabled) {
+            out += ",\n     \"effectiveness\": ";
+            out += effectivenessJson(r.audit);
         }
         out += "}";
     }
@@ -438,8 +546,12 @@ Harness::writeThroughputJson() const
         appendEscaped(out, r.workload);
         out += ", \"config\": ";
         appendEscaped(out, r.label);
-        if (r.cores > 1)
-            out += sim::strformat(", \"cores\": %u", r.cores);
+        // Self-identifying rows: a throughput archive mixes many bench
+        // invocations, so each row carries its machine shape.
+        out += ", \"scale\": " + jsonNumber(opt_.scale);
+        out += sim::strformat(", \"cores\": %u", r.cores);
+        out += ", \"ulmt_mode\": ";
+        appendEscaped(out, r.ulmtMode.empty() ? "shared" : r.ulmtMode);
         out += sim::strformat(", \"events\": %llu",
                               (unsigned long long)r.events);
         out += ", \"wall_seconds\": " + jsonNumber(r.wallSeconds);

@@ -21,7 +21,10 @@
  *   "runs": [
  *     {"workload": "Mcf", "config": "NoPref", "source": "synthetic",
  *      "wall_seconds": 0.51, "events": 1234567,
- *      "events_per_sec": 2.4e6, "sim_cycles": 98765432}, ...
+ *      "events_per_sec": 2.4e6, "sim_cycles": 98765432,
+ *      "effectiveness": {"cores": [{"push": {...}, "coverage": ...,
+ *        "lead_time": {...}, "blocked_by": [...]}, ...],
+ *        "engines": [...], ...}}, ...
  *   ],
  *   "metrics": {"avg_speedup_repl": 1.32, ...,
  *     "series": [{"workload": "Mcf", "config": "NoPref",
@@ -49,7 +52,7 @@ namespace bench {
 /**
  * Common bench CLI: `bench [scale] [--jobs=N] [--apps=A,B,...]
  * [--trace-events=PATH] [--metrics-interval=N]
- * [--check[=basic|deep]] [--check-interval=N]
+ * [--check[=basic|deep]] [--check-interval=N] [--audit=on|off]
  * [--checkpoint-at=SPEC] [--checkpoint-to=DIR] [--restore-from=PATH]
  * [--list-workloads]`.
  */
@@ -76,6 +79,9 @@ struct Options
     std::string checkpointTo;
     /** Restore every run from this snapshot; empty = off. */
     std::string restoreFrom;
+    /** Lifecycle auditing for every run (`--audit=on|off`; the
+     *  SystemConfig default -- on -- when unset).  Passive. */
+    int audit = -1;
     /** Main processors per simulated machine (`--cores=N`). */
     unsigned cores = 1;
     /** ULMT serving mode (`--ulmt-mode=shared|percore|sharded`). */
@@ -97,6 +103,8 @@ struct Options
  * run, `--check=deep` additionally diffs the lockstep reference
  * models, and `--check-interval=N` sets the cadence in executed
  * events (default 2048);
+ * `--audit=on|off` forces the (passive, on-by-default) prefetch
+ * lifecycle auditor for every run;
  * `--checkpoint-at=SPEC` snapshots every run after SPEC ("<N>" demand
  * L2 misses, "<N>c" at cycle N) into `--checkpoint-to=DIR`;
  * `--restore-from=PATH` resumes every run from a snapshot;
@@ -126,8 +134,9 @@ class Harness
     /**
      * Write BENCH_<name>.json; returns the path written.  Also emits
      * BENCH_throughput.json, the host-side throughput summary of this
-     * invocation: one {workload, config, events, wall_seconds,
-     * events_per_sec} row per run plus the aggregate events/sec.
+     * invocation: one {workload, config, scale, cores, ulmt_mode,
+     * events, wall_seconds, events_per_sec} row per run plus the
+     * aggregate events/sec.
      */
     std::string writeJson() const;
 
@@ -144,6 +153,8 @@ class Harness
         double ckptRestoreSeconds;
         std::uint64_t ckptBytes;
         unsigned cores;
+        std::string ulmtMode;
+        mem::AuditReport audit;
         sim::TimeSeriesData metrics;
     };
 

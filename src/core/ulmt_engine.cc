@@ -203,7 +203,8 @@ UlmtEngine::processNext()
             continue;
         scratch_[emitted++] = line;
         ++stats_.prefetchesGenerated;
-        ms_.ulmtPrefetch(issue_at, line, obs.flow, obs.core);
+        ms_.ulmtPrefetch(issue_at, line, obs.flow, obs.core,
+                         engineId_);
     }
 
     // ---- Learning step.

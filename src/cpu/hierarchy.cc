@@ -116,8 +116,11 @@ Hierarchy::accessL2(sim::Cycle when, sim::Addr addr, bool count_demand)
         if (line->prefetched) {
             // Demand reference to a ULMT-pushed line: a full hit.
             line->prefetched = false;
-            if (count_demand)
+            if (count_demand) {
                 ++stats_.ulmtHits;
+                if (audit_)
+                    audit_->pushUsedTimely(core_, line_addr, when);
+            }
         }
         line->cpuPrefetched = false;
         return out;
@@ -144,6 +147,8 @@ Hierarchy::accessL2(sim::Cycle when, sim::Addr addr, bool count_demand)
         if (count_demand && nominal > paid)
             stats_.delayedHitSavedCycles += nominal - paid;
         claimedPush_.insert(line_addr);
+        if (audit_)
+            audit_->pushUsedLate(core_, line_addr, when, pf_arrival);
         l2Mshrs_.add(out.complete);
         fillL2(when, line_addr, out.complete, sim::ServedBy::Memory,
                /*ulmt_pushed=*/false, false);
@@ -218,7 +223,7 @@ Hierarchy::fillL1(sim::Cycle now, sim::Addr addr, sim::Cycle ready_at,
             if (mem::CacheLine *l2line = l2_.find(ev.lineAddr))
                 l2line->dirty = true;
             else
-                ms_.writeback(now, l2_.lineAddr(ev.lineAddr));
+                ms_.writeback(now, l2_.lineAddr(ev.lineAddr), core_);
         }
     }
 }
@@ -234,10 +239,13 @@ Hierarchy::fillL2(sim::Cycle now, sim::Addr addr, sim::Cycle ready_at,
     line->prefetched = ulmt_pushed;
     line->cpuPrefetched = cpu_prefetched;
     if (ev.valid) {
-        if (ev.prefetched)
+        if (ev.prefetched) {
             ++stats_.ulmtReplaced;
+            if (audit_)
+                audit_->pushEvicted(core_, ev.lineAddr, now);
+        }
         if (ev.dirty) {
-            ms_.writeback(now, ev.lineAddr);
+            ms_.writeback(now, ev.lineAddr, core_);
             wbQueue_[ev.lineAddr] = now + wbQueueResidency;
         }
     }
@@ -263,6 +271,8 @@ Hierarchy::acceptPush(sim::Cycle when, sim::Addr line_addr)
     // Drop rule 1: the L2 already has a copy.
     if (l2_.find(line_addr)) {
         ++stats_.pushRedundantPresent;
+        if (audit_)
+            audit_->pushRedundant(core_, line_addr, when);
         return;
     }
     // Drop rule 2: the line sits in the write-back queue.
@@ -270,6 +280,8 @@ Hierarchy::acceptPush(sim::Cycle when, sim::Addr line_addr)
     if (wb != wbQueue_.end()) {
         if (wb->second > when) {
             ++stats_.pushRedundantWb;
+            if (audit_)
+                audit_->pushRedundant(core_, line_addr, when);
             return;
         }
         wbQueue_.erase(wb);
@@ -278,17 +290,23 @@ Hierarchy::acceptPush(sim::Cycle when, sim::Addr line_addr)
     l2Mshrs_.expire(when);
     if (l2Mshrs_.full()) {
         ++stats_.pushDroppedMshrFull;
+        if (audit_)
+            audit_->pushRedundant(core_, line_addr, when);
         return;
     }
     // Drop rule 4: the whole target set is transaction-pending.
     if (l2_.setAllPending(line_addr, when)) {
         ++stats_.pushDroppedSetPending;
+        if (audit_)
+            audit_->pushRedundant(core_, line_addr, when);
         return;
     }
 
     fillL2(when, line_addr, when, sim::ServedBy::Memory,
            /*ulmt_pushed=*/true, false);
     ++stats_.pushInstalled;
+    if (audit_)
+        audit_->pushInstalled(core_, line_addr, when);
 }
 
 void

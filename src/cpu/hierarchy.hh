@@ -174,6 +174,15 @@ class Hierarchy
     unsigned core() const { return core_; }
 
     /**
+     * Attach the passive prefetch-lifecycle auditor (nullptr -- the
+     * default -- disables the hooks).  The L2 reports each pushed
+     * line's terminal outcome: first demand touch (useful timely),
+     * delayed-hit claim (useful late), refusal (redundant) and unused
+     * eviction.  Purely observational; timing is unchanged.
+     */
+    void setAudit(mem::PrefetchAudit *a) { audit_ = a; }
+
+    /**
      * A demand reference from the processor.
      *
      * @param when issue cycle
@@ -278,6 +287,7 @@ class Hierarchy
     HierarchyStats stats_;
     sim::BinnedHistogram missGaps_;
     sim::Cycle lastMissAtMemory_ = sim::neverCycle;
+    mem::PrefetchAudit *audit_ = nullptr;
 };
 
 } // namespace cpu

@@ -25,6 +25,7 @@ std::mutex obsMutex;
 std::unique_ptr<sim::TraceEventWriter> traceWriter;
 std::optional<sim::Cycle> metricsOverride;
 std::optional<check::CheckOptions> checkOverride;
+std::optional<bool> auditOverride;
 std::optional<std::pair<unsigned, core::UlmtMode>> coresOverride;
 
 // Process-wide checkpoint hooks (same pattern as the trace writer).
@@ -97,6 +98,20 @@ clearCheckOverride()
 {
     std::lock_guard<std::mutex> lock(obsMutex);
     checkOverride.reset();
+}
+
+void
+setAuditOverride(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    auditOverride = enabled;
+}
+
+void
+clearAuditOverride()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    auditOverride.reset();
 }
 
 void
@@ -278,6 +293,8 @@ runSampled(const SystemConfig &cfg, const std::string &ckpt_path)
             effective.metricsInterval = *metricsOverride;
         if (checkOverride)
             effective.check = *checkOverride;
+        if (auditOverride)
+            effective.audit = *auditOverride;
     }
     effective.cores = h.cores;
     if (h.ulmtMode >
@@ -306,6 +323,8 @@ runOne(const std::string &app, const SystemConfig &cfg,
             effective.metricsInterval = *metricsOverride;
         if (checkOverride)
             effective.check = *checkOverride;
+        if (auditOverride)
+            effective.audit = *auditOverride;
         if (coresOverride) {
             effective.cores = coresOverride->first;
             effective.ulmtMode = coresOverride->second;

@@ -96,6 +96,17 @@ void setCheckOverride(const check::CheckOptions &opts);
 void clearCheckOverride();
 
 /**
+ * Override SystemConfig::audit for all subsequent runOne / runSampled
+ * calls (the bench harness's `--audit=on|off` flag).  Auditing is
+ * passive, so fingerprints and cycle counts are bit-identical with it
+ * on or off.
+ */
+void setAuditOverride(bool enabled);
+
+/** Drop the audit override. */
+void clearAuditOverride();
+
+/**
  * Override SystemConfig::cores / ulmtMode for all subsequent runOne
  * calls (the bench harness's `--cores` / `--ulmt-mode` flags), so an
  * entire sweep of single-core configurations runs on a multicore

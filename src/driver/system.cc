@@ -36,6 +36,25 @@ effectiveCheckOptions(const SystemConfig &cfg)
     return opts;
 }
 
+/**
+ * The config's audit flag, unless the ULMT_AUDIT environment variable
+ * overrides it process-wide (0/off disables, 1/on enables) -- the same
+ * escape hatch pattern as ULMT_CHECK, e.g. for an A/B passivity sweep
+ * over an unmodified benchmark binary.
+ */
+bool
+effectiveAuditEnabled(const SystemConfig &cfg)
+{
+    if (const char *env = std::getenv("ULMT_AUDIT")) {
+        const std::string v(env);
+        if (v == "0" || v == "off")
+            return false;
+        if (v == "1" || v == "on")
+            return true;
+    }
+    return cfg.audit;
+}
+
 /** Section name of core/engine @p i: instance 0 keeps the
  *  pre-multicore unsuffixed name. */
 std::string
@@ -160,6 +179,17 @@ System::init()
         }
     }
 
+    if (effectiveAuditEnabled(cfg_)) {
+        audit_ = std::make_unique<mem::PrefetchAudit>(
+            cfg_.cores,
+            static_cast<unsigned>(std::max<std::size_t>(
+                engines_.size(), 1)),
+            ms_->dram().numBanks(), ms_->dram().numChannels());
+        ms_->setAudit(audit_.get());
+        for (auto &h : hiers_)
+            h->setAudit(audit_.get());
+    }
+
     if (cfg_.hwCorrSramBytes > 0) {
         if (cfg_.cores > 1) {
             throw std::invalid_argument(
@@ -226,6 +256,11 @@ System::initObservability()
     }
     if (checker_)
         checker_->registerStats(registry_);
+    if (audit_) {
+        audit_->registerStats(registry_, [this](unsigned c) {
+            return hiers_[c]->stats().nonPrefMisses;
+        });
+    }
 
     // Host-side checkpoint costs (0 until a save/restore happens).
     registry_.addGauge("ckpt.save_seconds",
@@ -286,6 +321,26 @@ System::initObservability()
             return engines_[0]->stats().occupancyTime.mean();
         });
     }
+    if (audit_) {
+        // Effectiveness time series: machine-wide outcome ratios plus
+        // the cumulative interference charge.
+        sampler_->addChannel("audit.coverage", [this] {
+            std::uint64_t npm = 0;
+            for (const auto &h : hiers_)
+                npm += h->stats().nonPrefMisses;
+            return audit_->totals().coverage(npm);
+        });
+        sampler_->addChannel("audit.accuracy", [this] {
+            return audit_->totals().accuracy();
+        });
+        sampler_->addChannel("audit.timeliness", [this] {
+            return audit_->totals().timeliness();
+        });
+        sampler_->addChannel("audit.blocked_cycles", [this] {
+            return double(audit_->blockedTotal());
+        });
+    }
+
     // Passive ticker: the sampler only reads state, so timing and
     // executed-event counts are identical with sampling on or off.
     eq_.setTicker(cfg_.metricsInterval,
@@ -646,6 +701,8 @@ System::setTraceEvents(sim::TraceEventBuffer *buf)
         e->setTrace(buf);
     if (sampler_)
         sampler_->setTrace(buf);
+    if (audit_)
+        audit_->setTrace(buf);
 }
 
 RunResult
@@ -734,6 +791,25 @@ System::run()
     r.missGapFractions.resize(gaps.numBins());
     for (std::size_t i = 0; i < gaps.numBins(); ++i)
         r.missGapFractions[i] = gaps.binFraction(i);
+
+    r.cores = cfg_.cores;
+    r.ulmtMode = core::to_string(cfg_.ulmtMode);
+    if (audit_) {
+        r.audit = audit_->report();
+        // Fold in what the auditor cannot see on its own: the coverage
+        // denominator and the CPU stream prefetcher's lifecycle, both
+        // already counted by the hierarchies.
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            const cpu::HierarchyStats &hs = hiers_[c]->stats();
+            mem::AuditCoreReport &cr = r.audit.cores[c];
+            cr.coverage = cr.push.coverage(hs.nonPrefMisses);
+            cr.cpuPfIssued = hs.cpuPfIssued;
+            cr.cpuPfToMemory = hs.cpuPfToMemory;
+            cr.cpuPfUsefulTimely = hs.cpuPfTimely;
+            cr.cpuPfUsefulLate = hs.cpuPfUseful - hs.cpuPfTimely;
+            cr.cpuPfReplaced = hs.cpuPfReplaced;
+        }
+    }
 
     r.missStream = std::move(missStream_);
     if (sampler_) {

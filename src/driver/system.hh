@@ -86,6 +86,15 @@ struct SystemConfig
      * process-wide when this field is Off.
      */
     check::CheckOptions check;
+    /**
+     * Prefetch lifecycle auditing and per-tenant interference
+     * attribution (DESIGN.md section 12).  On by default; passive like
+     * metricsInterval and check -- simulated timing and determinism
+     * fingerprints are bit-identical with it on or off, so it is
+     * excluded from configFingerprint().  The ULMT_AUDIT environment
+     * variable (0/off or 1/on) overrides this field process-wide.
+     */
+    bool audit = true;
     /** Display name ("NoPref", "Conven4+Repl", ...). */
     std::string label = "NoPref";
 };
@@ -112,6 +121,15 @@ struct RunResult
     core::UlmtStats ulmt;
     mem::MemorySystemStats memsys;
     mem::DramStats dram;
+
+    /** Machine shape, echoed for report/bench provenance. */
+    unsigned cores = 1;
+    std::string ulmtMode = "shared";
+
+    /** Prefetch lifecycle + interference audit (enabled=false when
+     *  the auditor was off).  Observability only -- excluded from
+     *  determinism fingerprints. */
+    mem::AuditReport audit;
 
     // --- Multicore (populated only when the machine has > 1 core;
     // --- the scalar fields above then refer to core/engine 0) --------
@@ -290,6 +308,9 @@ class System
     /** The invariant checker, or nullptr when checking is off. */
     check::InvariantChecker *checker() { return checker_.get(); }
 
+    /** The lifecycle auditor, or nullptr when auditing is off. */
+    mem::PrefetchAudit *audit() { return audit_.get(); }
+
     /**
      * Route trace events into @p buf (owned by the caller; must
      * outlive run()).  nullptr -- the default -- disables tracing at
@@ -338,6 +359,7 @@ class System
     sim::StatRegistry registry_;
     std::unique_ptr<sim::TimeSeriesSampler> sampler_;
     std::unique_ptr<check::InvariantChecker> checker_;
+    std::unique_ptr<mem::PrefetchAudit> audit_;
     sim::TraceEventBuffer *trace_ = nullptr;
 };
 

@@ -88,15 +88,40 @@ class Dram
     }
 
     /** Write a line back to memory (bank occupancy only). */
-    void
+    DramAccessResult
     writeLine(sim::Cycle ready, sim::Addr addr)
     {
-        access(ready, addr, tp_.bankRowHitCycles, tp_.bankRowMissCycles,
-               tp_.channelXferCycles, /*use_channel=*/true,
-               /*high_priority=*/false);
+        return access(ready, addr, tp_.bankRowHitCycles,
+                      tp_.bankRowMissCycles, tp_.channelXferCycles,
+                      /*use_channel=*/true, /*high_priority=*/false);
     }
 
     const DramStats &stats() const { return stats_; }
+
+    // Pure address-mapping helpers (the same interleave access() uses)
+    // so observers can attribute contention per bank/channel without
+    // widening the access interface.
+
+    /** Channel index of @p addr. */
+    std::size_t
+    channelOf(sim::Addr addr) const
+    {
+        const sim::Addr row = addr / tp_.dramRowBytes;
+        return static_cast<std::size_t>(row % tp_.dramChannels);
+    }
+
+    /** Global bank index of @p addr. */
+    std::size_t
+    bankOf(sim::Addr addr) const
+    {
+        const sim::Addr row = addr / tp_.dramRowBytes;
+        return channelOf(addr) * tp_.dramBanksPerChannel +
+               static_cast<std::size_t>((row / tp_.dramChannels) %
+                                        tp_.dramBanksPerChannel);
+    }
+
+    std::size_t numBanks() const { return banks_.size(); }
+    std::size_t numChannels() const { return channels_.size(); }
 
     /** Register access/row-hit counters under "dram.*". */
     void
@@ -174,12 +199,8 @@ class Dram
            bool use_channel, bool high_priority)
     {
         const sim::Addr row = addr / tp_.dramRowBytes;
-        const std::size_t chan =
-            static_cast<std::size_t>(row % tp_.dramChannels);
-        const std::size_t bank_idx =
-            chan * tp_.dramBanksPerChannel +
-            static_cast<std::size_t>((row / tp_.dramChannels) %
-                                     tp_.dramBanksPerChannel);
+        const std::size_t chan = channelOf(addr);
+        const std::size_t bank_idx = bankOf(addr);
 
         Bank &bank = banks_[bank_idx];
         const bool row_hit = bank.openRow == row;

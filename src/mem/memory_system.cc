@@ -34,9 +34,14 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
     // request-path latency.
     const BusTraffic req_cls = demand ? BusTraffic::DemandRequest
                                       : BusTraffic::CpuPrefetchRequest;
-    const sim::Cycle at_controller =
-        bus_.transfer(issue, tp_.busRequestOccupancy(), req_cls) +
-        reqPathFixed;
+    const TrafficSplit split =
+        demand ? TrafficSplit::Demand : TrafficSplit::Prefetch;
+    const sim::Cycle req_occ = tp_.busRequestOccupancy();
+    const sim::Cycle req_done = bus_.transfer(issue, req_occ, req_cls);
+    if (audit_)
+        audit_->busPhase(core, split, issue, req_done - req_occ,
+                         req_occ);
+    const sim::Cycle at_controller = req_done + reqPathFixed;
 
     // The request is now visible in queue 2.  In Non-Verbose mode the
     // ULMT only sees demand misses (Section 3.2).  Per-core observers
@@ -70,11 +75,22 @@ MemorySystem::fetchLine(sim::Cycle issue, sim::Addr line_addr,
     const DramAccessResult dram =
         dram_.accessLine(at_controller, line_addr,
                          /*high_priority=*/demand);
+    if (audit_) {
+        audit_->dramAccess(core, split, dram_.bankOf(line_addr),
+                           dram_.channelOf(line_addr), at_controller,
+                           dram.done,
+                           (dram.rowHit ? tp_.bankRowHitCycles
+                                        : tp_.bankRowMissCycles) +
+                               tp_.channelXferCycles);
+    }
     const BusTraffic data_cls = demand ? BusTraffic::DemandData
                                        : BusTraffic::CpuPrefetchData;
+    const sim::Cycle data_occ = tp_.busDataOccupancy(tp_.l2.lineBytes);
     const sim::Cycle data_done =
-        bus_.transfer(dram.done, tp_.busDataOccupancy(tp_.l2.lineBytes),
-                      data_cls);
+        bus_.transfer(dram.done, data_occ, data_cls);
+    if (audit_)
+        audit_->busPhase(core, split, dram.done, data_done - data_occ,
+                         data_occ);
     const sim::Cycle complete = data_done + respPathFixed;
     if (trace_)
         trace_->complete(demand ? "demand_fetch" : "cpu_pf_fetch",
@@ -122,7 +138,8 @@ MemorySystem::cpuPfDoneAction(sim::Addr key)
 
 bool
 MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
-                           std::uint64_t flow, unsigned core)
+                           std::uint64_t flow, unsigned core,
+                           unsigned engine)
 {
     const sim::Addr key = sim::packCoreLine(core, line_addr);
     // Queue 3 capacity: bounded number of prefetches in flight.  The
@@ -132,6 +149,10 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         if (trace_)
             trace_->instant("pf_drop_queue_full", "memsys", ready,
                             sim::traceTidMemsys);
+        if (audit_)
+            audit_->pushDropped(core, engine,
+                                PushOutcome::DroppedQueueFull, flow,
+                                ready);
         return false;
     }
     // Cross-match against queue 1: a higher-priority demand fetch for
@@ -142,6 +163,10 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         if (trace_)
             trace_->instant("pf_drop_demand_match", "memsys", ready,
                             sim::traceTidMemsys);
+        if (audit_)
+            audit_->pushDropped(core, engine,
+                                PushOutcome::DroppedDemandMatch, flow,
+                                ready);
         return false;
     }
     // The same cross-match against an in-flight CPU prefetch: equally
@@ -151,6 +176,10 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         if (trace_)
             trace_->instant("pf_drop_cpu_pf_match", "memsys", ready,
                             sim::traceTidMemsys);
+        if (audit_)
+            audit_->pushDropped(core, engine,
+                                PushOutcome::DroppedCpuPfMatch, flow,
+                                ready);
         return false;
     }
     // A prefetch for this line is already in flight to the same core.
@@ -159,6 +188,10 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         if (trace_)
             trace_->instant("pf_drop_filter", "memsys", ready,
                             sim::traceTidMemsys);
+        if (audit_)
+            audit_->pushDropped(core, engine,
+                                PushOutcome::DroppedFilter, flow,
+                                ready);
         return false;
     }
     // Filter module: drop addresses prefetched very recently.  Only
@@ -170,6 +203,10 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
         if (trace_)
             trace_->instant("pf_drop_filter", "memsys", ready,
                             sim::traceTidMemsys);
+        if (audit_)
+            audit_->pushDropped(core, engine,
+                                PushOutcome::DroppedFilter, flow,
+                                ready);
         return false;
     }
 
@@ -183,17 +220,34 @@ MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
 
     const DramAccessResult dram =
         dram_.accessLine(start, line_addr, /*high_priority=*/false);
+    if (audit_) {
+        audit_->dramAccess(core, TrafficSplit::Prefetch,
+                           dram_.bankOf(line_addr),
+                           dram_.channelOf(line_addr), start, dram.done,
+                           (dram.rowHit ? tp_.bankRowHitCycles
+                                        : tp_.bankRowMissCycles) +
+                               tp_.channelXferCycles);
+    }
+    const sim::Cycle data_occ = tp_.busDataOccupancy(tp_.l2.lineBytes);
     const sim::Cycle data_done =
-        bus_.transfer(dram.done, tp_.busDataOccupancy(tp_.l2.lineBytes),
+        bus_.transfer(dram.done, data_occ,
                       BusTraffic::UlmtPrefetchData);
+    if (audit_)
+        audit_->busPhase(core, TrafficSplit::Prefetch, dram.done,
+                         data_done - data_occ, data_occ);
     const sim::Cycle arrival = data_done + respPathFixed;
     if (trace_) {
         trace_->complete("ulmt_prefetch", "memsys", start,
                          arrival - start, sim::traceTidMemsys);
+        // With the auditor attached the flow arrow ends at the push's
+        // terminal outcome instead of its issue.
         if (flow)
-            trace_->flow(sim::TracePhase::FlowEnd, flow, start,
-                         sim::traceTidMemsys);
+            trace_->flow(audit_ ? sim::TracePhase::FlowStep
+                                : sim::TracePhase::FlowEnd,
+                         flow, start, sim::traceTidMemsys);
     }
+    if (audit_)
+        audit_->pushIssued(core, engine, flow, key, ready, arrival);
 
     inflightPf_[key] = arrival;
     eq_.schedule(arrival, sim::EventKind::MemPfArrival, key, arrival,
@@ -229,11 +283,27 @@ MemorySystem::tableAccess(sim::Cycle ready, sim::Addr addr, bool is_write)
             r.done - ready -
             (r.rowHit ? tp_.tableBankRowHitCycles
                       : tp_.tableBankRowMissCycles)));
+        if (audit_) {
+            audit_->dramAccess(audit_->ulmtTenant(),
+                               TrafficSplit::Other, dram_.bankOf(addr),
+                               static_cast<std::size_t>(-1), ready,
+                               r.done,
+                               r.rowHit ? tp_.tableBankRowHitCycles
+                                        : tp_.tableBankRowMissCycles);
+        }
         done = r.done + tp_.tableAccessFixedDram;
     } else {
         // From the North Bridge the table data crosses the DRAM channel.
         const DramAccessResult r =
             dram_.accessTable(ready, addr, /*through_channel=*/true);
+        if (audit_) {
+            audit_->dramAccess(audit_->ulmtTenant(),
+                               TrafficSplit::Other, dram_.bankOf(addr),
+                               dram_.channelOf(addr), ready, r.done,
+                               (r.rowHit ? tp_.tableBankRowHitCycles
+                                         : tp_.tableBankRowMissCycles) +
+                                   tp_.tableChannelXferCycles);
+        }
         done = r.done + tp_.tableAccessFixedNorthBridge;
     }
     if (trace_)
@@ -244,13 +314,25 @@ MemorySystem::tableAccess(sim::Cycle ready, sim::Addr addr, bool is_write)
 }
 
 void
-MemorySystem::writeback(sim::Cycle when, sim::Addr line_addr)
+MemorySystem::writeback(sim::Cycle when, sim::Addr line_addr,
+                        unsigned core)
 {
     ++stats_.writebacks;
+    const sim::Cycle wb_occ = tp_.busDataOccupancy(tp_.l2.lineBytes);
     const sim::Cycle on_bus =
-        bus_.transfer(when, tp_.busDataOccupancy(tp_.l2.lineBytes),
-                      BusTraffic::Writeback);
-    dram_.writeLine(on_bus, line_addr);
+        bus_.transfer(when, wb_occ, BusTraffic::Writeback);
+    if (audit_)
+        audit_->busPhase(core, TrafficSplit::Other, when,
+                         on_bus - wb_occ, wb_occ);
+    const DramAccessResult wr = dram_.writeLine(on_bus, line_addr);
+    if (audit_) {
+        audit_->dramAccess(core, TrafficSplit::Other,
+                           dram_.bankOf(line_addr),
+                           dram_.channelOf(line_addr), on_bus, wr.done,
+                           (wr.rowHit ? tp_.bankRowHitCycles
+                                      : tp_.bankRowMissCycles) +
+                               tp_.channelXferCycles);
+    }
     if (trace_)
         trace_->complete("writeback", "memsys", when, on_bus - when,
                          sim::traceTidMemsys);

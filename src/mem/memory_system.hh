@@ -30,6 +30,7 @@
 #include "mem/bus.hh"
 #include "sim/stats.hh"
 #include "mem/dram.hh"
+#include "mem/prefetch_audit.hh"
 #include "mem/prefetch_filter.hh"
 #include "mem/timing_params.hh"
 #include "sim/event_queue.hh"
@@ -164,10 +165,12 @@ class MemorySystem
      * @param flow trace-event flow id of the demand miss that triggered
      *             this prefetch (0 = none / tracing off)
      * @param core main processor the push is destined for
+     * @param engine id of the issuing ULMT engine (audit attribution)
      * @return true if the prefetch was issued to DRAM
      */
     bool ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
-                      std::uint64_t flow = 0, unsigned core = 0);
+                      std::uint64_t flow = 0, unsigned core = 0,
+                      unsigned engine = 0);
 
     /**
      * One correlation-table access by the memory processor (on a miss
@@ -181,8 +184,10 @@ class MemorySystem
     sim::Cycle tableAccess(sim::Cycle ready, sim::Addr addr,
                            bool is_write);
 
-    /** Write a dirty line back to memory (fire and forget). */
-    void writeback(sim::Cycle when, sim::Addr line_addr);
+    /** Write a dirty line back to memory (fire and forget).
+     *  @param core the evicting main processor (audit attribution) */
+    void writeback(sim::Cycle when, sim::Addr line_addr,
+                   unsigned core = 0);
 
     /**
      * Arrival cycle of an in-flight ULMT prefetch for @p line_addr
@@ -283,6 +288,14 @@ class MemorySystem
         dram_.setTrace(t);
     }
 
+    /**
+     * Attach the passive lifecycle / interference auditor (nullptr --
+     * the default -- disables auditing at the cost of one pointer test
+     * per hook).  The auditor only reads cycles this controller
+     * already computed; timing is bit-identical with it on or off.
+     */
+    void setAudit(PrefetchAudit *a) { audit_ = a; }
+
   private:
     friend struct check::CheckTestPeer;
 
@@ -317,6 +330,7 @@ class MemorySystem
     /** Queueing delay seen by correlation-table accesses at the DRAM. */
     sim::SampleStat tableWait_;
     sim::TraceEventBuffer *trace_ = nullptr;
+    PrefetchAudit *audit_ = nullptr;
     std::uint64_t observedFlowId_ = 0;
     unsigned observedCore_ = 0;
 

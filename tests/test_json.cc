@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests of the minimal JSON reader (sim/json.hh) that backs
+ * tools/ulmt-report: value kinds, insertion order, exact int64
+ * tracking for counter comparison, escapes, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/json.hh"
+
+namespace {
+
+TEST(JsonParserTest, ScalarsAndKinds)
+{
+    EXPECT_TRUE(sim::parseJson("null").isNull());
+    EXPECT_TRUE(sim::parseJson("true").boolean);
+    EXPECT_FALSE(sim::parseJson("false").boolean);
+    EXPECT_EQ(sim::parseJson("\"hi\"").str, "hi");
+    EXPECT_DOUBLE_EQ(sim::parseJson("-2.5e2").number, -250.0);
+    EXPECT_FALSE(sim::parseJson("-2.5e2").isInteger);
+}
+
+TEST(JsonParserTest, ExactInt64Tracking)
+{
+    // Counters near 2^63 survive exactly; a double round-trip would
+    // lose the low bits.
+    const sim::JsonValue v = sim::parseJson("9223372036854775806");
+    ASSERT_TRUE(v.isInteger);
+    EXPECT_EQ(v.integer, 9223372036854775806LL);
+    const sim::JsonValue n = sim::parseJson("-42");
+    ASSERT_TRUE(n.isInteger);
+    EXPECT_EQ(n.integer, -42);
+    // A fraction or exponent demotes to double-only.
+    EXPECT_FALSE(sim::parseJson("42.0").isInteger);
+    EXPECT_FALSE(sim::parseJson("4e2").isInteger);
+}
+
+TEST(JsonParserTest, ObjectPreservesInsertionOrder)
+{
+    const sim::JsonValue v =
+        sim::parseJson("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.obj.size(), 3u);
+    EXPECT_EQ(v.obj[0].first, "z");
+    EXPECT_EQ(v.obj[1].first, "a");
+    EXPECT_EQ(v.obj[2].first, "m");
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_EQ(v.find("a")->integer, 2);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), sim::JsonError);
+}
+
+TEST(JsonParserTest, NestedContainers)
+{
+    const sim::JsonValue v = sim::parseJson(
+        "{\"runs\": [{\"x\": [1, 2]}, {\"x\": []}], \"n\": null}");
+    const sim::JsonValue &runs = v.at("runs");
+    ASSERT_TRUE(runs.isArray());
+    ASSERT_EQ(runs.arr.size(), 2u);
+    EXPECT_EQ(runs.arr[0].at("x").arr.size(), 2u);
+    EXPECT_TRUE(runs.arr[1].at("x").arr.empty());
+    EXPECT_TRUE(v.at("n").isNull());
+}
+
+TEST(JsonParserTest, StringEscapes)
+{
+    EXPECT_EQ(sim::parseJson("\"a\\\"b\\\\c\\n\"").str, "a\"b\\c\n");
+    EXPECT_EQ(sim::parseJson("\"\\u0041\\u00e9\"").str,
+              "A\xc3\xa9");  // 'A' then e-acute in UTF-8
+}
+
+TEST(JsonParserTest, MalformedInputsThrowWithOffset)
+{
+    for (const char *bad :
+         {"", "{", "[1, 2", "{\"a\": }", "{\"a\": 1,}", "tru",
+          "\"unterminated", "1 2", "{'a': 1}", "nan"}) {
+        EXPECT_THROW(sim::parseJson(bad), sim::JsonError) << bad;
+    }
+    try {
+        sim::parseJson("[1, ]");
+        FAIL() << "expected JsonError";
+    } catch (const sim::JsonError &e) {
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonParserTest, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "json_test.json";
+    {
+        std::ofstream out(path);
+        out << "{\n  \"bench\": \"x\",\n  \"runs\": [1, 2, 3]\n}\n";
+    }
+    const sim::JsonValue v = sim::parseJsonFile(path);
+    EXPECT_EQ(v.at("bench").str, "x");
+    EXPECT_EQ(v.at("runs").arr.size(), 3u);
+    std::remove(path.c_str());
+    EXPECT_THROW(sim::parseJsonFile(path), sim::JsonError);
+}
+
+} // namespace

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * ulmt-report: render and regression-diff BENCH_*.json files.
+ *
+ *   ulmt-report show FILE...
+ *       Text dashboard: per-run effectiveness (lifecycle outcome
+ *       taxonomy, coverage/accuracy/timeliness, lead-time histogram),
+ *       the per-tenant interference matrix, and the figure metrics.
+ *
+ *   ulmt-report diff OLD NEW [--tolerance=GLOB=FRACTION]...
+ *                            [--exclude=GLOB]... [--include-volatile]
+ *       Compare two BENCH files leaf by leaf.  Host-volatile fields
+ *       (provenance, wall clock, events/sec, jobs, checkpoint timings)
+ *       are excluded by default; everything else -- simulated cycle
+ *       counts, events, lifecycle counters, figure metrics -- must
+ *       match exactly unless a --tolerance glob grants that path a
+ *       relative slack (e.g. --tolerance='metrics.*=0.02').  Exits 0
+ *       when the files agree, 1 on any difference, 2 on usage/IO
+ *       errors.  This is the CI perf-regression gate (report-gate).
+ *
+ * Paths are dotted, with array indices as bare numbers:
+ * runs.0.effectiveness.cores.0.push.issued
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace {
+
+/** The same `*`/`?` glob as tools/ulmt-stats --filter. */
+bool
+globMatch(const char *pat, const char *s)
+{
+    for (; *pat; ++pat, ++s) {
+        if (*pat == '*') {
+            while (*pat == '*')
+                ++pat;
+            if (!*pat)
+                return true;
+            for (; *s; ++s) {
+                if (globMatch(pat, s))
+                    return true;
+            }
+            return false;
+        }
+        if (!*s || (*pat != '?' && *pat != *s))
+            return false;
+    }
+    return !*s;
+}
+
+bool
+globMatch(const std::string &pat, const std::string &s)
+{
+    return globMatch(pat.c_str(), s.c_str());
+}
+
+// --------------------------------------------------------------------
+// show: the text dashboard
+// --------------------------------------------------------------------
+
+double
+num(const sim::JsonValue &v, const char *key)
+{
+    const sim::JsonValue *f = v.find(key);
+    return f ? f->asNumber() : 0.0;
+}
+
+std::string
+txt(const sim::JsonValue &v, const char *key)
+{
+    const sim::JsonValue *f = v.find(key);
+    return f ? f->asString() : std::string();
+}
+
+/** An outcome row: "  useful_timely     56580  15.0% of triggered". */
+void
+printOutcome(const char *name, double count, double triggered)
+{
+    std::printf("      %-22s %12.0f", name, count);
+    if (triggered > 0)
+        std::printf("  %5.1f%%", 100.0 * count / triggered);
+    std::printf("\n");
+}
+
+void
+showEffectiveness(const sim::JsonValue &eff)
+{
+    const sim::JsonValue *cores = eff.find("cores");
+    if (!cores || !cores->isArray())
+        return;
+    for (std::size_t c = 0; c < cores->arr.size(); ++c) {
+        const sim::JsonValue &cr = cores->arr[c];
+        const sim::JsonValue *push = cr.find("push");
+        if (!push)
+            continue;
+        std::printf("    core %zu  coverage %.3f  accuracy %.3f  "
+                    "timeliness %.3f\n",
+                    c, num(cr, "coverage"), num(cr, "accuracy"),
+                    num(cr, "timeliness"));
+        const double issued = num(*push, "issued");
+        const double triggered =
+            issued + num(*push, "dropped_filter") +
+            num(*push, "dropped_queue_full") +
+            num(*push, "dropped_demand_match") +
+            num(*push, "dropped_cpu_pf_match");
+        printOutcome("triggered", triggered, 0.0);
+        for (const char *k :
+             {"issued", "useful_timely", "useful_late",
+              "evicted_unused", "redundant", "dropped_filter",
+              "dropped_queue_full", "dropped_demand_match",
+              "dropped_cpu_pf_match"})
+            printOutcome(k, num(*push, k), triggered);
+
+        if (const sim::JsonValue *lead = cr.find("lead_time")) {
+            const sim::JsonValue *edges = lead->find("edges");
+            const sim::JsonValue *counts = lead->find("counts");
+            if (edges && counts && !counts->arr.empty()) {
+                double total = 0.0;
+                for (const auto &v : counts->arr)
+                    total += v.asNumber();
+                std::printf("      lead time (fill-to-use cycles), "
+                            "p50 %.0f p95 %.0f:\n",
+                            num(*lead, "p50"), num(*lead, "p95"));
+                for (std::size_t i = 0; i < counts->arr.size(); ++i) {
+                    const double lo = i < edges->arr.size()
+                                          ? edges->arr[i].asNumber()
+                                          : 0.0;
+                    const double n = counts->arr[i].asNumber();
+                    const int bar =
+                        total > 0
+                            ? static_cast<int>(40.0 * n / total + 0.5)
+                            : 0;
+                    std::printf("        >=%-8.0f %10.0f  %.*s\n", lo,
+                                n, bar,
+                                "########################################");
+                }
+            }
+        }
+        if (const sim::JsonValue *bus = cr.find("bus_cycles"))
+            std::printf("      bus cycles   demand %.0f  prefetch %.0f"
+                        "  other %.0f\n",
+                        num(*bus, "demand"), num(*bus, "prefetch"),
+                        num(*bus, "other"));
+        if (const sim::JsonValue *dram = cr.find("dram_cycles"))
+            std::printf("      dram cycles  demand %.0f  prefetch %.0f"
+                        "  other %.0f\n",
+                        num(*dram, "demand"), num(*dram, "prefetch"),
+                        num(*dram, "other"));
+    }
+
+    // The interference matrix: one row per victim core, one column per
+    // blamed tenant (the last column is the memory thread itself).
+    bool any_blocked = false;
+    for (const auto &cr : cores->arr) {
+        if (const sim::JsonValue *b = cr.find("blocked_by")) {
+            for (const auto &v : b->arr)
+                any_blocked = any_blocked || v.asNumber() > 0;
+        }
+    }
+    if (any_blocked) {
+        std::printf("    blocked_by matrix (demand wait cycles, "
+                    "victim row / occupant column; last = ulmt):\n");
+        for (std::size_t c = 0; c < cores->arr.size(); ++c) {
+            const sim::JsonValue *b = cores->arr[c].find("blocked_by");
+            if (!b)
+                continue;
+            std::printf("      core %zu:", c);
+            for (const auto &v : b->arr)
+                std::printf(" %10.0f", v.asNumber());
+            std::printf("\n");
+        }
+    }
+    std::printf("    table dram cycles %.0f  open inflight %.0f  "
+                "open installed %.0f\n",
+                num(eff, "table_dram_cycles"),
+                num(eff, "open_inflight"), num(eff, "open_installed"));
+}
+
+int
+show(const std::vector<std::string> &files)
+{
+    for (const std::string &path : files) {
+        sim::JsonValue doc;
+        try {
+            doc = sim::parseJsonFile(path);
+        } catch (const sim::JsonError &e) {
+            std::fprintf(stderr, "ulmt-report: %s\n", e.what());
+            return 2;
+        }
+        std::printf("== %s (bench %s, scale %g)\n", path.c_str(),
+                    txt(doc, "bench").c_str(), num(doc, "scale"));
+        if (const sim::JsonValue *runs = doc.find("runs")) {
+            for (const sim::JsonValue &r : runs->arr) {
+                std::printf("  %s / %s: %.0f cycles, %.0f events\n",
+                            txt(r, "workload").c_str(),
+                            txt(r, "config").c_str(),
+                            num(r, "sim_cycles"), num(r, "events"));
+                if (const sim::JsonValue *eff =
+                        r.find("effectiveness"))
+                    showEffectiveness(*eff);
+            }
+        }
+        if (const sim::JsonValue *metrics = doc.find("metrics")) {
+            for (const auto &[k, v] : metrics->obj) {
+                if (v.isNumber())
+                    std::printf("  metric %-36s %.6g\n", k.c_str(),
+                                v.number);
+            }
+        }
+    }
+    return 0;
+}
+
+// --------------------------------------------------------------------
+// diff: the regression gate
+// --------------------------------------------------------------------
+
+struct Leaf
+{
+    std::string path;
+    const sim::JsonValue *value;
+};
+
+void
+flatten(const sim::JsonValue &v, const std::string &path,
+        std::vector<Leaf> &out)
+{
+    switch (v.kind) {
+      case sim::JsonValue::Kind::Object:
+        for (const auto &[k, child] : v.obj)
+            flatten(child, path.empty() ? k : path + "." + k, out);
+        break;
+      case sim::JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.arr.size(); ++i)
+            flatten(v.arr[i], path + "." + std::to_string(i), out);
+        break;
+      default:
+        out.push_back({path, &v});
+    }
+}
+
+/** Host-volatile fields: different on every machine and invocation,
+ *  never part of the determinism contract (EXPERIMENTS.md). */
+const char *const volatileGlobs[] = {
+    "provenance.*",
+    "jobs",
+    "wall_seconds_total",
+    "*wall_seconds*",
+    "*events_per_sec*",
+    "*ckpt_save_seconds*",
+    "*ckpt_restore_seconds*",
+};
+
+struct Tolerance
+{
+    std::string glob;
+    double fraction;
+};
+
+bool
+excluded(const std::string &path,
+         const std::vector<std::string> &excludes, bool include_volatile)
+{
+    if (!include_volatile) {
+        for (const char *g : volatileGlobs) {
+            if (globMatch(g, path))
+                return true;
+        }
+    }
+    for (const std::string &g : excludes) {
+        if (globMatch(g, path))
+            return true;
+    }
+    return false;
+}
+
+double
+toleranceFor(const std::string &path,
+             const std::vector<Tolerance> &tols)
+{
+    double t = 0.0;
+    for (const Tolerance &tol : tols) {
+        if (globMatch(tol.glob, path))
+            t = std::max(t, tol.fraction);
+    }
+    return t;
+}
+
+bool
+sameScalar(const sim::JsonValue &a, const sim::JsonValue &b,
+           double tol, double &rel)
+{
+    rel = 0.0;
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case sim::JsonValue::Kind::Null: return true;
+      case sim::JsonValue::Kind::Bool: return a.boolean == b.boolean;
+      case sim::JsonValue::Kind::String: return a.str == b.str;
+      case sim::JsonValue::Kind::Number: {
+        if (a.isInteger && b.isInteger && a.integer == b.integer)
+            return true;  // counters: exact int64, no double rounding
+        if (!a.isInteger && !b.isInteger && a.number == b.number)
+            return true;
+        const double denom =
+            std::max(std::fabs(a.number), std::fabs(b.number));
+        rel = denom > 0.0 ? std::fabs(a.number - b.number) / denom
+                          : 0.0;
+        return rel <= tol;
+      }
+      default: return false;  // containers never reach here
+    }
+}
+
+int
+diff(const std::string &old_path, const std::string &new_path,
+     const std::vector<Tolerance> &tols,
+     const std::vector<std::string> &excludes, bool include_volatile)
+{
+    sim::JsonValue a, b;
+    try {
+        a = sim::parseJsonFile(old_path);
+        b = sim::parseJsonFile(new_path);
+    } catch (const sim::JsonError &e) {
+        std::fprintf(stderr, "ulmt-report: %s\n", e.what());
+        return 2;
+    }
+    std::vector<Leaf> la, lb;
+    flatten(a, "", la);
+    flatten(b, "", lb);
+
+    int mismatches = 0;
+    std::size_t compared = 0;
+    std::unordered_map<std::string, const sim::JsonValue *> bm;
+    bm.reserve(lb.size());
+    for (const Leaf &l : lb)
+        bm.emplace(l.path, l.value);
+    std::unordered_set<std::string> am;
+    am.reserve(la.size());
+    for (const Leaf &l : la)
+        am.insert(l.path);
+
+    for (const Leaf &l : la) {
+        if (excluded(l.path, excludes, include_volatile))
+            continue;
+        const auto it = bm.find(l.path);
+        const sim::JsonValue *other =
+            it == bm.end() ? nullptr : it->second;
+        if (!other) {
+            std::printf("- only in %s: %s\n", old_path.c_str(),
+                        l.path.c_str());
+            ++mismatches;
+            continue;
+        }
+        ++compared;
+        const double tol = toleranceFor(l.path, tols);
+        double rel = 0.0;
+        if (!sameScalar(*l.value, *other, tol, rel)) {
+            if (l.value->isNumber() && other->isNumber()) {
+                std::printf("! %s: %.17g -> %.17g (rel %.3g, tol %g)\n",
+                            l.path.c_str(), l.value->number,
+                            other->number, rel, tol);
+            } else {
+                std::printf("! %s: '%s' -> '%s'\n", l.path.c_str(),
+                            l.value->isString() ? l.value->str.c_str()
+                                                : "<non-scalar>",
+                            other->isString() ? other->str.c_str()
+                                              : "<non-scalar>");
+            }
+            ++mismatches;
+        }
+    }
+    for (const Leaf &l : lb) {
+        if (excluded(l.path, excludes, include_volatile))
+            continue;
+        if (!am.count(l.path)) {
+            std::printf("+ only in %s: %s\n", new_path.c_str(),
+                        l.path.c_str());
+            ++mismatches;
+        }
+    }
+
+    std::printf("[ulmt-report] %zu leaves compared, %d difference%s\n",
+                compared, mismatches, mismatches == 1 ? "" : "s");
+    return mismatches ? 1 : 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ulmt-report show FILE...\n"
+        "       ulmt-report diff OLD NEW [--tolerance=GLOB=FRAC]...\n"
+        "                        [--exclude=GLOB]... "
+        "[--include-volatile]\n"
+        "  diff exits 0 when the files agree within tolerances,\n"
+        "  1 on any difference, 2 on usage/IO errors.  Host-volatile\n"
+        "  fields (provenance, wall clock, events/sec, jobs,\n"
+        "  checkpoint timings) are excluded unless "
+        "--include-volatile.\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "show") {
+        std::vector<std::string> files;
+        for (int i = 2; i < argc; ++i)
+            files.push_back(argv[i]);
+        if (files.empty())
+            return usage();
+        return show(files);
+    }
+
+    if (cmd == "diff") {
+        std::vector<std::string> files;
+        std::vector<Tolerance> tols;
+        std::vector<std::string> excludes;
+        bool include_volatile = false;
+        for (int i = 2; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+                const char *spec = arg + 12;
+                const char *eq = std::strrchr(spec, '=');
+                if (!eq || eq == spec) {
+                    std::fprintf(stderr,
+                                 "ulmt-report: bad --tolerance '%s' "
+                                 "(expected GLOB=FRACTION)\n",
+                                 spec);
+                    return 2;
+                }
+                char *end = nullptr;
+                const double frac = std::strtod(eq + 1, &end);
+                if (*end != '\0' || frac < 0.0) {
+                    std::fprintf(stderr,
+                                 "ulmt-report: bad fraction in '%s'\n",
+                                 spec);
+                    return 2;
+                }
+                tols.push_back(
+                    {std::string(spec, eq - spec), frac});
+            } else if (std::strncmp(arg, "--exclude=", 10) == 0) {
+                excludes.push_back(arg + 10);
+            } else if (std::strcmp(arg, "--include-volatile") == 0) {
+                include_volatile = true;
+            } else if (arg[0] == '-') {
+                return usage();
+            } else {
+                files.push_back(arg);
+            }
+        }
+        if (files.size() != 2)
+            return usage();
+        return diff(files[0], files[1], tols, excludes,
+                    include_volatile);
+    }
+
+    return usage();
+}

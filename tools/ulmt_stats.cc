@@ -7,11 +7,12 @@
  *                   [--placement=dram|nb] [--metrics-interval=N]
  *                   [--trace-events=PATH] [--cores=N]
  *                   [--ulmt-mode=shared|percore|sharded]
- *                   [--core=ID] [--filter=GLOB]
+ *                   [--core=ID] [--filter=GLOB] [--json|--table]
  *       Run <app> (an application name or trace:<path>) under the
  *       named configuration and print every registered statistic --
  *       counters, gauges, samples and histograms -- as one JSON
- *       object keyed by dotted path.
+ *       object keyed by dotted path (--json, the default) or as an
+ *       aligned name/value table for eyeballing (--table).
  *
  *   --config accepts: nopref, conven4, custom, or an algorithm name
  *   (Base, Chain, Repl, Seq1, Seq4, Seq1+Repl, Seq4+Repl) optionally
@@ -39,6 +40,7 @@
 
 #include "core/factory.hh"
 #include "driver/experiment.hh"
+#include "sim/stat_registry.hh"
 #include "sim/types.hh"
 #include "workloads/workload.hh"
 
@@ -53,7 +55,7 @@ usage(const char *argv0)
         "       [--placement=dram|nb] [--metrics-interval=N]\n"
         "       [--trace-events=PATH] [--cores=N]\n"
         "       [--ulmt-mode=shared|percore|sharded]\n"
-        "       [--core=ID] [--filter=GLOB]\n"
+        "       [--core=ID] [--filter=GLOB] [--json|--table]\n"
         "  config names: nopref, conven4, custom, <algo>,\n"
         "  conven4+<algo>  (algo: Base, Chain, Repl, Seq1, Seq4,\n"
         "  Seq1+Repl, Seq4+Repl; default conven4+Repl)\n",
@@ -100,6 +102,46 @@ flagValue(const char *arg, const char *key)
     return std::strncmp(arg, key, n) == 0 ? arg + n : nullptr;
 }
 
+/** The --table renderer: one aligned "name  value" line per stat;
+ *  samples and histograms fold to their summary fields. */
+class TableVisitor : public sim::StatVisitor
+{
+  public:
+    void
+    counter(const std::string &name, std::uint64_t value) override
+    {
+        std::printf("%-56s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+    }
+
+    void
+    gauge(const std::string &name, double value) override
+    {
+        std::printf("%-56s %20.6g\n", name.c_str(), value);
+    }
+
+    void
+    sampleStat(const std::string &name,
+               const sim::SampleStat &s) override
+    {
+        std::printf("%-56s count %llu mean %.4g min %.4g max %.4g\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(s.count()),
+                    s.mean(), s.count() ? s.min() : 0.0,
+                    s.count() ? s.max() : 0.0);
+    }
+
+    void
+    histogram(const std::string &name,
+              const sim::BinnedHistogram &h) override
+    {
+        std::printf("%-56s total %llu p50 %.4g p95 %.4g\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(h.total()),
+                    h.percentile(0.50), h.percentile(0.95));
+    }
+};
+
 driver::SystemConfig
 configByName(const std::string &name, const driver::ExperimentOptions &opt,
              const std::string &app)
@@ -135,6 +177,7 @@ cmdDump(const std::vector<std::string> &args)
     core::UlmtMode mode = core::UlmtMode::Shared;
     std::vector<std::string> core_ids;
     std::vector<std::string> globs;
+    bool table = false;
     driver::ExperimentOptions opt;
     opt.scale = 0.25;
 
@@ -173,6 +216,10 @@ cmdDump(const std::vector<std::string> &args)
             core_ids.emplace_back(v9);
         } else if (const char *v10 = flagValue(arg, "--filter=")) {
             globs.emplace_back(v10);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            table = false;  // the default; accepted for symmetry
+        } else if (std::strcmp(arg, "--table") == 0) {
+            table = true;
         } else {
             throw std::invalid_argument("unknown argument '" +
                                         args[i] + "'");
@@ -199,10 +246,7 @@ cmdDump(const std::vector<std::string> &args)
         driver::finishTraceEvents();
     }
 
-    if (core_ids.empty() && globs.empty()) {
-        std::fputs(sys.statRegistry().dumpJson().c_str(), stdout);
-        return 0;
-    }
+    const bool unfiltered = core_ids.empty() && globs.empty();
     const auto keep = [&](const std::string &path) {
         for (const std::string &id : core_ids)
             if (hasSegment(path, id))
@@ -212,7 +256,18 @@ cmdDump(const std::vector<std::string> &args)
                 return true;
         return false;
     };
-    std::fputs(sys.statRegistry().dumpJson(keep).c_str(), stdout);
+    if (table) {
+        TableVisitor v;
+        if (unfiltered)
+            sys.statRegistry().visit(v);
+        else
+            sys.statRegistry().visit(v, keep);
+        return 0;
+    }
+    if (unfiltered)
+        std::fputs(sys.statRegistry().dumpJson().c_str(), stdout);
+    else
+        std::fputs(sys.statRegistry().dumpJson(keep).c_str(), stdout);
     return 0;
 }
 
