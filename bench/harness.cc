@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <stdexcept>
 
 #include <sys/utsname.h>
 #include <unistd.h>
@@ -96,6 +97,31 @@ parseArgs(int argc, char **argv, double default_scale)
             if (arg[15] == '\0')
                 sim::fatal("empty --restore-from path");
             opt.restoreFrom = arg + 15;
+        } else if (std::strcmp(arg, "--vm=on") == 0) {
+            opt.vm.enabled = true;
+            opt.vmSet = true;
+        } else if (std::strcmp(arg, "--vm=off") == 0) {
+            opt.vm.enabled = false;
+            opt.vmSet = true;
+        } else if (std::strncmp(arg, "--vm", 4) == 0 &&
+                   (arg[4] == '\0' || arg[4] == '=')) {
+            sim::fatal("bad --vm value '%s' (expected on or off)", arg);
+        } else if (std::strncmp(arg, "--page-size=", 12) == 0) {
+            try {
+                opt.vm.pageBytes = vm::parsePageSize(arg + 12);
+            } catch (const std::invalid_argument &e) {
+                sim::fatal("%s", e.what());
+            }
+            opt.vmSet = true;
+        } else if (std::strncmp(arg, "--remap-rate=", 13) == 0) {
+            char *end = nullptr;
+            const double v = std::strtod(arg + 13, &end);
+            if (*end != '\0' || !(v >= 0.0) || v > 1e6)
+                sim::fatal("bad --remap-rate value '%s' (remaps per "
+                           "million cycles, >= 0)",
+                           arg + 13);
+            opt.vm.remapRate = v;
+            opt.vmSet = true;
         } else if (std::strncmp(arg, "--cores=", 8) == 0) {
             char *end = nullptr;
             const long v = std::strtol(arg + 8, &end, 10);
@@ -125,6 +151,8 @@ parseArgs(int argc, char **argv, double default_scale)
                        "[--checkpoint-at=SPEC] [--checkpoint-to=DIR] "
                        "[--restore-from=PATH] [--cores=N] "
                        "[--ulmt-mode=shared|percore|sharded] "
+                       "[--vm=on|off] [--page-size=4k|2m] "
+                       "[--remap-rate=R] "
                        "[--list-workloads])",
                        arg);
         }
@@ -146,6 +174,8 @@ parseArgs(int argc, char **argv, double default_scale)
         driver::setCheckpointTo(opt.checkpointTo);
     if (cores_seen)
         driver::setCoresOverride(opt.cores, opt.ulmtMode);
+    if (opt.vmSet)
+        driver::setVmOverride(opt.vm);
     if (!opt.restoreFrom.empty()) {
         // Validate up front so a bad path or corrupt snapshot fails
         // before the sweep starts, with a clean diagnostic.
@@ -172,7 +202,10 @@ Harness::record(const driver::RunResult &r)
     runs_.push_back(Run{r.workload, r.label, r.source, r.wallSeconds,
                         r.eventsExecuted, r.cycles, r.ckptSaveSeconds,
                         r.ckptRestoreSeconds, r.ckptBytes, cores,
-                        r.ulmtMode, r.audit, r.metrics});
+                        r.ulmtMode, r.audit, r.metrics, r.vmOn,
+                        r.vmPageBytes, r.vmRemapRate, r.vmRemaps,
+                        r.vmTlbHits, r.vmTlbMisses, r.vmWalkCycles,
+                        r.vmPagesMapped});
 }
 
 void
@@ -288,16 +321,18 @@ provenanceJson()
     return out;
 }
 
-/** One push-outcome counter set as a JSON object. */
+/** One push-outcome counter set as a JSON object.  The page-cross
+ *  drop class exists only when the VM layer is on; emitting it
+ *  conditionally keeps pre-VM BENCH files byte-identical. */
 std::string
-outcomeJson(const mem::AuditOutcomeCounts &c)
+outcomeJson(const mem::AuditOutcomeCounts &c, bool with_page_cross)
 {
-    return sim::strformat(
+    std::string out = sim::strformat(
         "{\"issued\": %llu, \"useful_timely\": %llu, "
         "\"useful_late\": %llu, \"evicted_unused\": %llu, "
         "\"redundant\": %llu, \"dropped_filter\": %llu, "
         "\"dropped_queue_full\": %llu, \"dropped_demand_match\": %llu, "
-        "\"dropped_cpu_pf_match\": %llu}",
+        "\"dropped_cpu_pf_match\": %llu",
         (unsigned long long)c.issued, (unsigned long long)c.usefulTimely,
         (unsigned long long)c.usefulLate,
         (unsigned long long)c.evictedUnused,
@@ -306,6 +341,10 @@ outcomeJson(const mem::AuditOutcomeCounts &c)
         (unsigned long long)c.droppedQueueFull,
         (unsigned long long)c.droppedDemandMatch,
         (unsigned long long)c.droppedCpuPfMatch);
+    if (with_page_cross)
+        out += sim::strformat(", \"dropped_page_cross\": %llu",
+                              (unsigned long long)c.droppedPageCross);
+    return out + "}";
 }
 
 /**
@@ -315,25 +354,30 @@ outcomeJson(const mem::AuditOutcomeCounts &c)
  * times), so regression gates may compare it exactly.
  */
 std::string
-effectivenessJson(const mem::AuditReport &a)
+effectivenessJson(const mem::AuditReport &a, bool vm_on)
 {
     std::string out = "{\"cores\": [";
     for (std::size_t c = 0; c < a.cores.size(); ++c) {
         const mem::AuditCoreReport &cr = a.cores[c];
         out += c ? ",\n        " : "\n        ";
-        out += "{\"push\": " + outcomeJson(cr.push);
+        out += "{\"push\": " + outcomeJson(cr.push, vm_on);
         out += ", \"coverage\": " + jsonNumber(cr.coverage);
         out += ", \"accuracy\": " + jsonNumber(cr.accuracy);
         out += ", \"timeliness\": " + jsonNumber(cr.timeliness);
         out += sim::strformat(
             ",\n         \"cpu_pf\": {\"issued\": %llu, "
             "\"to_memory\": %llu, \"useful_timely\": %llu, "
-            "\"useful_late\": %llu, \"replaced\": %llu}",
+            "\"useful_late\": %llu, \"replaced\": %llu",
             (unsigned long long)cr.cpuPfIssued,
             (unsigned long long)cr.cpuPfToMemory,
             (unsigned long long)cr.cpuPfUsefulTimely,
             (unsigned long long)cr.cpuPfUsefulLate,
             (unsigned long long)cr.cpuPfReplaced);
+        if (vm_on)
+            out += sim::strformat(
+                ", \"dropped_page_cross\": %llu",
+                (unsigned long long)cr.cpuPfDroppedPageCross);
+        out += "}";
         out += ",\n         \"lead_time\": {\"edges\": [";
         for (std::size_t i = 0; i < cr.leadEdges.size(); ++i)
             out += (i ? ", " : "") + jsonNumber(cr.leadEdges[i]);
@@ -371,7 +415,7 @@ effectivenessJson(const mem::AuditReport &a)
         out += e ? ", " : "";
         out += sim::strformat("{\"engine\": %u, \"push\": ",
                               a.engines[e].engine);
-        out += outcomeJson(a.engines[e].push) + "}";
+        out += outcomeJson(a.engines[e].push, vm_on) + "}";
     }
     out += sim::strformat(
         "],\n       \"table_dram_cycles\": %llu, "
@@ -435,11 +479,27 @@ Harness::writeJson() const
             out += sim::strformat(", \"ckpt_bytes\": %llu",
                                   (unsigned long long)r.ckptBytes);
         }
+        // VM layer (ISSUE 9): present only when translation ran, so
+        // every pre-VM bench keeps the established schema.
+        if (r.vmOn) {
+            out += sim::strformat(",\n     \"vm\": {\"page_bytes\": %u",
+                                  r.vmPageBytes);
+            out += ", \"remap_rate\": " + jsonNumber(r.vmRemapRate);
+            out += sim::strformat(
+                ", \"remaps\": %llu, \"tlb_hits\": %llu, "
+                "\"tlb_misses\": %llu, \"walk_cycles\": %llu, "
+                "\"pages_mapped\": %llu}",
+                (unsigned long long)r.vmRemaps,
+                (unsigned long long)r.vmTlbHits,
+                (unsigned long long)r.vmTlbMisses,
+                (unsigned long long)r.vmWalkCycles,
+                (unsigned long long)r.vmPagesMapped);
+        }
         // Lifecycle audit (ISSUE 8): present only when the auditor ran,
         // so audit-off invocations keep the established schema.
         if (r.audit.enabled) {
             out += ",\n     \"effectiveness\": ";
-            out += effectivenessJson(r.audit);
+            out += effectivenessJson(r.audit, r.vmOn);
         }
         out += "}";
     }

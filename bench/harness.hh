@@ -54,6 +54,7 @@ namespace bench {
  * [--trace-events=PATH] [--metrics-interval=N]
  * [--check[=basic|deep]] [--check-interval=N] [--audit=on|off]
  * [--checkpoint-at=SPEC] [--checkpoint-to=DIR] [--restore-from=PATH]
+ * [--vm=on|off] [--page-size=4k|2m] [--remap-rate=R]
  * [--list-workloads]`.
  */
 struct Options
@@ -86,6 +87,12 @@ struct Options
     unsigned cores = 1;
     /** ULMT serving mode (`--ulmt-mode=shared|percore|sharded`). */
     core::UlmtMode ulmtMode = core::UlmtMode::Shared;
+    /** VM layer for every run (`--vm=on|off`, `--page-size=4k|2m`,
+     *  `--remap-rate=R` remaps/Mcycle).  The defaults describe the
+     *  pre-VM machine: vm.on() false, nothing built. */
+    vm::VmSpec vm;
+    /** True when any of the VM flags was given. */
+    bool vmSet = false;
 
     /** The bench's workload list: the override, or the nine apps. */
     const std::vector<std::string> &appList() const;
@@ -111,6 +118,10 @@ struct Options
  * `--cores=N` runs every configuration on an N-core machine and
  * `--ulmt-mode=shared|percore|sharded` picks how its memory-side
  * service is shared among the cores;
+ * `--vm=on` forces address translation on for every run,
+ * `--page-size=4k|2m` picks the page size and `--remap-rate=R` sets
+ * the page-migration churn in remaps per million cycles (any VM flag
+ * that leaves the spec non-default builds the VM layer);
  * `--list-workloads` prints the registered workload names and exits.
  */
 Options parseArgs(int argc, char **argv, double default_scale);
@@ -156,6 +167,15 @@ class Harness
         std::string ulmtMode;
         mem::AuditReport audit;
         sim::TimeSeriesData metrics;
+        // VM fields (all zero / false when the layer was off).
+        bool vmOn;
+        std::uint32_t vmPageBytes;
+        double vmRemapRate;
+        std::uint64_t vmRemaps;
+        std::uint64_t vmTlbHits;
+        std::uint64_t vmTlbMisses;
+        std::uint64_t vmWalkCycles;
+        std::uint64_t vmPagesMapped;
     };
 
     void writeThroughputJson() const;

@@ -272,12 +272,20 @@ RefPairTable::diff(const core::PairTable &table,
                       return a.first < b.first;
                   });
         const auto &ref = sets_[set];
-        if (!ctx.require(rows.size() == ref.size(), who,
-                         "set " + std::to_string(set) + " holds " +
-                             std::to_string(rows.size()) +
-                             " rows, reference model " +
-                             std::to_string(ref.size())))
+        if (rows.size() != ref.size()) {
+            std::string detail = "set " + std::to_string(set) +
+                " holds " + std::to_string(rows.size()) +
+                " rows, reference model " + std::to_string(ref.size()) +
+                " [real:";
+            for (const auto &[st, rr] : rows)
+                detail += " " + check::hex(rr.tag);
+            detail += " | ref:";
+            for (const RefRow &rr : ref)
+                detail += " " + check::hex(rr.tag);
+            detail += "]";
+            ctx.require(false, who, detail);
             continue;
+        }
         for (std::size_t i = 0; i < ref.size(); ++i) {
             const RefRow &want = ref[i];
             const RefRow &have = rows[i].second;

@@ -92,6 +92,7 @@ CheckpointImage::writeFile(const std::string &path) const
     putLe<std::uint64_t>(out, header.misses);
     putLe<std::uint32_t>(out, header.cores);
     putLe<std::uint32_t>(out, header.ulmtMode);
+    putLe<std::uint32_t>(out, header.vmPageBytes);
     putString(out, header.workload);
     putString(out, header.label);
 
@@ -177,6 +178,7 @@ CheckpointImage::readFile(const std::string &path)
         img.header.misses = getLe<std::uint64_t>(data, size, pos);
         img.header.cores = getLe<std::uint32_t>(data, size, pos);
         img.header.ulmtMode = getLe<std::uint32_t>(data, size, pos);
+        img.header.vmPageBytes = getLe<std::uint32_t>(data, size, pos);
         img.header.workload = getString(path, data, size, pos);
         img.header.label = getString(path, data, size, pos);
 

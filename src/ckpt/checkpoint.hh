@@ -37,6 +37,8 @@ struct CkptHeader
     std::uint32_t cores = 1;  //!< main processors in the machine
     /** ULMT serving mode as core::UlmtMode's underlying value. */
     std::uint32_t ulmtMode = 0;
+    /** VM page size in bytes; 0 means the VM layer was off. */
+    std::uint32_t vmPageBytes = 0;
     std::string workload;     //!< registry name (or trace:<path>)
     std::string label;        //!< configuration label
 };

@@ -17,6 +17,8 @@
  *   u64 configFingerprint               must match the restoring config
  *   u64 seed | f64bits scale            workload construction inputs
  *   u64 cycle | u64 misses              snapshot point (informational)
+ *   u32 cores | u32 ulmtMode            machine shape
+ *   u32 vmPageBytes                     VM page size (0 = VM layer off)
  *   u32 len + bytes                     workload registry name
  *   u32 len + bytes                     config label
  *   sections:
@@ -63,8 +65,11 @@ inline constexpr char fileMagic[8] = {'U', 'L', 'M', 'T',
  *  multicore -- the header records the core count and ULMT serving
  *  mode, component sections exist per core, the ULMT state carries
  *  per-core sub-queues, and the memory system carries per-tenant QoS
- *  counters. */
-inline constexpr std::uint32_t formatVersion = 3;
+ *  counters.  Version 4: virtual memory -- the header records the VM
+ *  page size (0 when the layer is off), a "vm" section holds the page
+ *  tables, TLBs and remap-engine state when it is on, and the memory
+ *  system and hierarchy streams gained the page-cross drop counters. */
+inline constexpr std::uint32_t formatVersion = 4;
 
 /** "CSEC" as a little-endian u32. */
 inline constexpr std::uint32_t sectionMagic = 0x43455343u;

@@ -21,10 +21,21 @@ remapPairTable(PairTable &table, sim::Addr old_page, sim::Addr new_page,
                std::uint32_t page_bytes, std::uint32_t line_bytes,
                CostTracker &cost)
 {
-    // Index the table for each line of the old page; relocate found
-    // rows, updating the tag and any applicable successors in the row.
+    // The lines of one page map to consecutive sets, so the handler
+    // is a linear sweep over a contiguous slice of the table, not N
+    // independent hash probes.  Charge the sweep as a packed tag
+    // compare (SIMD-style) and pay the full probe + rewrite cost only
+    // for rows that actually hold the moved page -- otherwise a 2 MB
+    // relocation costs ~32 K charged probes and at high churn the
+    // ULMT does nothing but relocate.
+    const std::uint32_t lines = page_bytes / line_bytes;
+    cost.instr(lines < cost::remapSweepTagsPerCycle
+                   ? 1u
+                   : lines / cost::remapSweepTagsPerCycle);
     for (std::uint32_t off = 0; off < page_bytes; off += line_bytes) {
         const sim::Addr old_line = old_page * page_bytes + off;
+        if (!table.findNoCost(old_line))
+            continue;
         PairRow *row = table.find(old_line, cost);
         if (!row)
             continue;

@@ -65,6 +65,10 @@ inline constexpr std::uint32_t rowAlloc = 4;
 inline constexpr std::uint32_t loopOverhead = 6;
 /** Stream-register bookkeeping of the software Seq prefetcher. */
 inline constexpr std::uint32_t seqCheck = 4;
+/** Tags compared per cycle by the vectorized page-relocation sweep
+ *  (the lines of one page occupy consecutive sets, so the handler
+ *  streams packed tags instead of hashing each line). */
+inline constexpr std::uint32_t remapSweepTagsPerCycle = 8;
 
 } // namespace cost
 

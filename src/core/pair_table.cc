@@ -244,6 +244,11 @@ PairTable::invalidate(sim::Addr miss_line)
         if (base[w].valid && base[w].tag == miss_line) {
             base[w].valid = false;
             base[w].succ.clear();
+            // Reset the stamp so the freed way always loses the LRU
+            // comparison in findOrAlloc: a stale stamp higher than a
+            // live row's would make the allocator evict the live row
+            // and leave the hole behind.
+            base[w].lruStamp = 0;
             return;
         }
     }

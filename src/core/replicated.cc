@@ -282,8 +282,17 @@ ReplicatedPrefetcher::onPageRemap(sim::Addr old_page, sim::Addr new_page,
                                   CostTracker &cost)
 {
     constexpr std::uint32_t line_bytes = 64;
+    // Same sweep cost model as remapPairTable: the page's lines hit
+    // consecutive sets, so the scan is a packed tag compare and only
+    // rows that actually hold the moved page pay probe + rewrite.
+    const std::uint32_t lines = page_bytes / line_bytes;
+    cost.instr(lines < cost::remapSweepTagsPerCycle
+                   ? 1u
+                   : lines / cost::remapSweepTagsPerCycle);
     for (std::uint32_t off = 0; off < page_bytes; off += line_bytes) {
         const sim::Addr old_line = old_page * page_bytes + off;
+        if (!findNoCost(old_line))
+            continue;
         ReplRow *row = find(old_line, cost);
         if (!row)
             continue;

@@ -204,7 +204,7 @@ UlmtEngine::processNext()
         scratch_[emitted++] = line;
         ++stats_.prefetchesGenerated;
         ms_.ulmtPrefetch(issue_at, line, obs.flow, obs.core,
-                         engineId_);
+                         engineId_, obs.line);
     }
 
     // ---- Learning step.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ckpt/sim_state.hh"
+#include "vm/vm.hh"
 
 namespace cpu {
 
@@ -28,6 +29,13 @@ Hierarchy::Hierarchy(sim::EventQueue &eq, const mem::TimingParams &tp,
 }
 
 void
+Hierarchy::setVm(vm::Vm *v)
+{
+    vm_ = v;
+    pageShift_ = v ? v->pageShift() : 0;
+}
+
+void
 Hierarchy::recordMissAtMemory(sim::Cycle at_memory)
 {
     if (lastMissAtMemory_ != sim::neverCycle &&
@@ -45,6 +53,12 @@ Hierarchy::access(sim::Cycle when, sim::Addr addr, bool is_write)
         ++stats_.stores;
     else
         ++stats_.loads;
+
+    // With the VM layer attached the processor issues virtual
+    // addresses; translate before the L1 index (a TLB miss charges the
+    // page walk onto the issue cycle).
+    if (vm_)
+        addr = vm_->translate(core_, addr, when);
 
     if (mem::CacheLine *line = l1_.access(addr)) {
         ++stats_.l1Hits;
@@ -68,8 +82,14 @@ Hierarchy::access(sim::Cycle when, sim::Addr addr, bool is_write)
                 pfScratch_.clear();
                 streamPf_.observePrefetchedTouch(addr, late,
                                                  pfScratch_);
-                for (sim::Addr pf : pfScratch_)
+                for (sim::Addr pf : pfScratch_) {
+                    if (pageShift_ != 0 &&
+                        (pf >> pageShift_) != (addr >> pageShift_)) {
+                        ++stats_.cpuPfDroppedPageCross;
+                        continue;
+                    }
                     issueCpuPrefetch(when, pf);
+                }
             }
         }
         if (is_write)
@@ -88,8 +108,14 @@ Hierarchy::access(sim::Cycle when, sim::Addr addr, bool is_write)
     if (streamPfEnabled_) {
         pfScratch_.clear();
         streamPf_.observeMiss(addr, pfScratch_);
-        for (sim::Addr pf : pfScratch_)
+        for (sim::Addr pf : pfScratch_) {
+            if (pageShift_ != 0 &&
+                (pf >> pageShift_) != (addr >> pageShift_)) {
+                ++stats_.cpuPfDroppedPageCross;
+                continue;
+            }
             issueCpuPrefetch(when, pf);
+        }
     }
     return out;
 }
@@ -342,6 +368,8 @@ Hierarchy::registerStats(sim::StatRegistry &reg,
     reg.addCounter(n("cpu_pf.useful"), &stats_.cpuPfUseful);
     reg.addCounter(n("cpu_pf.timely"), &stats_.cpuPfTimely);
     reg.addCounter(n("cpu_pf.replaced"), &stats_.cpuPfReplaced);
+    reg.addCounter(n("cpu_pf.dropped_page_cross"),
+                   &stats_.cpuPfDroppedPageCross);
     reg.addHistogram(n("l2.miss_gap_cycles"), &missGaps_);
 }
 
@@ -393,6 +421,7 @@ Hierarchy::saveState(ckpt::StateWriter &w) const
     w.u64(stats_.cpuPfUseful);
     w.u64(stats_.cpuPfTimely);
     w.u64(stats_.cpuPfReplaced);
+    w.u64(stats_.cpuPfDroppedPageCross);
 
     ckpt::save(w, missGaps_);
     w.u64(lastMissAtMemory_);
@@ -441,6 +470,7 @@ Hierarchy::restoreState(ckpt::StateReader &r)
     stats_.cpuPfUseful = r.u64();
     stats_.cpuPfTimely = r.u64();
     stats_.cpuPfReplaced = r.u64();
+    stats_.cpuPfDroppedPageCross = r.u64();
 
     ckpt::restore(r, missGaps_);
     lastMissAtMemory_ = r.u64();

@@ -32,6 +32,10 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace vm {
+class Vm;
+}
+
 namespace cpu {
 
 /** Result of a processor memory reference. */
@@ -71,6 +75,9 @@ struct HierarchyStats
     std::uint64_t cpuPfUseful = 0;   //!< prefetched line later referenced
     std::uint64_t cpuPfTimely = 0;   //!< ... and ready when referenced
     std::uint64_t cpuPfReplaced = 0;
+    /** Stream-prefetch candidates refused because they crossed a
+     *  physical page boundary (VM layer on only). */
+    std::uint64_t cpuPfDroppedPageCross = 0;
 
     /** Total pushed-line redundant drops. */
     std::uint64_t
@@ -183,6 +190,18 @@ class Hierarchy
     void setAudit(mem::PrefetchAudit *a) { audit_ = a; }
 
     /**
+     * Attach the virtual-memory layer (nullptr -- the default -- keeps
+     * the pre-VM flat addressing, bit-for-bit).  When set, access()
+     * treats its address as virtual: the per-core TLB translates it
+     * (charging the page walk on a miss) and everything below the
+     * processor -- caches, prefetchers, queues -- observes physical
+     * addresses.  Stream-prefetch candidates that land on a different
+     * physical page than their trigger are dropped, since physical
+     * contiguity across a page boundary is meaningless under remap.
+     */
+    void setVm(vm::Vm *v);
+
+    /**
      * A demand reference from the processor.
      *
      * @param when issue cycle
@@ -288,6 +307,8 @@ class Hierarchy
     sim::BinnedHistogram missGaps_;
     sim::Cycle lastMissAtMemory_ = sim::neverCycle;
     mem::PrefetchAudit *audit_ = nullptr;
+    vm::Vm *vm_ = nullptr;
+    std::uint32_t pageShift_ = 0;  //!< 0 = VM layer off
 };
 
 } // namespace cpu

@@ -27,6 +27,7 @@ std::optional<sim::Cycle> metricsOverride;
 std::optional<check::CheckOptions> checkOverride;
 std::optional<bool> auditOverride;
 std::optional<std::pair<unsigned, core::UlmtMode>> coresOverride;
+std::optional<vm::VmSpec> vmOverride;
 
 // Process-wide checkpoint hooks (same pattern as the trace writer).
 std::string ckptAtSpec;
@@ -126,6 +127,20 @@ clearCoresOverride()
 {
     std::lock_guard<std::mutex> lock(obsMutex);
     coresOverride.reset();
+}
+
+void
+setVmOverride(const vm::VmSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    vmOverride = spec;
+}
+
+void
+clearVmOverride()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    vmOverride.reset();
 }
 
 std::vector<std::unique_ptr<workloads::Workload>>
@@ -295,6 +310,8 @@ runSampled(const SystemConfig &cfg, const std::string &ckpt_path)
             effective.check = *checkOverride;
         if (auditOverride)
             effective.audit = *auditOverride;
+        if (vmOverride)
+            effective.vm = *vmOverride;
     }
     effective.cores = h.cores;
     if (h.ulmtMode >
@@ -329,6 +346,8 @@ runOne(const std::string &app, const SystemConfig &cfg,
             effective.cores = coresOverride->first;
             effective.ulmtMode = coresOverride->second;
         }
+        if (vmOverride)
+            effective.vm = *vmOverride;
         writer = traceWriter.get();
         ckpt_at = ckptAtSpec;
         ckpt_dir = ckptToDir;

@@ -118,6 +118,18 @@ void setCoresOverride(unsigned cores, core::UlmtMode mode);
 void clearCoresOverride();
 
 /**
+ * Override SystemConfig::vm for all subsequent runOne / runSampled
+ * calls (the bench harness's `--vm` / `--page-size` / `--remap-rate`
+ * flags).  Unlike the passive observability overrides, the VM layer
+ * shapes simulated behaviour, so only runs that opt in share a
+ * fingerprint.
+ */
+void setVmOverride(const vm::VmSpec &spec);
+
+/** Drop the VM override. */
+void clearVmOverride();
+
+/**
  * The per-core workload set of a multicore run: core 0 replays the
  * exact single-core trace of (@p app, @p seed, @p scale); every other
  * core runs an independently seeded instance of the same kernel,

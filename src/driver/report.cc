@@ -260,6 +260,21 @@ resultFingerprint(const RunResult &r)
                    r.coreQos[c].q1Wait.count());
         }
     }
+
+    // VM leaves only when the layer ran, so pre-VM fingerprints stay
+    // byte-identical (the --remap-rate=0 --page-size=4k default never
+    // builds the layer).
+    if (r.vmOn) {
+        fp.add("vm.pageBytes", std::uint64_t(r.vmPageBytes));
+        fp.add("vm.remaps", r.vmRemaps);
+        fp.add("vm.tlbHits", r.vmTlbHits);
+        fp.add("vm.tlbMisses", r.vmTlbMisses);
+        fp.add("vm.walkCycles", r.vmWalkCycles);
+        fp.add("vm.pagesMapped", r.vmPagesMapped);
+        fp.add("mem.ulmtPrefetchesDroppedPageCross",
+               m.ulmtPrefetchesDroppedPageCross);
+        fp.add("hier.cpuPfDroppedPageCross", h.cpuPfDroppedPageCross);
+    }
     return fp.take();
 }
 

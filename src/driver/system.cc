@@ -132,6 +132,22 @@ System::init()
             hiers_[core]->acceptPush(when, line);
         });
 
+    if (cfg_.vm.on()) {
+        vm_ = std::make_unique<vm::Vm>(eq_, cfg_.vm, cfg_.cores);
+        for (auto &h : hiers_)
+            h->setVm(vm_.get());
+        // The controller enforces the page-cross drop rule on pushes.
+        ms_->setPageShift(vm_->pageShift());
+        // A migration is an OS event: notify the ULMT (Sec 3.4) and
+        // resync the checker's reference models, exactly as an
+        // externally injected System::pageRemap would.
+        vm_->setRemapCallback([this](sim::Addr old_page,
+                                     sim::Addr new_page,
+                                     std::uint32_t page_bytes) {
+            pageRemap(old_page, new_page, page_bytes);
+        });
+    }
+
     if (cfg_.ulmt.enabled()) {
         using Shards =
             std::vector<std::unique_ptr<core::CorrelationPrefetcher>>;
@@ -256,6 +272,8 @@ System::initObservability()
     }
     if (checker_)
         checker_->registerStats(registry_);
+    if (vm_)
+        vm_->registerStats(registry_);
     if (audit_) {
         audit_->registerStats(registry_, [this](unsigned c) {
             return hiers_[c]->stats().nonPrefMisses;
@@ -444,6 +462,14 @@ System::configFingerprint() const
         w.u32(cfg_.cores);
         w.u32(static_cast<std::uint32_t>(cfg_.ulmtMode));
     }
+    // Same conditional-append idiom for the VM layer: only a machine
+    // that translates extends the fingerprint, so every pre-VM
+    // fingerprint stays bit-identical.
+    if (cfg_.vm.on()) {
+        w.u32(cfg_.vm.pageBytes);
+        w.f64(cfg_.vm.remapRate);
+        w.u64(cfg_.vm.seed);
+    }
 
     const std::string &buf = w.buffer();
     return ckpt::fnv1a64(buf.data(), buf.size());
@@ -473,6 +499,13 @@ System::resolveEvent(const sim::SavedEvent &s)
                 "configuration has no matching engine");
         }
         return engines_[s.arg0]->processAction();
+      case sim::EventKind::VmRemap:
+        if (!vm_) {
+            throw ckpt::CkptError(
+                "checkpoint has a pending VM remap event but this "
+                "machine has no VM layer");
+        }
+        return vm_->remapAction();
       default:
         throw ckpt::CkptError("unresolvable event kind in checkpoint");
     }
@@ -498,6 +531,7 @@ System::saveCheckpoint(const std::string &path)
     img.header.misses = misses;
     img.header.cores = cfg_.cores;
     img.header.ulmtMode = static_cast<std::uint32_t>(cfg_.ulmtMode);
+    img.header.vmPageBytes = vm_ ? vm_->pageBytes() : 0;
     img.header.workload = ckptApp_;
     img.header.label = cfg_.label;
 
@@ -542,6 +576,11 @@ System::saveCheckpoint(const std::string &path)
         ckpt::StateWriter w;
         engines_[i]->saveState(w);
         img.addSection(sectionName("ulmt", i), w.take());
+    }
+    if (vm_) {
+        ckpt::StateWriter w;
+        vm_->saveState(w);
+        img.addSection("vm", w.take());
     }
     {
         ckpt::StateWriter w;
@@ -591,6 +630,19 @@ System::restoreCheckpoint(const std::string &path)
             "checkpoint '" + path +
             "' was taken under a different ULMT serving mode");
     }
+    // VM page size is machine shape too: report a mismatch as such
+    // before the opaque fingerprint comparison can mask it.
+    const std::uint32_t my_page_bytes = vm_ ? vm_->pageBytes() : 0;
+    if (img.header.vmPageBytes != my_page_bytes) {
+        const auto shape = [](std::uint32_t pb) {
+            return pb ? "VM with " + vm::pageSizeName(pb) + " pages"
+                      : std::string("no VM layer");
+        };
+        throw ckpt::CkptError(
+            "checkpoint '" + path + "' was taken with " +
+            shape(img.header.vmPageBytes) + ", but this machine has " +
+            shape(my_page_bytes));
+    }
     if (img.header.configFingerprint != configFingerprint()) {
         throw ckpt::CkptError(
             "checkpoint '" + path +
@@ -620,6 +672,11 @@ System::restoreCheckpoint(const std::string &path)
     for (std::size_t i = 0; i < engines_.size(); ++i) {
         ckpt::StateReader r(img.section(sectionName("ulmt", i)));
         engines_[i]->restoreState(r);
+        r.finish();
+    }
+    if (vm_) {
+        ckpt::StateReader r(img.section("vm"));
+        vm_->restoreState(r);
         r.finish();
     }
     {
@@ -667,7 +724,7 @@ System::restoreCheckpoint(const std::string &path)
             e.arg1 = r.u64();
             if (e.kind == 0 ||
                 e.kind > static_cast<std::uint32_t>(
-                             sim::EventKind::MemCpuPfDone))
+                             sim::EventKind::VmRemap))
                 throw ckpt::CkptError("corrupt event kind in checkpoint");
             evs.push_back(e);
         }
@@ -713,6 +770,8 @@ System::run()
     if (!restored_) {
         for (auto &c : cpus_)
             c->start();
+        if (vm_)
+            vm_->start();
     }
     if (!ckptPath_.empty()) {
         if (ckptTriggerCycle_ > 0) {
@@ -794,6 +853,19 @@ System::run()
 
     r.cores = cfg_.cores;
     r.ulmtMode = core::to_string(cfg_.ulmtMode);
+    if (vm_) {
+        r.vmOn = true;
+        r.vmPageBytes = vm_->pageBytes();
+        r.vmRemapRate = cfg_.vm.remapRate;
+        r.vmRemaps = vm_->remaps();
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            const vm::VmCoreStats &vs = vm_->coreStats(c);
+            r.vmTlbHits += vs.tlbHits;
+            r.vmTlbMisses += vs.tlbMisses;
+            r.vmWalkCycles += vs.walkCycles;
+            r.vmPagesMapped += vm_->pagesMapped(c);
+        }
+    }
     if (audit_) {
         r.audit = audit_->report();
         // Fold in what the auditor cannot see on its own: the coverage
@@ -808,6 +880,7 @@ System::run()
             cr.cpuPfUsefulTimely = hs.cpuPfTimely;
             cr.cpuPfUsefulLate = hs.cpuPfUseful - hs.cpuPfTimely;
             cr.cpuPfReplaced = hs.cpuPfReplaced;
+            cr.cpuPfDroppedPageCross = hs.cpuPfDroppedPageCross;
         }
     }
 

@@ -38,6 +38,7 @@
 #include "sim/stat_registry.hh"
 #include "sim/timeseries.hh"
 #include "sim/trace_event.hh"
+#include "vm/vm.hh"
 #include "workloads/workload.hh"
 
 namespace driver {
@@ -95,6 +96,13 @@ struct SystemConfig
      * variable (0/off or 1/on) overrides this field process-wide.
      */
     bool audit = true;
+    /**
+     * Virtual-memory layer (DESIGN.md section 13): per-core TLBs, a
+     * page-remap engine and page-size control.  Off by default --
+     * when vm.on() is false no Vm is built and the machine is
+     * bit-identical to the pre-VM simulator (fingerprints included).
+     */
+    vm::VmSpec vm;
     /** Display name ("NoPref", "Conven4+Repl", ...). */
     std::string label = "NoPref";
 };
@@ -125,6 +133,17 @@ struct RunResult
     /** Machine shape, echoed for report/bench provenance. */
     unsigned cores = 1;
     std::string ulmtMode = "shared";
+
+    // --- Virtual memory (all zero when the VM layer was off) ---------
+    bool vmOn = false;
+    std::uint32_t vmPageBytes = 0;
+    double vmRemapRate = 0.0;
+    std::uint64_t vmRemaps = 0;
+    /** Machine-wide TLB totals (summed over cores). */
+    std::uint64_t vmTlbHits = 0;
+    std::uint64_t vmTlbMisses = 0;
+    std::uint64_t vmWalkCycles = 0;
+    std::uint64_t vmPagesMapped = 0;
 
     /** Prefetch lifecycle + interference audit (enabled=false when
      *  the auditor was off).  Observability only -- excluded from
@@ -311,6 +330,9 @@ class System
     /** The lifecycle auditor, or nullptr when auditing is off. */
     mem::PrefetchAudit *audit() { return audit_.get(); }
 
+    /** The VM layer, or nullptr when cfg.vm.on() is false. */
+    vm::Vm *vm() { return vm_.get(); }
+
     /**
      * Route trace events into @p buf (owned by the caller; must
      * outlive run()).  nullptr -- the default -- disables tracing at
@@ -360,6 +382,7 @@ class System
     std::unique_ptr<sim::TimeSeriesSampler> sampler_;
     std::unique_ptr<check::InvariantChecker> checker_;
     std::unique_ptr<mem::PrefetchAudit> audit_;
+    std::unique_ptr<vm::Vm> vm_;
     sim::TraceEventBuffer *trace_ = nullptr;
 };
 

@@ -139,9 +139,26 @@ MemorySystem::cpuPfDoneAction(sim::Addr key)
 bool
 MemorySystem::ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
                            std::uint64_t flow, unsigned core,
-                           unsigned engine)
+                           unsigned engine, sim::Addr trigger)
 {
     const sim::Addr key = sim::packCoreLine(core, line_addr);
+    // With the VM layer on, a push whose line lies on a different
+    // physical page than its trigger is meaningless: physical
+    // contiguity across a page boundary says nothing about virtual
+    // adjacency once pages can remap, so the controller refuses it
+    // before spending any queue capacity.
+    if (pageShift_ != 0 && trigger != noPfTrigger &&
+        (line_addr >> pageShift_) != (trigger >> pageShift_)) {
+        ++stats_.ulmtPrefetchesDroppedPageCross;
+        if (trace_)
+            trace_->instant("pf_drop_page_cross", "memsys", ready,
+                            sim::traceTidMemsys);
+        if (audit_)
+            audit_->pushDropped(core, engine,
+                                PushOutcome::DroppedPageCross, flow,
+                                ready);
+        return false;
+    }
     // Queue 3 capacity: bounded number of prefetches in flight.  The
     // depth limit is shared by all tenants (one physical queue).
     if (inflightPf_.size() >= tp_.queueDepth) {
@@ -354,6 +371,8 @@ MemorySystem::registerStats(sim::StatRegistry &reg) const
                    &stats_.ulmtPrefetchesDroppedDemandMatch);
     reg.addCounter("memsys.queue3.drops.cpu_pf_match",
                    &stats_.ulmtPrefetchesDroppedCpuPfMatch);
+    reg.addCounter("memsys.queue3.drops.page_cross",
+                   &stats_.ulmtPrefetchesDroppedPageCross);
     reg.addCounter("memsys.table.reads", &stats_.tableReads);
     reg.addCounter("memsys.table.writes", &stats_.tableWrites);
     reg.addSample("memsys.table.wait_cycles", &tableWait_);
@@ -390,6 +409,7 @@ MemorySystem::saveState(ckpt::StateWriter &w) const
     w.u64(stats_.ulmtPrefetchesDroppedQueueFull);
     w.u64(stats_.ulmtPrefetchesDroppedDemandMatch);
     w.u64(stats_.ulmtPrefetchesDroppedCpuPfMatch);
+    w.u64(stats_.ulmtPrefetchesDroppedPageCross);
     w.u64(stats_.tableReads);
     w.u64(stats_.tableWrites);
     ckpt::save(w, tableWait_);
@@ -445,6 +465,7 @@ MemorySystem::restoreState(ckpt::StateReader &r)
     stats_.ulmtPrefetchesDroppedQueueFull = r.u64();
     stats_.ulmtPrefetchesDroppedDemandMatch = r.u64();
     stats_.ulmtPrefetchesDroppedCpuPfMatch = r.u64();
+    stats_.ulmtPrefetchesDroppedPageCross = r.u64();
     stats_.tableReads = r.u64();
     stats_.tableWrites = r.u64();
     ckpt::restore(r, tableWait_);

@@ -85,9 +85,15 @@ struct MemorySystemStats
     /** Dropped on a cross-match against an in-flight CPU prefetch
      *  (previously misattributed to demand_match). */
     std::uint64_t ulmtPrefetchesDroppedCpuPfMatch = 0;
+    /** Dropped because the push would cross a physical page boundary
+     *  relative to its trigger (only with the VM layer on). */
+    std::uint64_t ulmtPrefetchesDroppedPageCross = 0;
     std::uint64_t tableReads = 0;
     std::uint64_t tableWrites = 0;
 };
+
+/** Sentinel trigger address for ulmtPrefetch: no page-cross check. */
+inline constexpr sim::Addr noPfTrigger = ~static_cast<sim::Addr>(0);
 
 /** The memory system below the L2 cache. */
 class MemorySystem
@@ -166,11 +172,25 @@ class MemorySystem
      *             this prefetch (0 = none / tracing off)
      * @param core main processor the push is destined for
      * @param engine id of the issuing ULMT engine (audit attribution)
+     * @param trigger physical line address of the triggering miss; with
+     *                the VM layer on (setPageShift), a push whose line
+     *                lies on a different physical page than its trigger
+     *                is dropped (prefetching across a physical page
+     *                boundary is meaningless under remapping).
+     *                noPfTrigger skips the check.
      * @return true if the prefetch was issued to DRAM
      */
     bool ulmtPrefetch(sim::Cycle ready, sim::Addr line_addr,
                       std::uint64_t flow = 0, unsigned core = 0,
-                      unsigned engine = 0);
+                      unsigned engine = 0,
+                      sim::Addr trigger = noPfTrigger);
+
+    /**
+     * Enable the physical page-boundary drop rule for pushes
+     * (log2(page bytes); 0 -- the default -- disables it, the pre-VM
+     * behavior).
+     */
+    void setPageShift(std::uint32_t shift) { pageShift_ = shift; }
 
     /**
      * One correlation-table access by the memory processor (on a miss
@@ -333,6 +353,8 @@ class MemorySystem
     PrefetchAudit *audit_ = nullptr;
     std::uint64_t observedFlowId_ = 0;
     unsigned observedCore_ = 0;
+    /** log2(page bytes) for the push page-cross drop (0 = off). */
+    std::uint32_t pageShift_ = 0;
 
   public:
     const sim::SampleStat &tableWait() const { return tableWait_; }

@@ -36,6 +36,8 @@ pushOutcomeName(PushOutcome o)
         return "dropped_demand_match";
       case PushOutcome::DroppedCpuPfMatch:
         return "dropped_cpu_pf_match";
+      case PushOutcome::DroppedPageCross:
+        return "dropped_page_cross";
     }
     return "unknown";
 }
@@ -66,6 +68,9 @@ PrefetchAudit::countOutcome(AuditOutcomeCounts &c, PushOutcome o)
         break;
       case PushOutcome::DroppedCpuPfMatch:
         ++c.droppedCpuPfMatch;
+        break;
+      case PushOutcome::DroppedPageCross:
+        ++c.droppedPageCross;
         break;
     }
 }
@@ -289,6 +294,8 @@ PrefetchAudit::registerStats(
                        &a.push.droppedDemandMatch);
         reg.addCounter(p + "dropped_cpu_pf_match",
                        &a.push.droppedCpuPfMatch);
+        reg.addCounter(p + "dropped_page_cross",
+                       &a.push.droppedPageCross);
         reg.addGauge(p + "triggered", [&a] {
             return static_cast<double>(a.push.triggered());
         });
@@ -333,6 +340,8 @@ PrefetchAudit::registerStats(
                        &ec.droppedDemandMatch);
         reg.addCounter(p + "dropped_cpu_pf_match",
                        &ec.droppedCpuPfMatch);
+        reg.addCounter(p + "dropped_page_cross",
+                       &ec.droppedPageCross);
     }
     reg.addCounter("audit.ulmt.table_dram_cycles", &tableDramCycles_);
     reg.addCounter("audit.blocked_cycles_total", &blockedTotal_);
@@ -352,6 +361,7 @@ PrefetchAudit::totals() const
         t.droppedQueueFull += a.push.droppedQueueFull;
         t.droppedDemandMatch += a.push.droppedDemandMatch;
         t.droppedCpuPfMatch += a.push.droppedCpuPfMatch;
+        t.droppedPageCross += a.push.droppedPageCross;
     }
     return t;
 }

@@ -19,6 +19,8 @@
  *   dropped_queue_full queue 3 at capacity
  *   dropped_demand_match / dropped_cpu_pf_match
  *                      queue-1 cross-match (Fig. 3)
+ *   dropped_page_cross the push's line and its trigger sit on
+ *                      different physical pages (VM layer on only)
  *
  * Outcomes are aggregated per core and per engine; useful prefetches
  * additionally feed a lead-time (fill-to-use cycles) histogram and a
@@ -71,6 +73,7 @@ enum class PushOutcome : std::uint8_t {
     DroppedQueueFull,
     DroppedDemandMatch,
     DroppedCpuPfMatch,
+    DroppedPageCross,
 };
 
 /** Stable snake-case name (stats, BENCH JSON, trace instants). */
@@ -95,13 +98,15 @@ struct AuditOutcomeCounts
     std::uint64_t droppedQueueFull = 0;
     std::uint64_t droppedDemandMatch = 0;
     std::uint64_t droppedCpuPfMatch = 0;
+    std::uint64_t droppedPageCross = 0;
 
     /** Pushes the engine handed to the controller (issued + drops). */
     std::uint64_t
     triggered() const
     {
         return issued + droppedFilter + droppedQueueFull +
-               droppedDemandMatch + droppedCpuPfMatch;
+               droppedDemandMatch + droppedCpuPfMatch +
+               droppedPageCross;
     }
 
     std::uint64_t useful() const { return usefulTimely + usefulLate; }
@@ -151,6 +156,7 @@ struct AuditCoreReport
     std::uint64_t cpuPfUsefulTimely = 0;
     std::uint64_t cpuPfUsefulLate = 0;
     std::uint64_t cpuPfReplaced = 0;
+    std::uint64_t cpuPfDroppedPageCross = 0;
 
     // Lead-time (fill-to-use) histogram of useful_timely pushes.
     std::vector<double> leadEdges;

@@ -39,6 +39,7 @@ enum class EventKind : std::uint32_t {
     UlmtProcess,       //!< UlmtEngine::processNext kick (no args)
     MemCpuPfDone,      //!< MemorySystem CPU-prefetch completion
                        //!< (arg0=line)
+    VmRemap,           //!< Vm periodic page-remap tick (no args)
 };
 
 /** A pending event in serializable form. */

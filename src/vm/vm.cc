@@ -1,0 +1,426 @@
+#include "vm/vm.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace vm {
+
+namespace {
+
+/** TLB geometry per page-size class (Virtuoso-style: the base-page
+ *  array is the big one; the huge-page array is small because each
+ *  entry already covers 2 MB). */
+constexpr std::uint32_t tlb4kSets = 16;
+constexpr std::uint32_t tlb4kWays = 4;
+constexpr std::uint32_t tlb2mSets = 4;
+constexpr std::uint32_t tlb2mWays = 4;
+
+constexpr std::uint32_t shift4k = 12;
+constexpr std::uint32_t shift2m = 21;
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint32_t
+parsePageSize(const std::string &s)
+{
+    std::string t;
+    t.reserve(s.size());
+    for (char c : s)
+        t.push_back(static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c))));
+    if (t == "4k" || t == "4096")
+        return 4096u;
+    if (t == "2m" || t == "2097152")
+        return 2u << 20;
+    throw std::invalid_argument("bad page size (want 4k or 2m): " + s);
+}
+
+std::string
+pageSizeName(std::uint32_t page_bytes)
+{
+    if (page_bytes == 4096u)
+        return "4k";
+    if (page_bytes == (2u << 20))
+        return "2m";
+    return std::to_string(page_bytes) + "b";
+}
+
+std::string
+sectionSummary(const std::string &payload, unsigned cores,
+               std::uint32_t page_bytes)
+{
+    if (cores == 0 || page_bytes == 0 ||
+        (page_bytes & (page_bytes - 1)) != 0)
+        throw ckpt::CkptError("vm section with a malformed header");
+    std::uint32_t shift = 0;
+    while ((1u << shift) != page_bytes)
+        ++shift;
+
+    ckpt::StateReader r(payload);
+    const std::uint64_t next_frame = r.u64();
+    r.u64();  // rng
+    r.u32();  // remap cursor
+    const std::uint64_t remaps = r.u64();
+    r.u64();  // accesses at last remap tick
+    std::vector<std::uint64_t> pages(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        pages[c] = r.u64();
+        for (std::uint64_t i = 0; i < pages[c]; ++i) {
+            r.u64();  // vpage
+            r.u64();  // frame
+            r.u64();  // touches
+        }
+    }
+    const std::uint32_t tlb_entries =
+        tlb4kSets * tlb4kWays + tlb2mSets * tlb2mWays;
+    std::vector<std::uint64_t> tlb_valid(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        r.u64();  // lruTick
+        for (std::uint32_t e = 0; e < tlb_entries; ++e) {
+            tlb_valid[c] += r.b() ? 1 : 0;
+            r.u64();  // vpage
+            r.u64();  // frame
+            r.u64();  // stamp
+        }
+    }
+
+    const std::uint64_t base = physFrameBase >> shift;
+    std::string out = pageSizeName(page_bytes) + " pages, " +
+                      std::to_string(remaps) + " remaps, " +
+                      std::to_string(next_frame >= base
+                                         ? next_frame - base
+                                         : 0) +
+                      " frames";
+    out += "; pages/core";
+    for (std::uint64_t n : pages)
+        out += " " + std::to_string(n);
+    out += "; tlb valid/core";
+    for (std::uint64_t n : tlb_valid)
+        out += " " + std::to_string(n);
+    return out;
+}
+
+std::uint32_t
+VmSpec::pageShift() const
+{
+    SIM_ASSERT(pageBytes != 0 && (pageBytes & (pageBytes - 1)) == 0,
+               "page size must be a power of two");
+    std::uint32_t shift = 0;
+    while ((1u << shift) != pageBytes)
+        ++shift;
+    return shift;
+}
+
+Vm::Vm(sim::EventQueue &eq, const VmSpec &spec, unsigned cores)
+    : eq_(eq), spec_(spec), pageShift_(spec.pageShift()),
+      spaces_(cores), tlbs_(cores), stats_(cores),
+      nextFrame_(physFrameBase >> pageShift_), rng_(spec.seed)
+{
+    SIM_ASSERT(cores >= 1, "Vm needs at least one core");
+    SIM_ASSERT(pageShift_ == shift4k || pageShift_ == shift2m,
+               "supported page sizes are 4 KB and 2 MB");
+    if (spec_.remapRate > 0.0) {
+        const double period = 1e6 / spec_.remapRate;
+        remapPeriod_ = std::max<sim::Cycle>(
+            1, static_cast<sim::Cycle>(period + 0.5));
+    }
+    for (Tlb &tlb : tlbs_) {
+        tlb.classes.push_back(
+            {shift4k, tlb4kSets, tlb4kWays,
+             std::vector<TlbEntry>(tlb4kSets * tlb4kWays)});
+        tlb.classes.push_back(
+            {shift2m, tlb2mSets, tlb2mWays,
+             std::vector<TlbEntry>(tlb2mSets * tlb2mWays)});
+    }
+}
+
+std::uint64_t
+Vm::allocFrame()
+{
+    return nextFrame_++;
+}
+
+sim::Addr
+Vm::translate(unsigned core, sim::Addr vaddr, sim::Cycle &when)
+{
+    SIM_ASSERT(core < spaces_.size(), "translate from unknown core");
+    SIM_ASSERT(vaddr < physFrameBase,
+               "virtual address collides with the physical range");
+    VmCoreStats &st = stats_[core];
+    ++st.accesses;
+
+    const std::uint64_t vpage = vaddr >> pageShift_;
+    const sim::Addr offset =
+        vaddr & ((sim::Addr(1) << pageShift_) - 1);
+
+    // ULB-style lookup: probe each page-size class in order.  Only the
+    // class matching this machine's page size ever holds entries, but
+    // the probe order is part of the modeled lookup.
+    Tlb &tlb = tlbs_[core];
+    for (TlbSizeClass &cls : tlb.classes) {
+        if (cls.pageShift != pageShift_)
+            continue;
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(vpage) & (cls.sets - 1);
+        for (std::uint32_t w = 0; w < cls.ways; ++w) {
+            TlbEntry &e = cls.entries[set * cls.ways + w];
+            if (e.valid && e.vpage == vpage) {
+                ++st.tlbHits;
+                e.stamp = ++tlb.lruTick;
+                return (sim::Addr(e.frame) << pageShift_) | offset;
+            }
+        }
+    }
+
+    // Miss: walk the page table (allocate-on-touch) and refill.
+    ++st.tlbMisses;
+    st.walkCycles += pageWalkCycles;
+    when += pageWalkCycles;
+
+    auto [it, inserted] =
+        spaces_[core].pages.try_emplace(vpage, PageEntry{});
+    if (inserted)
+        it->second.frame = allocFrame();
+    ++it->second.touches;
+    tlbFill(tlb, pageShift_, vpage, it->second.frame);
+    return (sim::Addr(it->second.frame) << pageShift_) | offset;
+}
+
+void
+Vm::tlbFill(Tlb &tlb, std::uint32_t page_shift, std::uint64_t vpage,
+            std::uint64_t frame)
+{
+    for (TlbSizeClass &cls : tlb.classes) {
+        if (cls.pageShift != page_shift)
+            continue;
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(vpage) & (cls.sets - 1);
+        TlbEntry *victim = &cls.entries[set * cls.ways];
+        for (std::uint32_t w = 0; w < cls.ways; ++w) {
+            TlbEntry &e = cls.entries[set * cls.ways + w];
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (e.stamp < victim->stamp)
+                victim = &e;
+        }
+        victim->vpage = vpage;
+        victim->frame = frame;
+        victim->stamp = ++tlb.lruTick;
+        victim->valid = true;
+        return;
+    }
+    SIM_ASSERT(false, "no TLB class for this page size");
+}
+
+void
+Vm::tlbInvalidate(Tlb &tlb, std::uint64_t vpage)
+{
+    for (TlbSizeClass &cls : tlb.classes) {
+        for (TlbEntry &e : cls.entries) {
+            if (e.valid && e.vpage == vpage)
+                e.valid = false;
+        }
+    }
+}
+
+void
+Vm::start()
+{
+    if (remapPeriod_ == 0)
+        return;
+    eq_.schedule(eq_.now() + remapPeriod_, sim::EventKind::VmRemap, 0,
+                 0, remapAction());
+}
+
+void
+Vm::doRemap()
+{
+    // The OS migrates pages that are being used.  A tick with no
+    // translations since the previous one means the machine is idle
+    // (or draining): nothing is hot, so nothing moves.  Without this
+    // gate the relocation cost charged to the ULMT per migration can
+    // exceed the remap period, and churn against an idle machine
+    // extends the run's drain tail without bound.
+    std::uint64_t total_accesses = 0;
+    for (const VmCoreStats &st : stats_)
+        total_accesses += st.accesses;
+    const bool active = total_accesses != accessesAtLastTick_;
+    accessesAtLastTick_ = total_accesses;
+
+    // Pick the next core (round-robin) that has mapped pages at all.
+    unsigned core = remapCursor_;
+    bool found = false;
+    for (unsigned i = 0; active && i < spaces_.size(); ++i) {
+        const unsigned cand =
+            (remapCursor_ + i) % static_cast<unsigned>(spaces_.size());
+        if (!spaces_[cand].pages.empty()) {
+            core = cand;
+            found = true;
+            break;
+        }
+    }
+    if (found) {
+        remapCursor_ =
+            (core + 1) % static_cast<unsigned>(spaces_.size());
+        AddressSpace &as = spaces_[core];
+
+        // Victim: the hottest page since the last remap (the OS
+        // migrates hot pages); lowest vpage breaks ties.  With no
+        // touches recorded yet, pick pseudo-randomly so a cold space
+        // still churns.
+        auto victim = as.pages.begin();
+        std::uint64_t best = 0;
+        for (auto it = as.pages.begin(); it != as.pages.end(); ++it) {
+            if (it->second.touches > best) {
+                best = it->second.touches;
+                victim = it;
+            }
+        }
+        if (best == 0) {
+            auto idx = splitmix64(rng_) % as.pages.size();
+            victim = as.pages.begin();
+            std::advance(victim, static_cast<std::ptrdiff_t>(idx));
+        }
+
+        const std::uint64_t old_frame = victim->second.frame;
+        const std::uint64_t new_frame = allocFrame();
+        victim->second.frame = new_frame;
+        for (auto &p : as.pages)
+            p.second.touches = 0;
+        tlbInvalidate(tlbs_[core], victim->first);
+        ++remaps_;
+        ++stats_[core].remaps;
+        if (remapCb_)
+            remapCb_(old_frame, new_frame, spec_.pageBytes);
+    }
+    // The firing event was already popped, so pending() counts only
+    // other work.  An empty queue means the machine has quiesced:
+    // rescheduling would keep the run alive forever on remap ticks.
+    if (eq_.pending() > 0)
+        eq_.schedule(eq_.now() + remapPeriod_, sim::EventKind::VmRemap,
+                     0, 0, remapAction());
+}
+
+void
+Vm::registerStats(sim::StatRegistry &reg) const
+{
+    for (unsigned c = 0; c < stats_.size(); ++c) {
+        const std::string p = "vm.core." + std::to_string(c) + ".";
+        const VmCoreStats &st = stats_[c];
+        reg.addCounter(p + "tlb.accesses", &st.accesses);
+        reg.addCounter(p + "tlb.hits", &st.tlbHits);
+        reg.addCounter(p + "tlb.misses", &st.tlbMisses);
+        reg.addCounter(p + "walk_cycles", &st.walkCycles);
+        reg.addCounter(p + "remaps", &st.remaps);
+        reg.addGauge(p + "pages", [this, c] {
+            return static_cast<double>(spaces_[c].pages.size());
+        });
+    }
+    reg.addCounter("vm.remaps", &remaps_);
+    reg.addGauge("vm.frames_allocated", [this] {
+        return static_cast<double>(nextFrame_ -
+                                   (physFrameBase >> pageShift_));
+    });
+}
+
+void
+Vm::saveState(ckpt::StateWriter &w) const
+{
+    w.u64(nextFrame_);
+    w.u64(rng_);
+    w.u32(remapCursor_);
+    w.u64(remaps_);
+    w.u64(accessesAtLastTick_);
+    for (const AddressSpace &as : spaces_) {
+        w.u64(as.pages.size());
+        // std::map iterates key-sorted: identical state, identical
+        // bytes.
+        for (const auto &[vpage, e] : as.pages) {
+            w.u64(vpage);
+            w.u64(e.frame);
+            w.u64(e.touches);
+        }
+    }
+    for (const Tlb &tlb : tlbs_) {
+        w.u64(tlb.lruTick);
+        for (const TlbSizeClass &cls : tlb.classes) {
+            for (const TlbEntry &e : cls.entries) {
+                w.b(e.valid);
+                w.u64(e.vpage);
+                w.u64(e.frame);
+                w.u64(e.stamp);
+            }
+        }
+    }
+    for (const VmCoreStats &st : stats_) {
+        w.u64(st.accesses);
+        w.u64(st.tlbHits);
+        w.u64(st.tlbMisses);
+        w.u64(st.walkCycles);
+        w.u64(st.remaps);
+    }
+}
+
+void
+Vm::restoreState(ckpt::StateReader &r)
+{
+    nextFrame_ = r.u64();
+    if (nextFrame_ < (physFrameBase >> pageShift_))
+        throw ckpt::CkptError("vm frame allocator before its base");
+    rng_ = r.u64();
+    remapCursor_ = r.u32();
+    if (remapCursor_ >= spaces_.size())
+        throw ckpt::CkptError("vm remap cursor out of range");
+    remaps_ = r.u64();
+    accessesAtLastTick_ = r.u64();
+    for (AddressSpace &as : spaces_) {
+        as.pages.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t vpage = r.u64();
+            PageEntry e;
+            e.frame = r.u64();
+            e.touches = r.u64();
+            if (e.frame >= nextFrame_)
+                throw ckpt::CkptError(
+                    "vm page table names an unallocated frame");
+            as.pages.emplace(vpage, e);
+        }
+    }
+    for (Tlb &tlb : tlbs_) {
+        tlb.lruTick = r.u64();
+        for (TlbSizeClass &cls : tlb.classes) {
+            for (TlbEntry &e : cls.entries) {
+                e.valid = r.b();
+                e.vpage = r.u64();
+                e.frame = r.u64();
+                e.stamp = r.u64();
+            }
+        }
+    }
+    for (VmCoreStats &st : stats_) {
+        st.accesses = r.u64();
+        st.tlbHits = r.u64();
+        st.tlbMisses = r.u64();
+        st.walkCycles = r.u64();
+        st.remaps = r.u64();
+    }
+}
+
+} // namespace vm

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/invariant_checker.hh"
@@ -669,6 +671,39 @@ TEST(RefPairTable, ResyncRepairsAfterRemap)
     EXPECT_TRUE(ctx.ok()) << ctx.report("after remap resync");
 }
 
+TEST(RefPairTable, ResyncDoesNotMaskCorruptionAfterRemap)
+{
+    // The remap-resync path re-adopts the real table as truth; a
+    // corruption seeded AFTER the resync must still be caught, i.e.
+    // the resynced model keeps diffing at full strength.
+    core::BasePrefetcher base(core::baseDefaults(64));
+    check::RefPairTable ref(base.table(), 0);
+    const sim::Addr a = 0x40 * 3;
+    const sim::Addr b = 0x40 * 50;
+    const sim::Addr c = 0x40 * 90;
+    for (int i = 0; i < 20; ++i) {
+        feedMiss(base, ref, a);
+        feedMiss(base, ref, (i % 2) ? b : c);
+    }
+
+    core::NullCostTracker cost;
+    base.onPageRemap(0x0, 0x100000, 4096, cost);
+    ref.resync(base.table(), base.learner());
+
+    bool corrupted = false;
+    for (auto &row : CheckTestPeer::rows(base.table())) {
+        if (row.valid && row.succ.size() >= 2) {
+            std::swap(row.succ[0], row.succ[1]);
+            corrupted = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(corrupted);
+    CheckContext ctx;
+    ref.diff(base.table(), ctx);
+    EXPECT_FALSE(ctx.ok());
+}
+
 // ====================================================================
 // End-to-end: the checker inside a full System run
 // ====================================================================
@@ -708,6 +743,83 @@ TEST(CheckerEndToEnd, DeepCheckingIsCleanAndPassive)
     // Checking must never perturb simulated behaviour.
     EXPECT_EQ(off.cycles, deep.cycles);
     EXPECT_EQ(off.eventsExecuted, deep.eventsExecuted);
+}
+
+driver::RunResult
+runMstWithRemaps(check::CheckMode mode)
+{
+    workloads::WorkloadParams wp;
+    wp.scale = 0.002;
+    auto wl = workloads::makeWorkload("MST", wp);
+
+    driver::ExperimentOptions opt;
+    opt.scale = wp.scale;
+    driver::SystemConfig cfg =
+        driver::ulmtConfig(opt, core::UlmtAlgo::Chain, "MST");
+    cfg.ulmt.numRows = 4096;
+    cfg.metricsInterval = 0;
+    cfg.check.mode = mode;
+    cfg.check.everyEvents = 512;
+    cfg.vm.enabled = true;
+    cfg.vm.remapRate = 500.0;
+
+    driver::System sys(cfg, *wl);
+    return sys.run();
+}
+
+TEST(CheckerEndToEnd, DeepCheckingSurvivesPageRemaps)
+{
+    // Every remap fires the checker's resync hook; deep checking must
+    // stay clean across the churn and remain passive (bit-identical
+    // timing with checking off).
+    const driver::RunResult off =
+        runMstWithRemaps(check::CheckMode::Off);
+    const driver::RunResult deep =
+        runMstWithRemaps(check::CheckMode::Deep);
+    EXPECT_GT(off.vmRemaps, 0u);
+    EXPECT_EQ(off.cycles, deep.cycles);
+    EXPECT_EQ(off.eventsExecuted, deep.eventsExecuted);
+    EXPECT_EQ(off.vmRemaps, deep.vmRemaps);
+}
+
+TEST(CheckerEndToEnd, RemapThenRestoreStaysLockstep)
+{
+    // Snapshot mid-churn, restore under deep checking, and run the
+    // rest: the resynced reference models must track the restored
+    // machine to a bit-identical final fingerprint.
+    const std::string path = "test_check_remap.ulmtckp";
+    workloads::WorkloadParams wp;
+    wp.scale = 0.002;
+
+    driver::ExperimentOptions opt;
+    opt.scale = wp.scale;
+    driver::SystemConfig cfg =
+        driver::ulmtConfig(opt, core::UlmtAlgo::Chain, "MST");
+    cfg.ulmt.numRows = 4096;
+    cfg.metricsInterval = 0;
+    cfg.check.mode = check::CheckMode::Deep;
+    cfg.check.everyEvents = 512;
+    cfg.vm.enabled = true;
+    cfg.vm.remapRate = 500.0;
+
+    driver::RunResult full;
+    {
+        auto wl = workloads::makeWorkload("MST", wp);
+        driver::System sys(cfg, *wl);
+        sys.setCheckpointMeta("MST", wp.seed, wp.scale);
+        sys.setCheckpointTrigger("500", path);
+        full = sys.run();
+        ASSERT_GT(full.ckptBytes, 0u);
+    }
+    ASSERT_GT(full.vmRemaps, 0u);
+
+    auto wl = workloads::makeWorkload("MST", wp);
+    driver::System sys(cfg, *wl);
+    sys.restoreCheckpoint(path);
+    const driver::RunResult resumed = sys.run();
+    EXPECT_EQ(full.cycles, resumed.cycles);
+    EXPECT_EQ(full.vmRemaps, resumed.vmRemaps);
+    std::remove(path.c_str());
 }
 
 TEST(CheckerEndToEnd, EnvVarEnablesChecking)

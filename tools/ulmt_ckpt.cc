@@ -5,6 +5,8 @@
  *   ulmt-ckpt create <app> <out.ulmtckp> [--algo=NAME] [--at=SPEC]
  *                    [--scale=S] [--seed=N] [--conven4] [--cores=N]
  *                    [--ulmt-mode=shared|percore|sharded]
+ *                    [--vm=on|off] [--page-size=4k|2m]
+ *                    [--remap-rate=R]
  *       Run <app> under the named ULMT algorithm (default Repl;
  *       "None" = no ULMT), snapshotting after SPEC ("<N>" demand L2
  *       misses, default 1000, or "<N>c" at cycle N), and report the
@@ -12,8 +14,9 @@
  *       multicore machine; restoring needs the same shape.
  *
  *   ulmt-ckpt info <file>
- *       Print header provenance (including the machine shape) and the
- *       section table.
+ *       Print header provenance (including the machine shape and the
+ *       VM layer's page size / page-table shape) and the section
+ *       table.
  *
  *   ulmt-ckpt verify <file>
  *       Fully validate the file (magic, version, every section
@@ -41,6 +44,7 @@
 #include "ckpt/checkpoint.hh"
 #include "driver/experiment.hh"
 #include "driver/report.hh"
+#include "vm/vm.hh"
 
 namespace {
 
@@ -53,6 +57,7 @@ usage(const char *argv0)
         "  create <app> <out.ulmtckp> [--algo=NAME] [--at=SPEC]\n"
         "         [--scale=S] [--seed=N] [--conven4] [--cores=N]\n"
         "         [--ulmt-mode=shared|percore|sharded]\n"
+        "         [--vm=on|off] [--page-size=4k|2m] [--remap-rate=R]\n"
         "  info <file>\n"
         "  verify <file>\n"
         "  diff <a> <b>\n"
@@ -90,6 +95,7 @@ cmdCreate(const std::vector<std::string> &args)
     bool conven4 = false;
     unsigned cores = 1;
     core::UlmtMode mode = core::UlmtMode::Shared;
+    vm::VmSpec vmSpec;
     for (std::size_t i = 2; i < args.size(); ++i) {
         if (const char *v = flagValue(args[i].c_str(), "--algo="))
             algo_name = v;
@@ -106,6 +112,14 @@ cmdCreate(const std::vector<std::string> &args)
         else if (const char *m =
                      flagValue(args[i].c_str(), "--ulmt-mode="))
             mode = core::parseUlmtMode(m);
+        else if (const char *vmv = flagValue(args[i].c_str(), "--vm="))
+            vmSpec.enabled = std::strcmp(vmv, "on") == 0;
+        else if (const char *ps =
+                     flagValue(args[i].c_str(), "--page-size="))
+            vmSpec.pageBytes = vm::parsePageSize(ps);
+        else if (const char *rr =
+                     flagValue(args[i].c_str(), "--remap-rate="))
+            vmSpec.remapRate = std::atof(rr);
         else
             badFlag(args[i].c_str());
     }
@@ -120,6 +134,7 @@ cmdCreate(const std::vector<std::string> &args)
         cfg = driver::conven4Config(opt);
     cfg.cores = cores;
     cfg.ulmtMode = mode;
+    cfg.vm = vmSpec;
 
     auto ws =
         driver::makeCoreWorkloads(app, opt.seed, opt.scale, cores);
@@ -173,6 +188,19 @@ cmdInfo(const std::vector<std::string> &args)
                     : "unknown");
     std::printf("cycle:       %llu\n", (unsigned long long)h.cycle);
     std::printf("misses:      %llu\n", (unsigned long long)h.misses);
+    if (h.vmPageBytes) {
+        if (const std::string *vm_sec = img.findSection("vm")) {
+            std::printf("vm:          %s\n",
+                        vm::sectionSummary(*vm_sec, h.cores,
+                                           h.vmPageBytes)
+                            .c_str());
+        } else {
+            std::printf("vm:          %s pages (section missing)\n",
+                        vm::pageSizeName(h.vmPageBytes).c_str());
+        }
+    } else {
+        std::printf("vm:          off\n");
+    }
     std::printf("sections:    %zu (%llu payload bytes)\n",
                 img.sections().size(),
                 (unsigned long long)img.payloadBytes());
@@ -233,6 +261,7 @@ cmdDiff(const std::vector<std::string> &args)
     num("seed", a.header.seed, b.header.seed);
     num("cores", a.header.cores, b.header.cores);
     num("ulmt_mode", a.header.ulmtMode, b.header.ulmtMode);
+    num("vm_page_bytes", a.header.vmPageBytes, b.header.vmPageBytes);
     num("cycle", a.header.cycle, b.header.cycle);
     num("misses", a.header.misses, b.header.misses);
     if (a.header.scale != b.header.scale) {
@@ -256,6 +285,16 @@ cmdDiff(const std::vector<std::string> &args)
                         other->size(),
                         (unsigned long long)ckpt::fnv1a64(
                             other->data(), other->size()));
+            if (name == "vm" && a.header.vmPageBytes &&
+                b.header.vmPageBytes) {
+                std::printf("  a: %s\n  b: %s\n",
+                            vm::sectionSummary(payload, a.header.cores,
+                                               a.header.vmPageBytes)
+                                .c_str(),
+                            vm::sectionSummary(*other, b.header.cores,
+                                               b.header.vmPageBytes)
+                                .c_str());
+            }
             ++differences;
         }
     }

@@ -7,6 +7,7 @@
  *                   [--placement=dram|nb] [--metrics-interval=N]
  *                   [--trace-events=PATH] [--cores=N]
  *                   [--ulmt-mode=shared|percore|sharded]
+ *                   [--vm=on|off] [--page-size=4k|2m] [--remap-rate=R]
  *                   [--core=ID] [--filter=GLOB] [--json|--table]
  *       Run <app> (an application name or trace:<path>) under the
  *       named configuration and print every registered statistic --
@@ -20,11 +21,15 @@
  *
  *   --cores/--ulmt-mode simulate a multicore machine; its per-core
  *   statistics land under "cpu.<id>.*", "ulmt.<id>.*" and
- *   "memsys.core.<id>.*".  --core=ID restricts the dump to the paths
- *   with the dotted segment <id> (core ID's slice of the registry);
- *   --filter=GLOB restricts it to paths matching a *?-glob (e.g.
- *   --filter='cpu.3.*').  Both filters may repeat; a path is kept if
- *   any filter accepts it.
+ *   "memsys.core.<id>.*"; the VM layer's (--vm and friends) under
+ *   "vm.core.<id>.*" and "vm.*".  --core=ID restricts the dump to the
+ *   paths with the dotted segment <id> (core ID's slice of the
+ *   registry); --filter=GLOB restricts it to paths matching a *?-glob
+ *   (e.g. --filter='vm.*' or --filter='cpu.3.*').  A pattern ending
+ *   in '.' selects a subtree by exact-anchored prefix: 'vm.core.1.'
+ *   keeps everything under vm.core.1 and nothing under its siblings
+ *   (a glob-expanded 'vm.core.1*' would also sweep up vm.core.12.*).
+ *   Both filters may repeat; a path is kept if any filter accepts it.
  *
  * The same registry backs the `metrics` time series in the bench
  * JSON; this tool is the quickest way to see which dotted names
@@ -55,7 +60,10 @@ usage(const char *argv0)
         "       [--placement=dram|nb] [--metrics-interval=N]\n"
         "       [--trace-events=PATH] [--cores=N]\n"
         "       [--ulmt-mode=shared|percore|sharded]\n"
+        "       [--vm=on|off] [--page-size=4k|2m] [--remap-rate=R]\n"
         "       [--core=ID] [--filter=GLOB] [--json|--table]\n"
+        "  filter: *?-glob (e.g. vm.*); a trailing '.' anchors a\n"
+        "  subtree prefix exactly (vm.core.1. excludes vm.core.12.*)\n"
         "  config names: nopref, conven4, custom, <algo>,\n"
         "  conven4+<algo>  (algo: Base, Chain, Repl, Seq1, Seq4,\n"
         "  Seq1+Repl, Seq4+Repl; default conven4+Repl)\n",
@@ -175,6 +183,7 @@ cmdDump(const std::vector<std::string> &args)
     std::string trace_path;
     unsigned cores = 1;
     core::UlmtMode mode = core::UlmtMode::Shared;
+    vm::VmSpec vmSpec;
     std::vector<std::string> core_ids;
     std::vector<std::string> globs;
     bool table = false;
@@ -216,6 +225,21 @@ cmdDump(const std::vector<std::string> &args)
             core_ids.emplace_back(v9);
         } else if (const char *v10 = flagValue(arg, "--filter=")) {
             globs.emplace_back(v10);
+        } else if (const char *v11 = flagValue(arg, "--vm=")) {
+            if (std::strcmp(v11, "on") == 0)
+                vmSpec.enabled = true;
+            else if (std::strcmp(v11, "off") == 0)
+                vmSpec.enabled = false;
+            else
+                throw std::invalid_argument(
+                    "bad --vm (want on or off): " + args[i]);
+        } else if (const char *v12 = flagValue(arg, "--page-size=")) {
+            vmSpec.pageBytes = vm::parsePageSize(v12);
+        } else if (const char *v13 = flagValue(arg, "--remap-rate=")) {
+            vmSpec.remapRate = std::atof(v13);
+            if (vmSpec.remapRate < 0.0)
+                throw std::invalid_argument(
+                    "bad --remap-rate (want >= 0): " + args[i]);
         } else if (std::strcmp(arg, "--json") == 0) {
             table = false;  // the default; accepted for symmetry
         } else if (std::strcmp(arg, "--table") == 0) {
@@ -229,6 +253,7 @@ cmdDump(const std::vector<std::string> &args)
     driver::SystemConfig cfg = configByName(config, opt, app);
     cfg.cores = cores;
     cfg.ulmtMode = mode;
+    cfg.vm = vmSpec;
     if (!trace_path.empty())
         driver::setTraceEventsPath(trace_path);
 
@@ -251,9 +276,18 @@ cmdDump(const std::vector<std::string> &args)
         for (const std::string &id : core_ids)
             if (hasSegment(path, id))
                 return true;
-        for (const std::string &g : globs)
+        for (const std::string &g : globs) {
+            // A trailing '.' anchors the pattern as a subtree prefix,
+            // so "vm.core.1." keeps vm.core.1.* without also matching
+            // sibling paths like vm.core.12.tlb.hits.
+            if (!g.empty() && g.back() == '.') {
+                if (path.compare(0, g.size(), g) == 0)
+                    return true;
+                continue;
+            }
             if (globMatch(g.c_str(), path.c_str()))
                 return true;
+        }
         return false;
     };
     if (table) {
