@@ -122,6 +122,22 @@ parseArgs(int argc, char **argv, double default_scale)
                            arg + 13);
             opt.vm.remapRate = v;
             opt.vmSet = true;
+        } else if (std::strncmp(arg, "--table-cache=", 14) == 0) {
+            // <entries>[,<assoc>]; entries 0 disables the cache.
+            char *end = nullptr;
+            const long e = std::strtol(arg + 14, &end, 10);
+            long a = opt.tableCache.assoc;
+            if (*end == ',')
+                a = std::strtol(end + 1, &end, 10);
+            if (*end != '\0' || e < 0 || e > (1 << 20) || a < 1 ||
+                a > 64 || (e > 0 && e % a != 0))
+                sim::fatal("bad --table-cache value '%s' (expected "
+                           "<entries>[,<assoc>], entries divisible by "
+                           "assoc, 0 disables)",
+                           arg + 14);
+            opt.tableCache.entries = static_cast<std::uint32_t>(e);
+            opt.tableCache.assoc = static_cast<std::uint32_t>(a);
+            opt.tableCacheSet = true;
         } else if (std::strncmp(arg, "--cores=", 8) == 0) {
             char *end = nullptr;
             const long v = std::strtol(arg + 8, &end, 10);
@@ -153,6 +169,7 @@ parseArgs(int argc, char **argv, double default_scale)
                        "[--ulmt-mode=shared|percore|sharded] "
                        "[--vm=on|off] [--page-size=4k|2m] "
                        "[--remap-rate=R] "
+                       "[--table-cache=<entries>[,<assoc>]] "
                        "[--list-workloads])",
                        arg);
         }
@@ -176,6 +193,8 @@ parseArgs(int argc, char **argv, double default_scale)
         driver::setCoresOverride(opt.cores, opt.ulmtMode);
     if (opt.vmSet)
         driver::setVmOverride(opt.vm);
+    if (opt.tableCacheSet)
+        driver::setTableCacheOverride(opt.tableCache);
     if (!opt.restoreFrom.empty()) {
         // Validate up front so a bad path or corrupt snapshot fails
         // before the sweep starts, with a clean diagnostic.
@@ -205,7 +224,8 @@ Harness::record(const driver::RunResult &r)
                         r.ulmtMode, r.audit, r.metrics, r.vmOn,
                         r.vmPageBytes, r.vmRemapRate, r.vmRemaps,
                         r.vmTlbHits, r.vmTlbMisses, r.vmWalkCycles,
-                        r.vmPagesMapped});
+                        r.vmPagesMapped, r.tcacheOn, r.tcacheEntries,
+                        r.tcacheAssoc, r.tcache});
 }
 
 void
@@ -494,6 +514,24 @@ Harness::writeJson() const
                 (unsigned long long)r.vmTlbMisses,
                 (unsigned long long)r.vmWalkCycles,
                 (unsigned long long)r.vmPagesMapped);
+        }
+        // Table cache (ISSUE 10): present only when --table-cache was
+        // on, so cache-off runs keep the established schema.
+        if (r.tcacheOn) {
+            out += sim::strformat(
+                ",\n     \"tcache\": {\"entries\": %u, \"assoc\": %u, "
+                "\"hits\": %llu, \"misses\": %llu, "
+                "\"writebacks\": %llu, "
+                "\"row_batched_writebacks\": %llu, "
+                "\"dirty_buf_high_water\": %llu, "
+                "\"dram_accesses\": %llu}",
+                r.tcacheEntries, r.tcacheAssoc,
+                (unsigned long long)r.tcache.hits,
+                (unsigned long long)r.tcache.misses,
+                (unsigned long long)r.tcache.writebacks,
+                (unsigned long long)r.tcache.rowBatchedWritebacks,
+                (unsigned long long)r.tcache.dirtyBufHighWater,
+                (unsigned long long)r.tcache.dramAccesses);
         }
         // Lifecycle audit (ISSUE 8): present only when the auditor ran,
         // so audit-off invocations keep the established schema.

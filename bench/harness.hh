@@ -55,7 +55,7 @@ namespace bench {
  * [--check[=basic|deep]] [--check-interval=N] [--audit=on|off]
  * [--checkpoint-at=SPEC] [--checkpoint-to=DIR] [--restore-from=PATH]
  * [--vm=on|off] [--page-size=4k|2m] [--remap-rate=R]
- * [--list-workloads]`.
+ * [--table-cache=<entries>[,<assoc>]] [--list-workloads]`.
  */
 struct Options
 {
@@ -93,6 +93,12 @@ struct Options
     vm::VmSpec vm;
     /** True when any of the VM flags was given. */
     bool vmSet = false;
+    /** Memory-side table cache for every run
+     *  (`--table-cache=<entries>[,<assoc>]`; 0 -- the default --
+     *  keeps the pre-MSCache table path, bit-identical). */
+    mem::TableCacheSpec tableCache;
+    /** True when --table-cache was given. */
+    bool tableCacheSet = false;
 
     /** The bench's workload list: the override, or the nine apps. */
     const std::vector<std::string> &appList() const;
@@ -122,6 +128,9 @@ struct Options
  * `--page-size=4k|2m` picks the page size and `--remap-rate=R` sets
  * the page-migration churn in remaps per million cycles (any VM flag
  * that leaves the spec non-default builds the VM layer);
+ * `--table-cache=<entries>[,<assoc>]` puts an SRAM cache of that
+ * geometry in front of the correlation table's DRAM traffic (0
+ * disables it, the default);
  * `--list-workloads` prints the registered workload names and exits.
  */
 Options parseArgs(int argc, char **argv, double default_scale);
@@ -176,6 +185,11 @@ class Harness
         std::uint64_t vmTlbMisses;
         std::uint64_t vmWalkCycles;
         std::uint64_t vmPagesMapped;
+        // Table-cache fields (all zero / false when --table-cache=0).
+        bool tcacheOn;
+        std::uint32_t tcacheEntries;
+        std::uint32_t tcacheAssoc;
+        mem::TableCacheStats tcache;
     };
 
     void writeThroughputJson() const;

@@ -39,6 +39,8 @@ InvariantChecker::~InvariantChecker()
         e->mpCache().setShadow(nullptr);
         e->setMissHook(nullptr);
     }
+    if (tcacheRef_)
+        ms_.tableCache().setShadow(nullptr);
 }
 
 void
@@ -88,6 +90,10 @@ InvariantChecker::install()
             });
         }
     }
+    if (ms_.tableCache().enabled()) {
+        tcacheRef_ = std::make_unique<RefTableCache>(ms_.tableCache());
+        ms_.tableCache().setShadow(tcacheRef_.get());
+    }
     resyncDeep();
 }
 
@@ -100,6 +106,8 @@ InvariantChecker::resyncDeep()
     }
     for (std::size_t i = 0; i < mpRefs_.size(); ++i)
         mpRefs_[i]->resync(engines_[i]->mpCache());
+    if (tcacheRef_)
+        tcacheRef_->resync(ms_.tableCache());
     if (pairRef_) {
         core::CorrelationPrefetcher &algo = engines_[0]->algorithm();
         if (auto *base = dynamic_cast<core::BasePrefetcher *>(&algo))
@@ -127,6 +135,8 @@ InvariantChecker::runChecks()
         }
         for (std::size_t i = 0; i < mpRefs_.size(); ++i)
             mpRefs_[i]->diff(engines_[i]->mpCache(), ctx);
+        if (tcacheRef_)
+            tcacheRef_->diff(ms_.tableCache(), ctx);
         if (pairRef_) {
             core::CorrelationPrefetcher &algo =
                 engines_[0]->algorithm();

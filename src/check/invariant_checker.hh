@@ -105,6 +105,7 @@ class InvariantChecker
     std::vector<std::unique_ptr<RefLruCache>> l2Refs_;
     std::vector<std::unique_ptr<RefLruCache>> mpRefs_;
     std::unique_ptr<RefPairTable> pairRef_;
+    std::unique_ptr<RefTableCache> tcacheRef_;
 
     std::uint64_t passes_ = 0;
     bool installed_ = false;

@@ -305,4 +305,189 @@ RefPairTable::diff(const core::PairTable &table,
     }
 }
 
+// ---------------------------------------------------------- table cache
+
+RefTableCache::RefTableCache(const mem::TableCache &real)
+    : lineBytes_(real.lineBytes()), rowBytes_(real.rowBytes()),
+      numSets_(real.numSets()), assoc_(real.assoc()), sets_(numSets_)
+{
+}
+
+std::uint32_t
+RefTableCache::setOf(sim::Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr / lineBytes_) %
+                                      numSets_);
+}
+
+void
+RefTableCache::onAccess(sim::Addr line_addr, bool is_write)
+{
+    auto &set = sets_[setOf(line_addr)];
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (set[i].tag == line_addr) {
+            Entry e = set[i];
+            e.dirty = e.dirty || is_write;
+            set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+            set.push_back(e);
+            return;
+        }
+    }
+    const auto buffered =
+        std::find(dirtyBuf_.begin(), dirtyBuf_.end(), line_addr);
+    if (buffered != dirtyBuf_.end()) {
+        // A buffered line never reached DRAM: the access pulls it
+        // back in, still dirty.
+        dirtyBuf_.erase(buffered);
+        install(line_addr, true);
+        return;
+    }
+    install(line_addr, is_write);
+}
+
+void
+RefTableCache::install(sim::Addr line_addr, bool dirty)
+{
+    auto &set = sets_[setOf(line_addr)];
+    if (set.size() >= assoc_) {
+        const Entry victim = set.front();
+        set.erase(set.begin());
+        if (victim.dirty)
+            pushDirty(victim.tag);
+    }
+    set.push_back(Entry{line_addr, dirty});
+}
+
+void
+RefTableCache::pushDirty(sim::Addr line_addr)
+{
+    dirtyBuf_.push_back(line_addr);
+    if (dirtyBuf_.size() > mem::tableCacheDirtyBufEntries) {
+        // Drain every buffered line sharing the oldest entry's DRAM
+        // row, in FIFO order.
+        const sim::Addr row = dirtyBuf_.front() / rowBytes_;
+        dirtyBuf_.erase(
+            std::remove_if(dirtyBuf_.begin(), dirtyBuf_.end(),
+                           [&](sim::Addr a) {
+                               return a / rowBytes_ == row;
+                           }),
+            dirtyBuf_.end());
+    }
+}
+
+void
+RefTableCache::onInvalidateRange(sim::Addr lo, sim::Addr hi)
+{
+    for (auto &set : sets_) {
+        set.erase(std::remove_if(set.begin(), set.end(),
+                                 [&](const Entry &e) {
+                                     return e.tag >= lo && e.tag < hi;
+                                 }),
+                  set.end());
+    }
+    dirtyBuf_.erase(std::remove_if(dirtyBuf_.begin(), dirtyBuf_.end(),
+                                   [&](sim::Addr a) {
+                                       return a >= lo && a < hi;
+                                   }),
+                    dirtyBuf_.end());
+}
+
+void
+RefTableCache::onReset()
+{
+    for (auto &set : sets_)
+        set.clear();
+    dirtyBuf_.clear();
+}
+
+void
+RefTableCache::resync(const mem::TableCache &real)
+{
+    onReset();
+    std::vector<std::vector<std::pair<std::uint64_t, Entry>>> stamped(
+        numSets_);
+    real.forEachLine([&](std::uint32_t set, std::uint32_t /*way*/,
+                         const mem::TableCacheLine &line) {
+        if (line.valid)
+            stamped[set].push_back(
+                {line.lruStamp, Entry{line.tag, line.dirty}});
+    });
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        std::sort(stamped[set].begin(), stamped[set].end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[stamp, entry] : stamped[set]) {
+            (void)stamp;
+            sets_[set].push_back(entry);
+        }
+    }
+    dirtyBuf_ = real.dirtyBuffer();
+}
+
+void
+RefTableCache::diff(const mem::TableCache &real, CheckContext &ctx) const
+{
+    const std::string who = "deep.tcache";
+    std::vector<std::vector<std::pair<std::uint64_t, Entry>>> stamped(
+        numSets_);
+    real.forEachLine([&](std::uint32_t set, std::uint32_t /*way*/,
+                         const mem::TableCacheLine &line) {
+        if (line.valid)
+            stamped[set].push_back(
+                {line.lruStamp, Entry{line.tag, line.dirty}});
+    });
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        auto &lines = stamped[set];
+        std::sort(lines.begin(), lines.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        const auto &ref = sets_[set];
+        if (!ctx.require(lines.size() == ref.size(), who,
+                         "set " + std::to_string(set) + " holds " +
+                             std::to_string(lines.size()) +
+                             " lines, reference model " +
+                             std::to_string(ref.size())))
+            continue;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            const Entry &want = ref[i];
+            const Entry &have = lines[i].second;
+            if (!ctx.require(have.tag == want.tag, who,
+                             "set " + std::to_string(set) +
+                                 " recency position " +
+                                 std::to_string(i) + " holds " +
+                                 check::hex(have.tag) +
+                                 ", reference model " +
+                                 check::hex(want.tag)))
+                continue;
+            ctx.require(have.dirty == want.dirty, who,
+                        "line " + check::hex(have.tag) + " is " +
+                            (have.dirty ? "dirty" : "clean") +
+                            ", reference model says " +
+                            (want.dirty ? "dirty" : "clean"));
+        }
+    }
+    const auto &buf = real.dirtyBuffer();
+    if (ctx.require(buf.size() == dirtyBuf_.size(), who,
+                    "dirty buffer holds " + std::to_string(buf.size()) +
+                        " lines, reference model " +
+                        std::to_string(dirtyBuf_.size()))) {
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            ctx.require(buf[i] == dirtyBuf_[i], who,
+                        "dirty buffer position " + std::to_string(i) +
+                            " holds " + check::hex(buf[i]) +
+                            ", reference model " +
+                            check::hex(dirtyBuf_[i]));
+        }
+    }
+    const mem::TableCacheStats &s = real.stats();
+    ctx.require(s.dramAccesses == s.misses + s.writebacks, who,
+                "write-back conservation violated: " +
+                    std::to_string(s.dramAccesses) +
+                    " DRAM accesses != " + std::to_string(s.misses) +
+                    " misses + " + std::to_string(s.writebacks) +
+                    " writebacks");
+}
+
 } // namespace check

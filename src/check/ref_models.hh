@@ -12,6 +12,10 @@
  *  - RefPairTable mirrors core::PairTable as used by the Base/Chain
  *    algorithms — find-promotion, LRU allocation, MRU successor
  *    insertion — driven by the ULMT engine's per-miss hook.
+ *  - RefTableCache mirrors mem::TableCache (the MSCache in front of
+ *    the correlation table's DRAM traffic): LRU sets with dirty
+ *    bits, the bounded dirty buffer and its row-batched drain,
+ *    driven through the mem::TableCacheShadow notifications.
  *
  * The models never share code with the real structures; agreement is
  * the evidence.  Both support resync() from the real structure so
@@ -29,6 +33,7 @@
 #include "check/check.hh"
 #include "core/base_chain.hh"
 #include "mem/cache.hh"
+#include "mem/table_cache.hh"
 #include "sim/types.hh"
 
 namespace check {
@@ -122,6 +127,54 @@ class RefPairTable
     std::vector<std::vector<RefRow>> sets_;
     sim::Addr lastMiss_ = sim::invalidAddr;
     bool lastValid_ = false;
+};
+
+/**
+ * Oracle for the memory-side table cache: replays the access stream
+ * against its own recency lists, dirty bits and write-back buffer,
+ * and re-derives the conservation law from the real counters.
+ */
+class RefTableCache : public mem::TableCacheShadow
+{
+  public:
+    /** Shadow @p real (geometry is copied; attachment is explicit). */
+    explicit RefTableCache(const mem::TableCache &real);
+
+    // mem::TableCacheShadow
+    void onAccess(sim::Addr line_addr, bool is_write) override;
+    void onInvalidateRange(sim::Addr lo, sim::Addr hi) override;
+    void onReset() override;
+
+    /** Rebuild the model from the real cache's current contents. */
+    void resync(const mem::TableCache &real);
+
+    /**
+     * Diff against the real cache: per set, the resident tags in LRU
+     * order and their dirty bits must match, the dirty buffer must
+     * match element for element, and the real counters must obey
+     * dramAccesses == misses + writebacks.
+     */
+    void diff(const mem::TableCache &real, CheckContext &ctx) const;
+
+  private:
+    struct Entry
+    {
+        sim::Addr tag;
+        bool dirty;
+    };
+
+    std::uint32_t setOf(sim::Addr line_addr) const;
+    void install(sim::Addr line_addr, bool dirty);
+    void pushDirty(sim::Addr line_addr);
+
+    std::uint32_t lineBytes_;
+    std::uint32_t rowBytes_;
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    /** Per set, resident lines in recency order (front = LRU). */
+    std::vector<std::vector<Entry>> sets_;
+    /** Evicted dirty lines awaiting write-back, oldest first. */
+    std::vector<sim::Addr> dirtyBuf_;
 };
 
 } // namespace check

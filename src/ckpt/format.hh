@@ -68,8 +68,16 @@ inline constexpr char fileMagic[8] = {'U', 'L', 'M', 'T',
  *  counters.  Version 4: virtual memory -- the header records the VM
  *  page size (0 when the layer is off), a "vm" section holds the page
  *  tables, TLBs and remap-engine state when it is on, and the memory
- *  system and hierarchy streams gained the page-cross drop counters. */
-inline constexpr std::uint32_t formatVersion = 4;
+ *  system and hierarchy streams gained the page-cross drop counters.
+ *  Version 5: memory-side table cache -- a "tcache" section holds the
+ *  MSCache tag array, dirty buffer and counters when --table-cache is
+ *  on.  v4 files stay readable: a cache-off machine restores them
+ *  unchanged, and a cache-on machine rejects them with a message
+ *  naming the missing section. */
+inline constexpr std::uint32_t formatVersion = 5;
+
+/** Oldest container layout readFile() still accepts. */
+inline constexpr std::uint32_t minFormatVersion = 4;
 
 /** "CSEC" as a little-endian u32. */
 inline constexpr std::uint32_t sectionMagic = 0x43455343u;

@@ -40,6 +40,9 @@ remapPairTable(PairTable &table, sim::Addr old_page, sim::Addr new_page,
         if (!row)
             continue;
         PairRow copy = *row;
+        // The row's simulated bytes move: any memory-side table cache
+        // must drop (and flush) its copy or serve stale rows.
+        cost.memInvalidate(table.rowAddr(*row), table.rowBytes());
         table.invalidate(old_line);
 
         const sim::Addr new_line = new_page * page_bytes + off;

@@ -35,6 +35,16 @@ class CostTracker
 
     /** Write @p bytes of table state at simulated address @p addr. */
     virtual void memWrite(sim::Addr addr, std::uint32_t bytes) = 0;
+
+    /**
+     * @p bytes of table state at @p addr stopped existing (a page
+     * remap relocated the row): memory-side caches of the table must
+     * drop their copies or they will serve stale rows.  Free of
+     * engine time -- the sweep's cost is charged through instr() /
+     * memWrite() -- so implementations without such a cache (the
+     * default) leave timing untouched.
+     */
+    virtual void memInvalidate(sim::Addr, std::uint32_t) {}
 };
 
 /** Discards all cost information (functional-only runs). */

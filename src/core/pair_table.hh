@@ -68,6 +68,9 @@ class PairTable
     /** Simulated address of a row (for the cost model's cache). */
     sim::Addr rowAddr(const PairRow &row) const;
 
+    /** Bytes one row occupies in simulated memory. */
+    std::uint32_t rowBytes() const { return rowBytes_; }
+
     /** Remove a row so its tag can move (page remapping). */
     void invalidate(sim::Addr miss_line);
 

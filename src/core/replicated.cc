@@ -297,6 +297,11 @@ ReplicatedPrefetcher::onPageRemap(sim::Addr old_page, sim::Addr new_page,
         if (!row)
             continue;
         ReplRow copy = *row;
+        // The row's simulated bytes move: any memory-side table cache
+        // must drop (and flush) its copy or serve stale rows.
+        cost.memInvalidate(
+            rowAddr(static_cast<std::uint32_t>(row - rows_.data())),
+            rowBytes_);
         row->valid = false;
 
         const sim::Addr new_line = new_page * page_bytes + off;

@@ -118,6 +118,19 @@ UlmtEngine::ExecCost::memWrite(sim::Addr addr, std::uint32_t bytes)
 }
 
 void
+UlmtEngine::ExecCost::memInvalidate(sim::Addr addr, std::uint32_t bytes)
+{
+    // Remapped table bytes: the memory-side table cache must drop its
+    // copies (dirty ones drain fire-and-forget).  Free of engine time
+    // and a no-op without --table-cache, so pre-cache remap timing is
+    // untouched.  Deliberately leaves the memory processor's own L1
+    // alone: its lines are keyed by the same addresses the sweep
+    // rewrites through memWrite(), the pre-existing behavior.
+    engine_.ms_.tableInvalidate(start_ + busy_ + memStall_, addr,
+                                bytes);
+}
+
+void
 UlmtEngine::observeMiss(sim::Cycle when, sim::Addr line_addr,
                         sim::RequestKind /*kind*/)
 {

@@ -220,6 +220,8 @@ class UlmtEngine : public mem::MissObserver
         void instr(std::uint32_t n) override;
         void memRead(sim::Addr addr, std::uint32_t bytes) override;
         void memWrite(sim::Addr addr, std::uint32_t bytes) override;
+        void memInvalidate(sim::Addr addr,
+                           std::uint32_t bytes) override;
 
         sim::Cycle busy() const { return busy_; }
         sim::Cycle memStall() const { return memStall_; }

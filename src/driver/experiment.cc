@@ -28,6 +28,7 @@ std::optional<check::CheckOptions> checkOverride;
 std::optional<bool> auditOverride;
 std::optional<std::pair<unsigned, core::UlmtMode>> coresOverride;
 std::optional<vm::VmSpec> vmOverride;
+std::optional<mem::TableCacheSpec> tableCacheOverride;
 
 // Process-wide checkpoint hooks (same pattern as the trace writer).
 std::string ckptAtSpec;
@@ -141,6 +142,20 @@ clearVmOverride()
 {
     std::lock_guard<std::mutex> lock(obsMutex);
     vmOverride.reset();
+}
+
+void
+setTableCacheOverride(const mem::TableCacheSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    tableCacheOverride = spec;
+}
+
+void
+clearTableCacheOverride()
+{
+    std::lock_guard<std::mutex> lock(obsMutex);
+    tableCacheOverride.reset();
 }
 
 std::vector<std::unique_ptr<workloads::Workload>>
@@ -312,6 +327,8 @@ runSampled(const SystemConfig &cfg, const std::string &ckpt_path)
             effective.audit = *auditOverride;
         if (vmOverride)
             effective.vm = *vmOverride;
+        if (tableCacheOverride)
+            effective.tableCache = *tableCacheOverride;
     }
     effective.cores = h.cores;
     if (h.ulmtMode >
@@ -348,6 +365,8 @@ runOne(const std::string &app, const SystemConfig &cfg,
         }
         if (vmOverride)
             effective.vm = *vmOverride;
+        if (tableCacheOverride)
+            effective.tableCache = *tableCacheOverride;
         writer = traceWriter.get();
         ckpt_at = ckptAtSpec;
         ckpt_dir = ckptToDir;

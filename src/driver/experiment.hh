@@ -130,6 +130,17 @@ void setVmOverride(const vm::VmSpec &spec);
 void clearVmOverride();
 
 /**
+ * Override SystemConfig::tableCache for all subsequent runOne /
+ * runSampled calls (the bench harness's `--table-cache` flag).  Like
+ * the VM layer it shapes simulated behaviour, so only runs that opt
+ * in share a fingerprint.
+ */
+void setTableCacheOverride(const mem::TableCacheSpec &spec);
+
+/** Drop the table-cache override. */
+void clearTableCacheOverride();
+
+/**
  * The per-core workload set of a multicore run: core 0 replays the
  * exact single-core trace of (@p app, @p seed, @p scale); every other
  * core runs an independently seeded instance of the same kernel,

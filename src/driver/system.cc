@@ -122,6 +122,8 @@ System::init()
     // Size the per-tenant QoS counters before registerStats() runs:
     // the registry keeps raw pointers into the vector.
     ms_->setNumCores(cfg_.cores);
+    if (cfg_.tableCache.on())
+        ms_->configureTableCache(cfg_.tableCache);
 
     for (unsigned c = 0; c < cfg_.cores; ++c) {
         hiers_.push_back(std::make_unique<cpu::Hierarchy>(
@@ -322,6 +324,14 @@ System::initObservability()
         return d.accesses ? double(d.rowHits) / double(d.accesses)
                           : 0.0;
     });
+    if (cfg_.tableCache.on()) {
+        sampler_->addChannel("memsys.tcache.hit_rate", [this] {
+            const mem::TableCacheStats &t =
+                ms_->tableCache().stats();
+            const double total = double(t.hits + t.misses);
+            return total > 0.0 ? double(t.hits) / total : 0.0;
+        });
+    }
     if (!engines_.empty()) {
         sampler_->addChannel("ulmt.queue2_depth", [this] {
             return double(engines_[0]->queue2Depth());
@@ -470,6 +480,12 @@ System::configFingerprint() const
         w.f64(cfg_.vm.remapRate);
         w.u64(cfg_.vm.seed);
     }
+    // And for the table cache: --table-cache=0 machines keep the
+    // pre-MSCache fingerprint.
+    if (cfg_.tableCache.on()) {
+        w.u32(cfg_.tableCache.entries);
+        w.u32(cfg_.tableCache.assoc);
+    }
 
     const std::string &buf = w.buffer();
     return ckpt::fnv1a64(buf.data(), buf.size());
@@ -582,6 +598,11 @@ System::saveCheckpoint(const std::string &path)
         vm_->saveState(w);
         img.addSection("vm", w.take());
     }
+    if (cfg_.tableCache.on()) {
+        ckpt::StateWriter w;
+        ms_->tableCache().saveState(w);
+        img.addSection("tcache", w.take());
+    }
     {
         ckpt::StateWriter w;
         w.b(cfg_.recordMissStream);
@@ -643,6 +664,18 @@ System::restoreCheckpoint(const std::string &path)
             shape(img.header.vmPageBytes) + ", but this machine has " +
             shape(my_page_bytes));
     }
+    // A cache-on machine needs the tcache section.  v4 files (and v5
+    // files from --table-cache=0 machines) lack it; report that as
+    // the shape mismatch it is before the opaque fingerprint check.
+    if (cfg_.tableCache.on() && !img.findSection("tcache")) {
+        throw ckpt::CkptError(
+            "checkpoint '" + path +
+            "' has no table-cache section (format v4, or taken with "
+            "--table-cache=0); this machine runs --table-cache=" +
+            std::to_string(cfg_.tableCache.entries) + "," +
+            std::to_string(cfg_.tableCache.assoc) +
+            " -- re-create the checkpoint with the same flag");
+    }
     if (img.header.configFingerprint != configFingerprint()) {
         throw ckpt::CkptError(
             "checkpoint '" + path +
@@ -677,6 +710,11 @@ System::restoreCheckpoint(const std::string &path)
     if (vm_) {
         ckpt::StateReader r(img.section("vm"));
         vm_->restoreState(r);
+        r.finish();
+    }
+    if (cfg_.tableCache.on()) {
+        ckpt::StateReader r(img.section("tcache"));
+        ms_->tableCache().restoreState(r);
         r.finish();
     }
     {
@@ -865,6 +903,12 @@ System::run()
             r.vmWalkCycles += vs.walkCycles;
             r.vmPagesMapped += vm_->pagesMapped(c);
         }
+    }
+    if (cfg_.tableCache.on()) {
+        r.tcacheOn = true;
+        r.tcacheEntries = cfg_.tableCache.entries;
+        r.tcacheAssoc = cfg_.tableCache.assoc;
+        r.tcache = ms_->tableCache().stats();
     }
     if (audit_) {
         r.audit = audit_->report();

@@ -103,6 +103,13 @@ struct SystemConfig
      * bit-identical to the pre-VM simulator (fingerprints included).
      */
     vm::VmSpec vm;
+    /**
+     * Memory-side table cache (MSCache, DESIGN.md section 14).  Off
+     * by default -- when tableCache.on() is false the table/DRAM
+     * path is bit-identical to the pre-cache simulator (fingerprints
+     * included).
+     */
+    mem::TableCacheSpec tableCache;
     /** Display name ("NoPref", "Conven4+Repl", ...). */
     std::string label = "NoPref";
 };
@@ -144,6 +151,12 @@ struct RunResult
     std::uint64_t vmTlbMisses = 0;
     std::uint64_t vmWalkCycles = 0;
     std::uint64_t vmPagesMapped = 0;
+
+    // --- Table cache (all zero when --table-cache was 0) -------------
+    bool tcacheOn = false;
+    std::uint32_t tcacheEntries = 0;
+    std::uint32_t tcacheAssoc = 0;
+    mem::TableCacheStats tcache;
 
     /** Prefetch lifecycle + interference audit (enabled=false when
      *  the auditor was off).  Observability only -- excluded from

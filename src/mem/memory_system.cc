@@ -290,6 +290,56 @@ MemorySystem::tableAccess(sim::Cycle ready, sim::Addr addr, bool is_write)
     else
         ++stats_.tableReads;
 
+    if (!tcache_.enabled())
+        return dramTableAccess(ready, addr, is_write);
+
+    // MSCache path: probe the SRAM tag array first.  Only misses and
+    // the write-backs the access displaced reach the DRAM banks; the
+    // displaced lines drain fire-and-forget after the access itself,
+    // back-to-back so same-row lines ride open-row hits.
+    tcacheWbs_.clear();
+    const bool hit = tcache_.access(addr, is_write, tcacheWbs_);
+    sim::Cycle done;
+    if (hit) {
+        done = ready + tableCacheHitCycles;
+        if (trace_)
+            trace_->complete(is_write ? "tcache_write_hit"
+                                      : "tcache_read_hit",
+                             "memsys", ready, done - ready,
+                             sim::traceTidMemsys);
+    } else {
+        done = dramTableAccess(ready, addr, is_write);
+    }
+    sim::Cycle t = done;
+    for (sim::Addr wb : tcacheWbs_)
+        t = dramTableAccess(t, wb, /*is_write=*/true);
+    return done;
+}
+
+void
+MemorySystem::configureTableCache(const TableCacheSpec &spec)
+{
+    tcache_.configure(spec, tp_.memProcL1.lineBytes, tp_.dramRowBytes);
+}
+
+void
+MemorySystem::tableInvalidate(sim::Cycle when, sim::Addr addr,
+                              std::uint32_t bytes)
+{
+    if (!tcache_.enabled() || bytes == 0)
+        return;
+    tcacheWbs_.clear();
+    tcache_.invalidateRange(addr - addr % tcache_.lineBytes(),
+                            addr + bytes, tcacheWbs_);
+    sim::Cycle t = when;
+    for (sim::Addr wb : tcacheWbs_)
+        t = dramTableAccess(t, wb, /*is_write=*/true);
+}
+
+sim::Cycle
+MemorySystem::dramTableAccess(sim::Cycle ready, sim::Addr addr,
+                              bool is_write)
+{
     sim::Cycle done;
     if (tp_.placement == MemProcPlacement::InDram) {
         // Internal access: bank contention applies, but the 25.6 GB/s
@@ -380,6 +430,10 @@ MemorySystem::registerStats(sim::StatRegistry &reg) const
                  [this] { return double(filter_.admits()); });
     reg.addGauge("memsys.filter.drops",
                  [this] { return double(filter_.drops()); });
+    // Table-cache counters only exist when --table-cache is on so the
+    // default stat namespace (and BENCH JSON) is unchanged.
+    if (tcache_.enabled())
+        tcache_.registerStats(reg);
     // Per-tenant QoS counters only appear on multicore machines so the
     // single-core stat namespace is unchanged.  setNumCores() must run
     // before registration (resizing would invalidate the pointers).
@@ -586,6 +640,8 @@ MemorySystem::checkInvariants(
     }
 
     filter_.checkInvariants(ctx);
+    if (tcache_.enabled())
+        tcache_.checkInvariants(ctx);
 }
 
 } // namespace mem

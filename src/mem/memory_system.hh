@@ -32,6 +32,7 @@
 #include "mem/dram.hh"
 #include "mem/prefetch_audit.hh"
 #include "mem/prefetch_filter.hh"
+#include "mem/table_cache.hh"
 #include "mem/timing_params.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -204,6 +205,28 @@ class MemorySystem
     sim::Cycle tableAccess(sim::Cycle ready, sim::Addr addr,
                            bool is_write);
 
+    /**
+     * Build the table cache (--table-cache).  Must be called before
+     * the first tableAccess(); without it the table path is
+     * bit-identical to the pre-cache simulator.  Line granularity is
+     * the memory processor's L1 line (tableAccess() addresses arrive
+     * at that granularity) and the drain-batch row is tp.dramRowBytes.
+     */
+    void configureTableCache(const TableCacheSpec &spec);
+
+    /**
+     * Drop cached table lines covering [@p addr, @p addr + @p bytes):
+     * a page remap relocated those table rows, so the cache must not
+     * serve the stale copies.  Dirty lines are flushed to DRAM
+     * starting at @p when (fire and forget).  No-op when the cache is
+     * disabled.
+     */
+    void tableInvalidate(sim::Cycle when, sim::Addr addr,
+                         std::uint32_t bytes);
+
+    TableCache &tableCache() { return tcache_; }
+    const TableCache &tableCache() const { return tcache_; }
+
     /** Write a dirty line back to memory (fire and forget).
      *  @param core the evicting main processor (audit attribution) */
     void writeback(sim::Cycle when, sim::Addr line_addr,
@@ -319,6 +342,10 @@ class MemorySystem
   private:
     friend struct check::CheckTestPeer;
 
+    /** The pre-cache tableAccess() body: one DRAM table access. */
+    sim::Cycle dramTableAccess(sim::Cycle ready, sim::Addr addr,
+                               bool is_write);
+
     sim::EventQueue &eq_;
     const TimingParams &tp_;
     Bus bus_;
@@ -355,6 +382,10 @@ class MemorySystem
     unsigned observedCore_ = 0;
     /** log2(page bytes) for the push page-cross drop (0 = off). */
     std::uint32_t pageShift_ = 0;
+    /** SRAM cache in front of the table's DRAM traffic (MSCache). */
+    TableCache tcache_;
+    /** Scratch list of write-backs produced by one cache operation. */
+    std::vector<sim::Addr> tcacheWbs_;
 
   public:
     const sim::SampleStat &tableWait() const { return tableWait_; }

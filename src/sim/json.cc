@@ -1,7 +1,9 @@
 #include "sim/json.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -285,6 +287,35 @@ class Parser
 };
 
 } // namespace
+
+double
+numberRelDiff(const JsonValue &a, const JsonValue &b)
+{
+    if (a.isInteger && b.isInteger) {
+        // Exact comparison: above 2^53 distinct int64s collapse to the
+        // same double, so the difference must be formed in integer
+        // space.  Unsigned subtraction of the two's-complement values
+        // yields the true magnitude for any sign mix (it always fits
+        // in a uint64).
+        if (a.integer == b.integer)
+            return 0.0;
+        const unsigned long long ua =
+            static_cast<unsigned long long>(a.integer);
+        const unsigned long long ub =
+            static_cast<unsigned long long>(b.integer);
+        const unsigned long long mag =
+            a.integer > b.integer ? ua - ub : ub - ua;
+        const double denom = std::max(std::fabs(a.number),
+                                      std::fabs(b.number));
+        // denom can only be 0 when both values are 0, i.e. equal.
+        return static_cast<double>(mag) / denom;
+    }
+    if (a.number == b.number)
+        return 0.0;
+    const double denom = std::max(std::fabs(a.number),
+                                  std::fabs(b.number));
+    return denom > 0.0 ? std::fabs(a.number - b.number) / denom : 0.0;
+}
 
 JsonValue
 parseJson(const std::string &text)

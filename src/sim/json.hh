@@ -69,6 +69,16 @@ struct JsonValue
     const std::string &asString() const { return str; }
 };
 
+/**
+ * Relative difference between two JSON numbers:
+ * |a - b| / max(|a|, |b|), and 0.0 exactly when the values are
+ * identical.  When both sides carry the exact-int64 tag the
+ * difference is computed in integer space, so counters above 2^53
+ * that collapse to the same double still report a nonzero drift --
+ * routing them through double would silently forgive it.
+ */
+double numberRelDiff(const JsonValue &a, const JsonValue &b);
+
 /** Parse one JSON document; trailing whitespace allowed, trailing
  *  garbage is an error.  @throws JsonError */
 JsonValue parseJson(const std::string &text);

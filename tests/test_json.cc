@@ -40,6 +40,50 @@ TEST(JsonParserTest, ExactInt64Tracking)
     EXPECT_FALSE(sim::parseJson("4e2").isInteger);
 }
 
+TEST(JsonNumberRelDiffTest, IntegersAbove2to53CompareExactly)
+{
+    // 2^53 + 1 and 2^53 round to the same double, so a double-only
+    // comparison reports them equal (rel 0) and forgives real counter
+    // drift.  The regression: ulmt-report diff must flag this pair.
+    const sim::JsonValue a = sim::parseJson("9007199254740993");
+    const sim::JsonValue b = sim::parseJson("9007199254740992");
+    ASSERT_TRUE(a.isInteger);
+    ASSERT_TRUE(b.isInteger);
+    ASSERT_EQ(a.number, b.number);  // the double collapse being fixed
+    EXPECT_GT(sim::numberRelDiff(a, b), 0.0);
+
+    // Larger drift near 2^63, including reversed argument order.
+    const sim::JsonValue c = sim::parseJson("9223372036854775806");
+    const sim::JsonValue d = sim::parseJson("9223372036854775000");
+    const double rel = sim::numberRelDiff(c, d);
+    EXPECT_GT(rel, 0.0);
+    EXPECT_LT(rel, 1e-15);
+    EXPECT_EQ(rel, sim::numberRelDiff(d, c));
+
+    // Mixed signs: magnitude ~2^63.9 still fits the unsigned path.
+    const sim::JsonValue e = sim::parseJson("9223372036854775807");
+    const sim::JsonValue f = sim::parseJson("-9223372036854775807");
+    EXPECT_NEAR(sim::numberRelDiff(e, f), 2.0, 1e-9);
+}
+
+TEST(JsonNumberRelDiffTest, EqualAndDoublePaths)
+{
+    EXPECT_EQ(sim::numberRelDiff(sim::parseJson("12345"),
+                                 sim::parseJson("12345")),
+              0.0);
+    EXPECT_EQ(sim::numberRelDiff(sim::parseJson("0"),
+                                 sim::parseJson("0")),
+              0.0);
+    // Double leaves keep the relative-difference semantics.
+    EXPECT_NEAR(sim::numberRelDiff(sim::parseJson("1.0"),
+                                   sim::parseJson("1.1")),
+                0.1 / 1.1, 1e-12);
+    // Mixed int/double compares through the double path.
+    EXPECT_EQ(sim::numberRelDiff(sim::parseJson("2"),
+                                 sim::parseJson("2.0")),
+              0.0);
+}
+
 TEST(JsonParserTest, ObjectPreservesInsertionOrder)
 {
     const sim::JsonValue v =

@@ -58,6 +58,7 @@ usage(const char *argv0)
         "         [--scale=S] [--seed=N] [--conven4] [--cores=N]\n"
         "         [--ulmt-mode=shared|percore|sharded]\n"
         "         [--vm=on|off] [--page-size=4k|2m] [--remap-rate=R]\n"
+        "         [--table-cache=<entries>[,<assoc>]]\n"
         "  info <file>\n"
         "  verify <file>\n"
         "  diff <a> <b>\n"
@@ -96,6 +97,7 @@ cmdCreate(const std::vector<std::string> &args)
     unsigned cores = 1;
     core::UlmtMode mode = core::UlmtMode::Shared;
     vm::VmSpec vmSpec;
+    mem::TableCacheSpec tcacheSpec;
     for (std::size_t i = 2; i < args.size(); ++i) {
         if (const char *v = flagValue(args[i].c_str(), "--algo="))
             algo_name = v;
@@ -120,7 +122,22 @@ cmdCreate(const std::vector<std::string> &args)
         else if (const char *rr =
                      flagValue(args[i].c_str(), "--remap-rate="))
             vmSpec.remapRate = std::atof(rr);
-        else
+        else if (const char *tc =
+                     flagValue(args[i].c_str(), "--table-cache=")) {
+            char *end = nullptr;
+            tcacheSpec.entries =
+                std::uint32_t(std::strtoul(tc, &end, 10));
+            if (*end == ',')
+                tcacheSpec.assoc =
+                    std::uint32_t(std::strtoul(end + 1, &end, 10));
+            if (*end != '\0' || tcacheSpec.assoc == 0 ||
+                (tcacheSpec.entries != 0 &&
+                 tcacheSpec.entries % tcacheSpec.assoc != 0))
+                throw ckpt::CkptError(
+                    "bad --table-cache value (expected "
+                    "<entries>[,<assoc>], entries divisible by "
+                    "assoc, 0 disables)");
+        } else
             badFlag(args[i].c_str());
     }
 
@@ -135,6 +152,7 @@ cmdCreate(const std::vector<std::string> &args)
     cfg.cores = cores;
     cfg.ulmtMode = mode;
     cfg.vm = vmSpec;
+    cfg.tableCache = tcacheSpec;
 
     auto ws =
         driver::makeCoreWorkloads(app, opt.seed, opt.scale, cores);
@@ -201,6 +219,9 @@ cmdInfo(const std::vector<std::string> &args)
     } else {
         std::printf("vm:          off\n");
     }
+    std::printf("table cache: %s\n",
+                img.findSection("tcache") ? "on (tcache section)"
+                                          : "off");
     std::printf("sections:    %zu (%llu payload bytes)\n",
                 img.sections().size(),
                 (unsigned long long)img.payloadBytes());

@@ -23,6 +23,7 @@
  * value flags).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,22 +52,24 @@ struct Scenario
     double scale = 0.005;
     unsigned cores = 1;
     core::UlmtMode mode = core::UlmtMode::Shared;
+    std::uint32_t tcacheEntries = 0;  //!< 0 = no table cache
+    std::uint32_t tcacheAssoc = 4;
 
     std::string
     describe() const
     {
-        char buf[256];
+        char buf[288];
         std::snprintf(
             buf, sizeof(buf),
             "app=%s algo=%s rows=%u levels=%u verbose=%d conven4=%d "
             "placement=%s queueDepth=%u filterEntries=%u scale=%g "
-            "cores=%u mode=%s",
+            "cores=%u mode=%s tcache=%u,%u",
             app.c_str(), core::to_string(algo).c_str(), numRows,
             numLevels, verbose, conven4,
             placement == mem::MemProcPlacement::InDram ? "InDram"
                                                        : "NorthBridge",
             queueDepth, filterEntries, scale, cores,
-            core::to_string(mode).c_str());
+            core::to_string(mode).c_str(), tcacheEntries, tcacheAssoc);
         return buf;
     }
 };
@@ -110,6 +113,15 @@ deriveScenario(std::uint64_t seed, double scale)
                                              core::UlmtMode::PerCore,
                                              core::UlmtMode::Sharded};
     s.mode = serving[rng.below(3)];
+
+    // Table-cache draws are newest, so they come after everything
+    // else: a seed's pre-MSCache dimensions are unchanged and the
+    // no-cache half of the space reproduces the old machines exactly.
+    if (rng.chance(0.5)) {
+        static const std::uint32_t tcEntries[] = {256, 1024, 4096};
+        s.tcacheEntries = tcEntries[rng.below(3)];
+        s.tcacheAssoc = rng.chance(0.5) ? 4 : 8;
+    }
     // N cores replay N workload copies; divide the trace down so every
     // seed costs about the same and the sweep's wall time stays flat.
     if (s.cores > 1)
@@ -140,6 +152,8 @@ buildConfig(const Scenario &s)
     cfg.timing.filterEntries = s.filterEntries;
     cfg.cores = s.cores;
     cfg.ulmtMode = s.mode;
+    cfg.tableCache.entries = s.tcacheEntries;
+    cfg.tableCache.assoc = s.tcacheAssoc;
     cfg.metricsInterval = 0;  // fuzzing needs no time series
     return cfg;
 }
@@ -187,9 +201,15 @@ shrink(Scenario s, const check::CheckOptions &chk, bool verbose_log)
                 changed = true;
             }
         };
+        trial([&](Scenario &t) { t.tcacheEntries = 0; }, "tcache=off");
         trial([&](Scenario &t) { t.cores = 1; }, "cores=1");
         trial([&](Scenario &t) { t.mode = core::UlmtMode::Shared; },
               "mode=shared");
+        trial([&](Scenario &t) {
+                  t.tcacheEntries = std::min(t.tcacheEntries, 256u);
+                  t.tcacheAssoc = 4;
+              },
+              "tcache=256,4");
         trial([&](Scenario &t) { t.conven4 = false; }, "conven4=0");
         trial([&](Scenario &t) { t.verbose = false; }, "verbose=0");
         trial([&](Scenario &t) { t.placement = defaults.placement; },

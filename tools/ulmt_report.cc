@@ -306,17 +306,12 @@ sameScalar(const sim::JsonValue &a, const sim::JsonValue &b,
       case sim::JsonValue::Kind::Null: return true;
       case sim::JsonValue::Kind::Bool: return a.boolean == b.boolean;
       case sim::JsonValue::Kind::String: return a.str == b.str;
-      case sim::JsonValue::Kind::Number: {
-        if (a.isInteger && b.isInteger && a.integer == b.integer)
-            return true;  // counters: exact int64, no double rounding
-        if (!a.isInteger && !b.isInteger && a.number == b.number)
-            return true;
-        const double denom =
-            std::max(std::fabs(a.number), std::fabs(b.number));
-        rel = denom > 0.0 ? std::fabs(a.number - b.number) / denom
-                          : 0.0;
+      case sim::JsonValue::Kind::Number:
+        // numberRelDiff compares both-integer leaves in exact int64
+        // space: above 2^53 two distinct counters round to the same
+        // double, which the old double-only path silently forgave.
+        rel = sim::numberRelDiff(a, b);
         return rel <= tol;
-      }
       default: return false;  // containers never reach here
     }
 }
@@ -365,7 +360,14 @@ diff(const std::string &old_path, const std::string &new_path,
         const double tol = toleranceFor(l.path, tols);
         double rel = 0.0;
         if (!sameScalar(*l.value, *other, tol, rel)) {
-            if (l.value->isNumber() && other->isNumber()) {
+            if (l.value->isNumber() && other->isNumber() &&
+                l.value->isInteger && other->isInteger) {
+                // Print counters exactly; %.17g would round both sides
+                // of a >2^53 drift to the same digits.
+                std::printf("! %s: %lld -> %lld (rel %.3g, tol %g)\n",
+                            l.path.c_str(), l.value->integer,
+                            other->integer, rel, tol);
+            } else if (l.value->isNumber() && other->isNumber()) {
                 std::printf("! %s: %.17g -> %.17g (rel %.3g, tol %g)\n",
                             l.path.c_str(), l.value->number,
                             other->number, rel, tol);
